@@ -1,0 +1,23 @@
+.PHONY: all build test bench examples csv clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+examples:
+	@for e in quickstart heartbeat_spmv omp_nas carat_defrag \
+	          coherence_pbbs faas_pipeline virtine_fib; do \
+	  echo "=== $$e ==="; dune exec examples/$$e.exe; echo; done
+
+csv:
+	dune exec bin/main.exe -- csv out
+
+clean:
+	dune clean

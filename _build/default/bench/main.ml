@@ -1,0 +1,167 @@
+(* The benchmark harness.
+
+   Part 1 regenerates every table and figure the paper reports
+   (experiments E1..E12 from the registry) plus the ablations, and
+   prints them with the paper's claims alongside — this is the
+   reproduction itself (simulated cycles, deterministic).
+
+   Part 2 runs Bechamel wall-clock microbenchmarks of the simulator's
+   own hot paths — one Test.make per reproduced table, sized down so
+   each iteration is quick — so performance regressions in this
+   codebase are visible too. *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: the reproduction *)
+
+let run_reproduction () =
+  print_endline
+    "==================================================================";
+  print_endline
+    " Reproduction: The Case for an Interwoven Parallel HW/SW Stack";
+  print_endline
+    "==================================================================\n";
+  List.iter
+    (fun (e : Interweave.Experiments.experiment) ->
+      let t0 = Unix.gettimeofday () in
+      print_string (Interweave.Experiments.run_to_string e);
+      Printf.printf "  [%s completed in %.1fs wall time]\n\n" e.id
+        (Unix.gettimeofday () -. t0))
+    (Interweave.Experiments.all ())
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: Bechamel microbenchmarks of the simulator itself *)
+
+let mini_heartbeat () =
+  let bench =
+    { Iw_heartbeat.Tpal.bench_name = "mini-spmv";
+      ranges = [ { items = 200_000; grain = 20 } ] }
+  in
+  ignore
+    (Iw_heartbeat.Tpal.run Iw_hw.Platform.knl
+       { workers = 4; heartbeat_us = 100.0; driver = Iw_heartbeat.Tpal.Nk_ipi; seed = 2 }
+       bench)
+
+let mini_nas =
+  {
+    Iw_omp.Nas.nas_name = "mini-bt";
+    steps = 2;
+    step_regions =
+      [ { rs_iters = 4_096; rs_cycles = 150; rs_sched = Iw_omp.Runtime.Static } ];
+    footprint_kb = 8192;
+    locality = 0.9;
+    accesses_per_iter = 2;
+  }
+
+let mini_omp () =
+  ignore (Iw_omp.Nas.run Iw_hw.Platform.knl Iw_omp.Runtime.Rtk ~nthreads:4 mini_nas)
+
+let mini_coherence () =
+  let params = Iw_coherence.Machine.default_params ~cores:8 ~cores_per_socket:4 in
+  let bench =
+    { Iw_coherence.Traces.samplesort with accesses_per_core = 4_000 }
+  in
+  ignore
+    (Iw_coherence.Traces.run_bench ~params Iw_coherence.Machine.Private_and_ro
+       bench)
+
+let mini_carat () =
+  let p = Iw_ir.Programs.vec_sum 400 in
+  let m = p.build () in
+  Iw_passes.Carat_pass.instrument m;
+  let rt = Iw_carat.Runtime.create () in
+  ignore (Iw_ir.Interp.run ~hooks:(Iw_carat.Runtime.hooks rt) m p.entry p.args)
+
+let mini_timing () =
+  let p = Iw_ir.Programs.mat_mul 12 in
+  ignore (Iw_passes.Timing_pass.measure ~check_budget:2000 p)
+
+let mini_virtine () =
+  let t =
+    Iw_virtine.Wasp.create
+      { Iw_virtine.Wasp.default with profile = Iw_virtine.Wasp.Bespoke_16 }
+  in
+  for _ = 1 to 100 do
+    ignore (Iw_virtine.Wasp.call t ~work_us:50.0)
+  done
+
+let mini_switch () =
+  let plat = Iw_hw.Platform.with_cores Iw_hw.Platform.knl 1 in
+  let k = Iw_kernel.Nautilus.boot ~seed:4 ~quantum_us:50.0 plat in
+  for _ = 1 to 2 do
+    ignore
+      (Iw_kernel.Sched.spawn k
+         ~spec:{ Iw_kernel.Sched.default_spec with sp_cpu = Some 0 }
+         (fun () -> Iw_kernel.Api.work 1_000_000))
+  done;
+  Iw_kernel.Sched.run k
+
+let mini_pipeline () =
+  ignore (Iw_hw.Pipeline_interrupt.sweep Iw_hw.Platform.knl ~rate_hz:[ 1e4; 1e6 ])
+
+let mini_buddy () =
+  let b = Iw_mem.Buddy.create ~base:0 ~size:(1 lsl 16) ~min_block:16 in
+  let live = Array.init 512 (fun _ -> Iw_mem.Buddy.alloc b 32) in
+  Array.iter (function Some a -> Iw_mem.Buddy.free b a | None -> ()) live
+
+let mini_polling () =
+  ignore
+    (Iw_passes.Polling_pass.measure ~poll_budget:1500
+       ~completions:[ 10_000; 50_000 ] ~plat:Iw_hw.Platform.knl
+       (Iw_ir.Programs.vec_sum 1000))
+
+let tests =
+  Test.make_grouped ~name:"interweave" ~fmt:"%s/%s"
+    [
+      Test.make ~name:"fig3-heartbeat" (Staged.stage mini_heartbeat);
+      Test.make ~name:"fig4-ctx-switch" (Staged.stage mini_switch);
+      Test.make ~name:"fig6-omp" (Staged.stage mini_omp);
+      Test.make ~name:"fig7-coherence" (Staged.stage mini_coherence);
+      Test.make ~name:"tab-carat" (Staged.stage mini_carat);
+      Test.make ~name:"tab-timing" (Staged.stage mini_timing);
+      Test.make ~name:"tab-virtine" (Staged.stage mini_virtine);
+      Test.make ~name:"tab-pipeline-irq" (Staged.stage mini_pipeline);
+      Test.make ~name:"tab-polling" (Staged.stage mini_polling);
+      Test.make ~name:"buddy-alloc" (Staged.stage mini_buddy);
+    ]
+
+let run_bechamel () =
+  print_endline
+    "==================================================================";
+  print_endline " Bechamel: wall-clock cost of the simulators themselves";
+  print_endline
+    "==================================================================\n";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 0.4) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns_per_run =
+          match Analyze.OLS.estimates ols with
+          | Some (x :: _) -> x
+          | _ -> nan
+        in
+        (name, ns_per_run) :: acc)
+      results []
+    |> List.sort compare
+  in
+  Printf.printf "%-32s %16s\n" "benchmark" "ns/run";
+  Printf.printf "%s\n" (String.make 49 '-');
+  List.iter
+    (fun (name, ns) -> Printf.printf "%-32s %16.0f\n" name ns)
+    rows
+
+let () =
+  let t0 = Unix.gettimeofday () in
+  run_reproduction ();
+  run_bechamel ();
+  Printf.printf "\ntotal wall time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,118 @@
+(* interweave: run the paper's experiments from the command line. *)
+
+open Cmdliner
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (e : Interweave.Experiments.experiment) ->
+        Printf.printf "%-4s %s\n     paper: %s\n" e.id e.title e.paper_claim)
+      (Interweave.Experiments.all ())
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List every reproducible experiment")
+    Term.(const run $ const ())
+
+let run_cmd =
+  let ids =
+    Arg.(
+      non_empty
+      & pos_all string []
+      & info [] ~docv:"ID" ~doc:"Experiment ids (E1..E12, A1..A4) or 'all'")
+  in
+  let markdown =
+    Arg.(value & flag & info [ "markdown" ] ~doc:"Emit Markdown tables")
+  in
+  let run ids markdown =
+    let targets =
+      if List.mem "all" ids then Interweave.Experiments.all ()
+      else
+        List.map
+          (fun id ->
+            try Interweave.Experiments.find id
+            with Not_found ->
+              Printf.eprintf "unknown experiment %s (try 'interweave list')\n" id;
+              exit 1)
+          ids
+    in
+    List.iter
+      (fun (e : Interweave.Experiments.experiment) ->
+        if markdown then begin
+          Printf.printf "## [%s] %s\n\nPaper: %s\n\n" e.id e.title e.paper_claim;
+          List.iter
+            (fun t -> print_string (Interweave.Table.to_markdown t ^ "\n"))
+            (e.tables ())
+        end
+        else print_string (Interweave.Experiments.run_to_string e))
+      targets
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run experiments and print their tables")
+    Term.(const run $ ids $ markdown)
+
+let csv_cmd =
+  let dir =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DIR" ~doc:"Output directory for <id>_<n>.csv files")
+  in
+  let ids =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "only" ] ~docv:"ID" ~doc:"Restrict to these experiment ids")
+  in
+  let escape cell =
+    if String.exists (fun c -> c = ',' || c = '"') cell then
+      "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+    else cell
+  in
+  let run dir ids =
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    let targets =
+      match ids with
+      | [] -> Interweave.Experiments.all ()
+      | ids -> List.map Interweave.Experiments.find ids
+    in
+    List.iter
+      (fun (e : Interweave.Experiments.experiment) ->
+        List.iteri
+          (fun i (t : Interweave.Table.t) ->
+            let path = Filename.concat dir (Printf.sprintf "%s_%d.csv" e.id i) in
+            let oc = open_out path in
+            output_string oc (String.concat "," (List.map escape t.headers) ^ "\n");
+            List.iter
+              (fun row ->
+                output_string oc (String.concat "," (List.map escape row) ^ "\n"))
+              t.rows;
+            close_out oc;
+            Printf.printf "wrote %s (%s)\n" path t.title)
+          (e.tables ()))
+      targets
+  in
+  Cmd.v
+    (Cmd.info "csv" ~doc:"Run experiments and write their tables as CSV")
+    Term.(const run $ dir $ ids)
+
+let stacks_cmd =
+  let run () =
+    let plat = Iw_hw.Platform.knl in
+    List.iter
+      (fun stack ->
+        Printf.printf "%s\n  event delivery: %d cycles, timer mechanism: %d cycles\n"
+          (Interweave.Stack.describe stack)
+          (Interweave.Stack.event_delivery_cycles stack)
+          (Interweave.Stack.timer_mechanism_cost stack))
+      [ Interweave.Stack.commodity plat; Interweave.Stack.interwoven plat ]
+  in
+  Cmd.v
+    (Cmd.info "stacks" ~doc:"Describe the commodity and interwoven stacks")
+    Term.(const run $ const ())
+
+let () =
+  let doc =
+    "Reproduction of 'The Case for an Interwoven Parallel Hardware/Software \
+     Stack' (SCWS/ROSS 2021)"
+  in
+  let info = Cmd.info "interweave" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; csv_cmd; stacks_cmd ]))

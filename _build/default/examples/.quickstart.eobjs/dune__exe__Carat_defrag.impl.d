@@ -1,0 +1,1 @@
+examples/carat_defrag.ml: Interp Iw_carat Iw_ir Iw_passes Option Printf Programs Runtime

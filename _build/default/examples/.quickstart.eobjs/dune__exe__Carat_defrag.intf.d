@@ -1,0 +1,1 @@
+examples/carat_defrag.mli:

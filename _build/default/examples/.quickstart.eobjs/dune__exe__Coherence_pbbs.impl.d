@@ -1,0 +1,1 @@
+examples/coherence_pbbs.ml: Iw_coherence Machine Printf Traces

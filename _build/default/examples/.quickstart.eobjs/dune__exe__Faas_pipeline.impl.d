@@ -1,0 +1,1 @@
+examples/faas_pipeline.ml: Iw_virtine List Printf Wasp

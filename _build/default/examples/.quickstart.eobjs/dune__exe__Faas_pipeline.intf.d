@@ -1,0 +1,1 @@
+examples/faas_pipeline.mli:

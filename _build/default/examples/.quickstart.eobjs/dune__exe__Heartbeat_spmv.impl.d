@@ -1,0 +1,1 @@
+examples/heartbeat_spmv.ml: Iw_heartbeat Iw_hw List Printf Tpal Tpal_tree

@@ -1,0 +1,1 @@
+examples/heartbeat_spmv.mli:

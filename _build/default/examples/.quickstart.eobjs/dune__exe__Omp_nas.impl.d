@@ -1,0 +1,1 @@
+examples/omp_nas.ml: Epcc Iw_hw Iw_omp List Nas Printf Runtime

@@ -1,0 +1,1 @@
+examples/omp_nas.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Api Format Interweave Iw_hw Iw_kernel List Printf Sched

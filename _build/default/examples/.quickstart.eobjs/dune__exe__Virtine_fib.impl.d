@@ -1,0 +1,1 @@
+examples/virtine_fib.ml: Iw_ir Iw_virtine List Option Printf Wasp

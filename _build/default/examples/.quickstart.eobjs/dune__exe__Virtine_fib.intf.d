@@ -1,0 +1,1 @@
+examples/virtine_fib.mli:

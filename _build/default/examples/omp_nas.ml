@@ -1,0 +1,32 @@
+(* Kernel OpenMP (SecV-A): run the NAS BT surrogate under all four
+   execution modes at 16 CPUs and compare.
+
+     dune exec examples/omp_nas.exe *)
+
+open Iw_omp
+
+let () =
+  let plat = Iw_hw.Platform.knl in
+  let bench = Nas.bt in
+  Printf.printf "NAS %s surrogate, 16 CPUs, four OpenMP stacks\n\n"
+    bench.Nas.nas_name;
+  let linux = Nas.run plat Runtime.Linux_user ~nthreads:16 bench in
+  Printf.printf "%-12s %12s %9s %9s\n" "mode" "cycles" "speedup" "vs-linux";
+  List.iter
+    (fun mode ->
+      let r = Nas.run plat mode ~nthreads:16 bench in
+      Printf.printf "%-12s %12d %9.1f %9.2f\n"
+        (Runtime.mode_name mode)
+        r.elapsed_cycles r.speedup_vs_serial
+        (float_of_int linux.elapsed_cycles /. float_of_int r.elapsed_cycles))
+    [ Runtime.Linux_user; Runtime.Rtk; Runtime.Pik; Runtime.Cck ];
+  print_newline ();
+  (* The EPCC-style construct overheads explain the gap. *)
+  Printf.printf "construct overheads (cycles per construct, 16 threads):\n";
+  List.iter
+    (fun (row : Epcc.row) ->
+      Printf.printf "  %-12s %-12s %10.0f\n"
+        (Epcc.construct_name row.construct)
+        (Runtime.mode_name row.mode)
+        row.overhead_cycles_per_construct)
+    (Epcc.table plat ~modes:[ Runtime.Linux_user; Runtime.Rtk ] ~nthreads:16)

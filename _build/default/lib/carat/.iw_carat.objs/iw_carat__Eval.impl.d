@@ -1,0 +1,1 @@
+lib/carat/eval.ml: Interp Iw_ir Iw_passes List Printf Programs Runtime

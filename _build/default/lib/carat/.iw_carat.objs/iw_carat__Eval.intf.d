@@ -1,0 +1,1 @@
+lib/carat/eval.mli: Iw_ir Programs

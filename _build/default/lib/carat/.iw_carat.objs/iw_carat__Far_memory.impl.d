@@ -1,0 +1,1 @@
+lib/carat/far_memory.ml: Array Float Fun Iw_engine List Rng

@@ -1,0 +1,1 @@
+lib/carat/far_memory.mli:

@@ -1,0 +1,1 @@
+lib/carat/pik.ml: Array Char Format Hashtbl Interp Ir Iw_ir Iw_passes List Printf Programs Runtime String

@@ -1,0 +1,1 @@
+lib/carat/pik.mli: Interp Iw_ir Iw_passes Programs Runtime

@@ -1,0 +1,1 @@
+lib/carat/runtime.ml: Int Interp Iw_ir Iw_mem List Map Printf

@@ -1,0 +1,1 @@
+lib/carat/runtime.mli: Interp Iw_ir

@@ -1,0 +1,138 @@
+open Iw_engine
+
+type granularity = Page of int | Object
+
+type config = {
+  local_capacity_words : int;
+  granularity : granularity;
+  local_cost : int;
+  far_cost : int;
+}
+
+let default ~local_capacity_words granularity =
+  { local_capacity_words; granularity; local_cost = 4; far_cost = 400 }
+
+type result = {
+  granularity : granularity;
+  local_fraction : float;
+  local_hit_rate : float;
+  mean_access_cycles : float;
+  slowdown_vs_all_local : float;
+}
+
+(* Zipf sampling over [1..n] with exponent [s], via inverse CDF on a
+   precomputed table. *)
+let zipf_cdf n s =
+  let weights = Array.init n (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) s) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. (w /. total);
+      cdf.(i) <- !acc)
+    weights;
+  cdf
+
+let sample_zipf rng cdf =
+  let u = Rng.float rng 1.0 in
+  (* Binary search for the first index with cdf >= u. *)
+  let lo = ref 0 and hi = ref (Array.length cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cdf.(mid) >= u then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let simulate ?(seed = 13) ~objects ~object_words ~accesses ~zipf config =
+  if objects <= 0 || object_words <= 0 || accesses <= 0 then
+    invalid_arg "Far_memory.simulate: non-positive size";
+  let rng = Rng.create ~seed in
+  let cdf = zipf_cdf objects zipf in
+  (* Objects are allocated in a shuffled order, as real allocation
+     interleaves hot and cold objects on the same pages. *)
+  let placement = Array.init objects Fun.id in
+  Rng.shuffle rng placement;
+  (* Count accesses per object. *)
+  let heat = Array.make objects 0 in
+  for _ = 1 to accesses do
+    let o = sample_zipf rng cdf in
+    heat.(o) <- heat.(o) + 1
+  done;
+  (* Choose the resident set. *)
+  let resident = Array.make objects false in
+  let capacity = config.local_capacity_words in
+  (match config.granularity with
+  | Object ->
+      (* Evacuate coldest objects: keep the hottest that fit. *)
+      let order = Array.init objects Fun.id in
+      Array.sort (fun a b -> compare heat.(b) heat.(a)) order;
+      let used = ref 0 in
+      Array.iter
+        (fun o ->
+          if !used + object_words <= capacity then begin
+            resident.(o) <- true;
+            used := !used + object_words
+          end)
+        order
+  | Page page_words ->
+      let per_page = max 1 (page_words / object_words) in
+      let pages = (objects + per_page - 1) / per_page in
+      (* Page heat = sum of its objects' heat (objects land on pages
+         in allocation order). *)
+      let page_heat = Array.make pages 0 in
+      Array.iteri
+        (fun slot o -> page_heat.(slot / per_page) <- page_heat.(slot / per_page) + heat.(o))
+        placement;
+      let order = Array.init pages Fun.id in
+      Array.sort (fun a b -> compare page_heat.(b) page_heat.(a)) order;
+      let used = ref 0 in
+      Array.iter
+        (fun pg ->
+          if !used + page_words <= capacity then begin
+            used := !used + page_words;
+            for slot = pg * per_page to min (objects - 1) (((pg + 1) * per_page) - 1) do
+              resident.(placement.(slot)) <- true
+            done
+          end)
+        order);
+  (* Measure. *)
+  let local_hits = ref 0 and total_cost = ref 0 in
+  Array.iteri
+    (fun o h ->
+      if resident.(o) then begin
+        local_hits := !local_hits + h;
+        total_cost := !total_cost + (h * config.local_cost)
+      end
+      else total_cost := !total_cost + (h * config.far_cost))
+    heat;
+  let resident_words =
+    Array.fold_left
+      (fun acc r -> if r then acc + object_words else acc)
+      0 resident
+  in
+  let all_local = accesses * config.local_cost in
+  {
+    granularity = config.granularity;
+    local_fraction =
+      float_of_int resident_words /. float_of_int (objects * object_words);
+    local_hit_rate = float_of_int !local_hits /. float_of_int accesses;
+    mean_access_cycles = float_of_int !total_cost /. float_of_int accesses;
+    slowdown_vs_all_local = float_of_int !total_cost /. float_of_int all_local;
+  }
+
+let sweep ?seed ~objects ~object_words ~accesses ~zipf ~fractions () =
+  let heap = objects * object_words in
+  List.map
+    (fun frac ->
+      let capacity = int_of_float (frac *. float_of_int heap) in
+      let page =
+        simulate ?seed ~objects ~object_words ~accesses ~zipf
+          (default ~local_capacity_words:capacity (Page 512))
+      in
+      let obj =
+        simulate ?seed ~objects ~object_words ~accesses ~zipf
+          (default ~local_capacity_words:capacity Object)
+      in
+      (frac, page, obj))
+    fractions

@@ -1,0 +1,62 @@
+open Iw_ir
+
+type t = {
+  program : Programs.program;
+  modul : Ir.modul;
+  rt : Runtime.t;
+  mutable attested : int;
+}
+
+(* Rolling structural hash over the printed instructions: a stand-in
+   for cryptographic attestation (no crypto offline). *)
+let checksum m =
+  let h = ref 5381 in
+  let mix s =
+    String.iter (fun c -> h := ((!h lsl 5) + !h + Char.code c) land max_int) s
+  in
+  let names =
+    Hashtbl.fold (fun name _ acc -> name :: acc) m.Ir.funcs []
+    |> List.sort compare
+  in
+  List.iter
+    (fun name ->
+      let f = Ir.find_func m name in
+      mix name;
+      Array.iter
+        (fun b ->
+          List.iter (fun i -> mix (Format.asprintf "%a" Ir.pp_inst i)) b.Ir.insts)
+        f.Ir.blocks)
+    names;
+  !h
+
+let load ?(config = Iw_passes.Carat_pass.optimized) (program : Programs.program)
+    =
+  let modul = program.build () in
+  Iw_passes.Carat_pass.instrument ~config modul;
+  let t = { program; modul; rt = Runtime.create (); attested = 0 } in
+  t.attested <- checksum modul;
+  t
+
+let attestation t = t.attested
+let verify t = checksum t.modul = t.attested
+
+let tamper t =
+  Hashtbl.iter
+    (fun _ f ->
+      Array.iter
+        (fun b ->
+          b.Ir.insts <-
+            List.filter
+              (function Ir.Guard _ -> false | _ -> true)
+              b.Ir.insts)
+        f.Ir.blocks)
+    t.modul.Ir.funcs
+
+let run t =
+  if not (verify t) then
+    invalid_arg
+      (Printf.sprintf "pik: attestation failure for %s" t.program.name);
+  Interp.run ~hooks:(Runtime.hooks t.rt) t.modul t.program.entry t.program.args
+
+let runtime t = t.rt
+let name t = t.program.name

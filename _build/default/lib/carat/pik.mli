@@ -1,0 +1,36 @@
+open Iw_ir
+(** Process-in-kernel simulacra (§IV-A, §V-A).
+
+    A PIK "process" is a user program compiled, CARAT-transformed,
+    linked, and attested so it can run {e inside} the kernel at
+    kernel privilege on physical addresses — while believing it is an
+    ordinary process.  Protection comes from the compiler-inserted
+    guards, not hardware; attestation vouches that the blob really
+    carries its instrumentation.
+
+    Each process gets its own CARAT runtime (its address space); a
+    guarded access to anything outside its own regions faults. *)
+
+type t
+
+val load : ?config:Iw_passes.Carat_pass.config -> Programs.program -> t
+(** Compile (instrument) and attest the program. *)
+
+val attestation : t -> int
+(** Structural checksum over the instrumented code.  Offline builds
+    have no crypto; this stands in for the signature (DESIGN.md §5). *)
+
+val verify : t -> bool
+(** Recompute the checksum against the loaded code. *)
+
+val tamper : t -> unit
+(** Strip the guards from the loaded code (simulates a malicious or
+    corrupted blob); [verify] must fail afterwards. *)
+
+val run : t -> Interp.result
+(** Execute at "kernel level" under the process's own CARAT runtime.
+    @raise Invalid_argument if [verify] fails. *)
+
+val runtime : t -> Runtime.t
+
+val name : t -> string

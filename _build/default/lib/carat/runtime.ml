@@ -1,0 +1,151 @@
+open Iw_ir
+
+module IntMap = Map.Make (Int)
+
+type region = {
+  logical : int;  (* allocation-time base; what the program holds *)
+  size : int;  (* requested words *)
+  mutable phys : int;  (* current physical base in the buddy heap *)
+}
+
+type t = {
+  heap : Iw_mem.Buddy.t;
+  mutable regions : region IntMap.t;  (* keyed by logical base *)
+  mutable next_logical : int;
+  mutable ctx : Interp.ctx option;
+  mutable checks : int;
+  mutable faults : int;
+  mutable n_moves : int;
+  mutable n_moved_words : int;
+}
+
+let create ?(heap_size = 1 lsl 22) () =
+  {
+    (* Physical heap sits at [heap_size, 2*heap_size); logical bases
+       start far above it and are never reused, so the two spaces
+       cannot collide. *)
+    heap = Iw_mem.Buddy.create ~base:heap_size ~size:heap_size ~min_block:16;
+    regions = IntMap.empty;
+    next_logical = 16 * heap_size;
+    ctx = None;
+    checks = 0;
+    faults = 0;
+    n_moves = 0;
+    n_moved_words = 0;
+  }
+
+let region_containing t addr =
+  match IntMap.find_last_opt (fun b -> b <= addr) t.regions with
+  | Some (_, r) when addr < r.logical + r.size -> Some r
+  | _ -> None
+
+let region_of t addr =
+  match region_containing t addr with
+  | Some r -> Some (r.logical, r.size)
+  | None -> None
+
+let regions t =
+  IntMap.fold (fun _ r acc -> (r.logical, r.size) :: acc) t.regions []
+  |> List.rev
+
+let region_count t = IntMap.cardinal t.regions
+let live_words t = IntMap.fold (fun _ r acc -> acc + r.size) t.regions 0
+let guard_checks t = t.checks
+let guard_faults t = t.faults
+let moves t = t.n_moves
+let moved_words t = t.n_moved_words
+let fragmentation t = Iw_mem.Buddy.external_fragmentation t.heap
+
+let alloc t size =
+  let size = max 1 size in
+  match Iw_mem.Buddy.alloc t.heap size with
+  | None -> raise (Interp.Fault "carat: out of physical memory")
+  | Some phys ->
+      let logical = t.next_logical in
+      t.next_logical <- logical + size;
+      t.regions <- IntMap.add logical { logical; size; phys } t.regions;
+      logical
+
+let free t logical =
+  match IntMap.find_opt logical t.regions with
+  | None -> raise (Interp.Fault "carat: free of untracked base")
+  | Some r ->
+      Iw_mem.Buddy.free t.heap r.phys;
+      t.regions <- IntMap.remove logical t.regions
+
+let translate t addr =
+  match region_containing t addr with
+  | Some r -> r.phys + (addr - r.logical)
+  | None -> addr
+
+let guard t ~base ~offset ~length =
+  t.checks <- t.checks + 1;
+  let target = match length with None -> base + offset | Some _ -> base in
+  match region_containing t target with
+  | Some _ -> ()
+  | None ->
+      t.faults <- t.faults + 1;
+      raise
+        (Interp.Fault
+           (Printf.sprintf "carat: protection fault at %#x" target))
+
+let hooks t =
+  {
+    Interp.default_hooks with
+    on_init = (fun ctx -> t.ctx <- Some ctx);
+    on_guard = (fun ~base ~offset ~length -> guard t ~base ~offset ~length);
+    on_track_alloc = (fun ~base:_ ~size:_ -> ());
+    on_track_free = (fun ~base:_ -> ());
+    translate = (fun addr -> translate t addr);
+    extern =
+      (fun name args ->
+        match (name, args) with
+        | "malloc", [ size ] -> Some (alloc t size)
+        | "free", [ base ] ->
+            free t base;
+            Some 0
+        | _ -> None);
+  }
+
+let move_region t ~base =
+  match IntMap.find_opt base t.regions with
+  | None -> None
+  | Some r -> (
+      match Iw_mem.Buddy.alloc t.heap r.size with
+      | None -> None
+      | Some new_phys ->
+          (match t.ctx with
+          | Some ctx ->
+              for i = 0 to r.size - 1 do
+                ctx.Interp.write (new_phys + i) (ctx.Interp.read (r.phys + i))
+              done
+          | None -> ());
+          Iw_mem.Buddy.free t.heap r.phys;
+          t.n_moves <- t.n_moves + 1;
+          t.n_moved_words <- t.n_moved_words + r.size;
+          r.phys <- new_phys;
+          Some new_phys)
+
+let defragment t =
+  (* Ascending physical order; the buddy hands out the lowest free
+     block, so each move either compacts or is undone. *)
+  let by_phys =
+    IntMap.fold (fun _ r acc -> r :: acc) t.regions []
+    |> List.sort (fun a b -> compare a.phys b.phys)
+  in
+  let moved = ref 0 in
+  List.iter
+    (fun r ->
+      let old_phys = r.phys in
+      match move_region t ~base:r.logical with
+      | Some new_phys when new_phys < old_phys -> incr moved
+      | Some _ ->
+          (* Went up: undo by moving back is wasteful; accept only
+             downward moves by moving again (the old block is free
+             now, so this lands at or below). *)
+          (match move_region t ~base:r.logical with
+          | Some p when p < old_phys -> incr moved
+          | _ -> ())
+      | None -> ())
+    by_phys;
+  !moved

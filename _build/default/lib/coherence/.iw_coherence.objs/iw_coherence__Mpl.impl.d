@@ -1,0 +1,1 @@
+lib/coherence/mpl.ml: Array List Machine Printf

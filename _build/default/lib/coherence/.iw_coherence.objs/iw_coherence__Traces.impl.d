@@ -1,0 +1,1 @@
+lib/coherence/traces.ml: Array Hashtbl Iw_engine List Machine Rng

@@ -1,0 +1,1 @@
+lib/coherence/traces.mli: Machine

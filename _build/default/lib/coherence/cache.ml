@@ -1,0 +1,101 @@
+type state = Modified | Exclusive | Shared_state | Invalid
+
+type way = { mutable tag : int; mutable st : state; mutable lru : int }
+
+type t = {
+  sets : int;
+  ways : way array array;  (* sets x ways *)
+  line_bytes : int;
+  mutable clock : int;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let create ~size_kb ~ways ~line_bytes =
+  if not (is_pow2 line_bytes) then
+    invalid_arg "Cache.create: line size must be a power of two";
+  let total_lines = size_kb * 1024 / line_bytes in
+  if total_lines mod ways <> 0 then
+    invalid_arg "Cache.create: lines not divisible by ways";
+  let sets = total_lines / ways in
+  {
+    sets;
+    ways =
+      Array.init sets (fun _ ->
+          Array.init ways (fun _ -> { tag = -1; st = Invalid; lru = 0 }));
+    line_bytes;
+    clock = 0;
+  }
+
+let line_of_addr t addr = addr / t.line_bytes
+
+let set_of_line t line = line mod t.sets
+
+let find t line =
+  let set = t.ways.(set_of_line t line) in
+  let rec go i =
+    if i >= Array.length set then None
+    else if set.(i).tag = line && set.(i).st <> Invalid then Some set.(i)
+    else go (i + 1)
+  in
+  go 0
+
+let touch t w =
+  t.clock <- t.clock + 1;
+  w.lru <- t.clock
+
+let lookup t addr =
+  let line = line_of_addr t addr in
+  match find t line with
+  | Some w ->
+      touch t w;
+      w.st
+  | None -> Invalid
+
+let install t addr st =
+  let line = line_of_addr t addr in
+  match find t line with
+  | Some w ->
+      w.st <- st;
+      touch t w;
+      None
+  | None ->
+      let set = t.ways.(set_of_line t line) in
+      (* Prefer an invalid way; otherwise evict the LRU one. *)
+      let victim = ref set.(0) in
+      Array.iter
+        (fun w ->
+          if w.st = Invalid then victim := w
+          else if !victim.st <> Invalid && w.lru < !victim.lru then victim := w)
+        set;
+      let evicted =
+        if !victim.st = Invalid then None else Some (!victim.tag, !victim.st)
+      in
+      !victim.tag <- line;
+      !victim.st <- st;
+      touch t !victim;
+      evicted
+
+let set_state t addr st =
+  match find t (line_of_addr t addr) with
+  | Some w -> w.st <- st
+  | None -> ()
+
+let invalidate t addr =
+  match find t (line_of_addr t addr) with
+  | Some w ->
+      w.st <- Invalid;
+      w.tag <- -1
+  | None -> ()
+
+let resident t addr = find t (line_of_addr t addr) <> None
+
+let lines t = t.sets * Array.length t.ways.(0)
+
+let fold t ~init ~f =
+  Array.fold_left
+    (fun acc set ->
+      Array.fold_left
+        (fun acc w -> if w.st <> Invalid then f acc w.tag w.st else acc)
+        acc set)
+    init t.ways

@@ -1,0 +1,359 @@
+type hint = Shared_data | Private_to of int | Read_only
+
+type deactivation = Off | Private_only | Private_and_ro
+
+type params = {
+  cores : int;
+  cores_per_socket : int;
+  cache_kb : int;
+  ways : int;
+  line_bytes : int;
+  l1_hit : int;
+  dir_lookup : int;
+  hop_latency : int;
+  mem_latency : int;
+  cache_to_cache : int;
+  inval_cost : int;
+  ctrl_energy : float;
+  data_energy : float;
+}
+
+let default_params ~cores ~cores_per_socket =
+  {
+    cores;
+    cores_per_socket;
+    cache_kb = 256;
+    ways = 8;
+    line_bytes = 64;
+    l1_hit = 4;
+    dir_lookup = 20;
+    hop_latency = 40;
+    mem_latency = 150;
+    cache_to_cache = 40;
+    inval_cost = 20;
+    ctrl_energy = 1.0;
+    data_energy = 4.0;
+  }
+
+type counters = {
+  accesses : int;
+  hits : int;
+  misses : int;
+  dir_requests : int;
+  invalidations : int;
+  data_transfers : int;
+  writebacks : int;
+  ctrl_msgs : int;
+  data_msgs : int;
+}
+
+type dstate = DOwned of int | DShared of int list
+
+type t = {
+  p : params;
+  deact : deactivation;
+  caches : Cache.t array;
+  dir : (int, dstate) Hashtbl.t;
+  tracked_lines : (int, unit) Hashtbl.t;
+  cycles : int array;
+  mutable c_accesses : int;
+  mutable c_hits : int;
+  mutable c_misses : int;
+  mutable c_dir : int;
+  mutable c_inval : int;
+  mutable c_data : int;
+  mutable c_wb : int;
+  mutable c_ctrl_msgs : int;
+  mutable c_data_msgs : int;
+  mutable energy : float;
+}
+
+let create ?params deact =
+  let p =
+    match params with
+    | Some p -> p
+    | None -> default_params ~cores:24 ~cores_per_socket:12
+  in
+  {
+    p;
+    deact;
+    caches =
+      Array.init p.cores (fun _ ->
+          Cache.create ~size_kb:p.cache_kb ~ways:p.ways ~line_bytes:p.line_bytes);
+    dir = Hashtbl.create (1 lsl 16);
+    tracked_lines = Hashtbl.create (1 lsl 16);
+    cycles = Array.make p.cores 0;
+    c_accesses = 0;
+    c_hits = 0;
+    c_misses = 0;
+    c_dir = 0;
+    c_inval = 0;
+    c_data = 0;
+    c_wb = 0;
+    c_ctrl_msgs = 0;
+    c_data_msgs = 0;
+    energy = 0.0;
+  }
+
+let params t = t.p
+
+let socket t core = core / t.p.cores_per_socket
+
+let hops t a b =
+  if a = b then 0 else if socket t a = socket t b then 1 else 3
+
+(* Home (directory slice / memory controller) of a line: address hash
+   across cores.  Deactivated private data is instead homed at its
+   owner — the first-touch placement a runtime that knows ownership
+   can guarantee. *)
+let home t line = line * 2654435761 mod t.p.cores |> abs
+
+let ctrl_msg t h =
+  if h > 0 then begin
+    t.c_ctrl_msgs <- t.c_ctrl_msgs + 1;
+    t.energy <- t.energy +. (t.p.ctrl_energy *. float_of_int h)
+  end
+
+let data_msg t h =
+  t.c_data_msgs <- t.c_data_msgs + 1;
+  if h > 0 then t.energy <- t.energy +. (t.p.data_energy *. float_of_int h)
+
+let charge t core c = t.cycles.(core) <- t.cycles.(core) + c
+
+(* Handle an eviction returned by Cache.install under tracked MESI. *)
+let tracked_evict t core = function
+  | None -> ()
+  | Some (line, st) -> (
+      match st with
+      | Cache.Modified ->
+          let h = hops t core (home t line) in
+          t.c_wb <- t.c_wb + 1;
+          data_msg t h;
+          Hashtbl.remove t.dir line
+      | Cache.Exclusive | Cache.Shared_state ->
+          (* Silent drop; the directory may retain a stale sharer,
+             which later invalidations handle as no-ops. *)
+          ()
+      | Cache.Invalid -> ())
+
+let deact_evict t core hint = function
+  | None -> ()
+  | Some (_line, Cache.Modified) ->
+      (* Write back to the local (private) or home (ro) memory. *)
+      let h = match hint with Private_to _ -> 0 | _ -> 1 in
+      t.c_wb <- t.c_wb + 1;
+      data_msg t h;
+      ignore core
+  | Some _ -> ()
+
+let sharers_of = function DOwned o -> [ o ] | DShared l -> l
+
+let is_deactivated t hint =
+  match (t.deact, hint) with
+  | Off, _ -> false
+  | (Private_only | Private_and_ro), Private_to _ -> true
+  | Private_and_ro, Read_only -> true
+  | Private_only, Read_only -> false
+  | _, Shared_data -> false
+
+let access t ~core ~addr ~write ~hint =
+  if core < 0 || core >= t.p.cores then invalid_arg "Machine.access: bad core";
+  t.c_accesses <- t.c_accesses + 1;
+  let cache = t.caches.(core) in
+  let line = Cache.line_of_addr cache addr in
+  if is_deactivated t hint then begin
+    (* Coherence off: no directory, no invalidations.  Private data is
+       homed locally; read-only data replicates freely. *)
+    (match hint with
+    | Read_only when write ->
+        invalid_arg "Machine.access: write to read-only-hinted data"
+    | _ -> ());
+    match Cache.lookup cache addr with
+    | Cache.Modified | Cache.Exclusive ->
+        t.c_hits <- t.c_hits + 1;
+        charge t core t.p.l1_hit;
+        if write then Cache.set_state cache addr Cache.Modified
+    | Cache.Shared_state ->
+        t.c_hits <- t.c_hits + 1;
+        charge t core t.p.l1_hit;
+        if write then Cache.set_state cache addr Cache.Modified
+    | Cache.Invalid ->
+        t.c_misses <- t.c_misses + 1;
+        let h = match hint with Private_to _ -> 0 | _ -> 1 in
+        charge t core (t.p.mem_latency + (2 * h * t.p.hop_latency));
+        t.c_data <- t.c_data + 1;
+        data_msg t h;
+        let st = if write then Cache.Modified else Cache.Exclusive in
+        deact_evict t core hint (Cache.install cache addr st)
+  end
+  else begin
+    (* Tracked MESI through the directory. *)
+    Hashtbl.replace t.tracked_lines line ();
+    match (Cache.lookup cache addr, write) with
+    | (Cache.Modified | Cache.Exclusive), false ->
+        t.c_hits <- t.c_hits + 1;
+        charge t core t.p.l1_hit
+    | Cache.Modified, true ->
+        t.c_hits <- t.c_hits + 1;
+        charge t core t.p.l1_hit
+    | Cache.Exclusive, true ->
+        t.c_hits <- t.c_hits + 1;
+        charge t core t.p.l1_hit;
+        Cache.set_state cache addr Cache.Modified
+    | Cache.Shared_state, false ->
+        t.c_hits <- t.c_hits + 1;
+        charge t core t.p.l1_hit
+    | Cache.Shared_state, true ->
+        (* Upgrade: invalidate the other sharers via the directory. *)
+        t.c_hits <- t.c_hits + 1;
+        t.c_dir <- t.c_dir + 1;
+        let hm = hops t core (home t line) in
+        ctrl_msg t hm;
+        charge t core ((2 * hm * t.p.hop_latency) + t.p.dir_lookup);
+        let others =
+          match Hashtbl.find_opt t.dir line with
+          | Some d -> List.filter (fun c -> c <> core) (sharers_of d)
+          | None -> []
+        in
+        let far = ref 0 in
+        List.iter
+          (fun o ->
+            t.c_inval <- t.c_inval + 1;
+            let ho = hops t (home t line) o in
+            ctrl_msg t ho;
+            (* ack *)
+            ctrl_msg t ho;
+            far := max !far ho;
+            Cache.invalidate t.caches.(o) addr)
+          others;
+        charge t core (t.p.inval_cost + (2 * !far * t.p.hop_latency));
+        Hashtbl.replace t.dir line (DOwned core);
+        Cache.set_state cache addr Cache.Modified
+    | Cache.Invalid, _ ->
+        t.c_misses <- t.c_misses + 1;
+        t.c_dir <- t.c_dir + 1;
+        let hm = hops t core (home t line) in
+        ctrl_msg t hm;
+        charge t core ((2 * hm * t.p.hop_latency) + t.p.dir_lookup);
+        let install st =
+          tracked_evict t core (Cache.install cache addr st)
+        in
+        (match Hashtbl.find_opt t.dir line with
+        | None ->
+            (* Memory at the home supplies the line. *)
+            charge t core t.p.mem_latency;
+            t.c_data <- t.c_data + 1;
+            data_msg t (max hm 1);
+            if write then begin
+              Hashtbl.replace t.dir line (DOwned core);
+              install Cache.Modified
+            end
+            else begin
+              Hashtbl.replace t.dir line (DOwned core);
+              install Cache.Exclusive
+            end
+        | Some d ->
+            let sharers = List.filter (fun c -> c <> core) (sharers_of d) in
+            if write then begin
+              (* Invalidate everyone; data comes cache-to-cache from
+                 the owner when there is one. *)
+              let far = ref 0 in
+              List.iter
+                (fun o ->
+                  t.c_inval <- t.c_inval + 1;
+                  let ho = hops t (home t line) o in
+                  ctrl_msg t ho;
+                  ctrl_msg t ho;
+                  far := max !far ho;
+                  Cache.invalidate t.caches.(o) addr)
+                sharers;
+              (match (d, sharers) with
+              | DOwned o, _ when o <> core ->
+                  charge t core
+                    (t.p.cache_to_cache + (hops t o core * t.p.hop_latency));
+                  t.c_data <- t.c_data + 1;
+                  data_msg t (max (hops t o core) 1)
+              | _ ->
+                  charge t core t.p.mem_latency;
+                  t.c_data <- t.c_data + 1;
+                  data_msg t (max hm 1));
+              charge t core (t.p.inval_cost + (2 * !far * t.p.hop_latency));
+              Hashtbl.replace t.dir line (DOwned core);
+              install Cache.Modified
+            end
+            else begin
+              (match d with
+              | DOwned o when o <> core ->
+                  (* Forward; owner downgrades, modified data written
+                     back home. *)
+                  let fwd = hops t (home t line) o in
+                  ctrl_msg t fwd;
+                  charge t core
+                    (t.p.cache_to_cache
+                    + ((fwd + hops t o core) * t.p.hop_latency));
+                  t.c_data <- t.c_data + 1;
+                  data_msg t (max (hops t o core) 1);
+                  if Cache.lookup t.caches.(o) addr = Cache.Modified then begin
+                    t.c_wb <- t.c_wb + 1;
+                    data_msg t fwd
+                  end;
+                  Cache.set_state t.caches.(o) addr Cache.Shared_state;
+                  Hashtbl.replace t.dir line (DShared [ o; core ])
+              | DOwned _ ->
+                  charge t core t.p.mem_latency;
+                  t.c_data <- t.c_data + 1;
+                  data_msg t (max hm 1);
+                  Hashtbl.replace t.dir line (DOwned core)
+              | DShared l ->
+                  charge t core t.p.mem_latency;
+                  t.c_data <- t.c_data + 1;
+                  data_msg t (max hm 1);
+                  Hashtbl.replace t.dir line
+                    (DShared (core :: List.filter (fun c -> c <> core) l)));
+              install Cache.Shared_state
+            end)
+  end
+
+let core_cycles t core = t.cycles.(core)
+
+let makespan t = Array.fold_left max 0 t.cycles
+
+let counters t =
+  {
+    accesses = t.c_accesses;
+    hits = t.c_hits;
+    misses = t.c_misses;
+    dir_requests = t.c_dir;
+    invalidations = t.c_inval;
+    data_transfers = t.c_data;
+    writebacks = t.c_wb;
+    ctrl_msgs = t.c_ctrl_msgs;
+    data_msgs = t.c_data_msgs;
+  }
+
+let interconnect_energy t = t.energy
+
+(* Single-writer-multiple-reader: for every line that has ever been
+   coherence-tracked, an M or E copy in one cache excludes any copy in
+   any other cache. *)
+let swmr_holds t =
+  let holders = Hashtbl.create 64 in
+  Array.iteri
+    (fun core cache ->
+      Cache.fold cache ~init:() ~f:(fun () line st ->
+          if Hashtbl.mem t.tracked_lines line then begin
+            let cur = try Hashtbl.find holders line with Not_found -> [] in
+            Hashtbl.replace holders line ((core, st) :: cur)
+          end))
+    t.caches;
+  Hashtbl.fold
+    (fun _line copies ok ->
+      ok
+      &&
+      let exclusive =
+        List.exists
+          (fun (_, st) -> st = Cache.Modified || st = Cache.Exclusive)
+          copies
+      in
+      (not exclusive) || List.length copies = 1)
+    holders true

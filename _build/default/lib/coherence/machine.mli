@@ -1,0 +1,64 @@
+(** MESI + directory coherence with selective deactivation (§V-B).
+
+    Cores issue (address, read/write) accesses carrying a {e hint}
+    from the language runtime: data known private to one core, data
+    known immutable, or ordinary shared data.  Baseline MESI tracks
+    everything in the directory; with deactivation enabled, hinted
+    classes bypass coherence entirely — private data is homed and
+    fetched locally with no directory indirection, read-only data is
+    replicated without sharer tracking.  Cycles, protocol messages,
+    and interconnect energy are all counted per access, so the
+    speedup and energy claims of Fig. 7 fall out of message
+    arithmetic, not curve fitting. *)
+
+type hint = Shared_data | Private_to of int | Read_only
+
+type deactivation = Off | Private_only | Private_and_ro
+
+type params = {
+  cores : int;
+  cores_per_socket : int;
+  cache_kb : int;  (** Private cache per core. *)
+  ways : int;
+  line_bytes : int;
+  l1_hit : int;
+  dir_lookup : int;
+  hop_latency : int;  (** One interconnect hop, one way. *)
+  mem_latency : int;
+  cache_to_cache : int;
+  inval_cost : int;  (** Per invalidation target. *)
+  ctrl_energy : float;  (** Per control message per hop. *)
+  data_energy : float;  (** Per data message per hop. *)
+}
+
+val default_params : cores:int -> cores_per_socket:int -> params
+
+type counters = {
+  accesses : int;
+  hits : int;
+  misses : int;
+  dir_requests : int;
+  invalidations : int;
+  data_transfers : int;
+  writebacks : int;
+  ctrl_msgs : int;
+  data_msgs : int;
+}
+
+type t
+
+val create : ?params:params -> deactivation -> t
+val params : t -> params
+val access : t -> core:int -> addr:int -> write:bool -> hint:hint -> unit
+val core_cycles : t -> int -> int
+val makespan : t -> int
+(** Max per-core cycle total: the simulated execution time. *)
+
+val counters : t -> counters
+val interconnect_energy : t -> float
+
+val swmr_holds : t -> bool
+(** The single-writer-multiple-reader invariant over every line that
+    has ever been coherence-tracked: an M/E copy excludes all other
+    copies.  Deactivated (hinted) lines are exempt by design — that
+    is what deactivation means. *)

@@ -1,0 +1,211 @@
+open Iw_engine
+
+type mix = {
+  private_frac : float;
+  ro_frac : float;
+  private_ws_kb : int;
+  ro_kb : int;
+  shared_kb : int;
+  write_frac_private : float;
+  write_frac_shared : float;
+  locality : float;
+}
+
+type bench = { bench_name : string; mix : mix; accesses_per_core : int }
+
+let mk name ?(accesses = 40_000) mix = { bench_name = name; mix; accesses_per_core = accesses }
+
+let samplesort =
+  mk "samplesort"
+    {
+      private_frac = 0.84;
+      ro_frac = 0.10;
+      private_ws_kb = 2048;
+      ro_kb = 4096;
+      shared_kb = 64;
+      write_frac_private = 0.45;
+      write_frac_shared = 0.30;
+      locality = 0.86;
+    }
+
+let bfs =
+  mk "bfs"
+    {
+      private_frac = 0.70;
+      ro_frac = 0.22;
+      private_ws_kb = 1024;
+      ro_kb = 8192;
+      shared_kb = 128;
+      write_frac_private = 0.35;
+      write_frac_shared = 0.50;
+      locality = 0.70;
+    }
+
+let mis =
+  mk "mis"
+    {
+      private_frac = 0.72;
+      ro_frac = 0.18;
+      private_ws_kb = 1024;
+      ro_kb = 4096;
+      shared_kb = 96;
+      write_frac_private = 0.40;
+      write_frac_shared = 0.45;
+      locality = 0.74;
+    }
+
+let convex_hull =
+  mk "convex-hull"
+    {
+      private_frac = 0.86;
+      ro_frac = 0.10;
+      private_ws_kb = 1536;
+      ro_kb = 4096;
+      shared_kb = 48;
+      write_frac_private = 0.40;
+      write_frac_shared = 0.25;
+      locality = 0.90;
+    }
+
+let remove_duplicates =
+  mk "dedup"
+    {
+      private_frac = 0.76;
+      ro_frac = 0.12;
+      private_ws_kb = 2048;
+      ro_kb = 2048;
+      shared_kb = 256;
+      write_frac_private = 0.50;
+      write_frac_shared = 0.55;
+      locality = 0.66;
+    }
+
+let suffix_array =
+  mk "suffix-array"
+    {
+      private_frac = 0.80;
+      ro_frac = 0.14;
+      private_ws_kb = 3072;
+      ro_kb = 6144;
+      shared_kb = 64;
+      write_frac_private = 0.45;
+      write_frac_shared = 0.30;
+      locality = 0.80;
+    }
+
+let nbody =
+  mk "nbody"
+    {
+      private_frac = 0.78;
+      ro_frac = 0.18;
+      private_ws_kb = 1024;
+      ro_kb = 3072;
+      shared_kb = 32;
+      write_frac_private = 0.30;
+      write_frac_shared = 0.20;
+      locality = 0.93;
+    }
+
+let word_counts =
+  mk "word-counts"
+    {
+      private_frac = 0.74;
+      ro_frac = 0.16;
+      private_ws_kb = 1536;
+      ro_kb = 8192;
+      shared_kb = 192;
+      write_frac_private = 0.55;
+      write_frac_shared = 0.50;
+      locality = 0.72;
+    }
+
+let pbbs_suite =
+  [
+    samplesort;
+    bfs;
+    mis;
+    convex_hull;
+    remove_duplicates;
+    suffix_array;
+    nbody;
+    word_counts;
+  ]
+
+(* Address-space layout: generous, collision-free gaps. *)
+let private_base core = (core + 1) * (1 lsl 30)
+let ro_base = 1 lsl 28
+let shared_base = 1 lsl 27
+
+let gen_access mix rng ~core =
+  let in_region base size_kb hot_kb =
+    let size = size_kb * 1024 in
+    let hot = max 64 (min size (hot_kb * 1024)) in
+    if Rng.float rng 1.0 < mix.locality then base + Rng.int rng hot
+    else base + Rng.int rng size
+  in
+  let r = Rng.float rng 1.0 in
+  if r < mix.private_frac then
+    let addr = in_region (private_base core) mix.private_ws_kb 64 in
+    (addr, Rng.float rng 1.0 < mix.write_frac_private, Machine.Private_to core)
+  else if r < mix.private_frac +. mix.ro_frac then
+    let addr = in_region ro_base mix.ro_kb 64 in
+    (addr, false, Machine.Read_only)
+  else
+    let addr = in_region shared_base mix.shared_kb mix.shared_kb in
+    (addr, Rng.float rng 1.0 < mix.write_frac_shared, Machine.Shared_data)
+
+let run_bench ?(seed = 42) ~params deact bench =
+  let m = Machine.create ~params deact in
+  let cores = params.Machine.cores in
+  let rngs =
+    Array.init cores (fun c -> Rng.create ~seed:(seed + (1000 * c) + Hashtbl.hash bench.bench_name))
+  in
+  (* Interleave cores round-robin so contention patterns overlap. *)
+  for _ = 1 to bench.accesses_per_core do
+    for core = 0 to cores - 1 do
+      let addr, write, hint = gen_access bench.mix rngs.(core) ~core in
+      Machine.access m ~core ~addr ~write ~hint
+    done
+  done;
+  m
+
+type row = {
+  bench : string;
+  base_cycles : int;
+  deact_cycles : int;
+  speedup : float;
+  base_energy : float;
+  deact_energy : float;
+  energy_reduction_pct : float;
+  base_invalidations : int;
+  deact_invalidations : int;
+}
+
+let fig7 ?(seed = 42) ?(deactivation = Machine.Private_and_ro) ~params () =
+  List.map
+    (fun bench ->
+      let base = run_bench ~seed ~params Machine.Off bench in
+      let deact = run_bench ~seed ~params deactivation bench in
+      let bc = Machine.makespan base and dc = Machine.makespan deact in
+      let be = Machine.interconnect_energy base in
+      let de = Machine.interconnect_energy deact in
+      {
+        bench = bench.bench_name;
+        base_cycles = bc;
+        deact_cycles = dc;
+        speedup = float_of_int bc /. float_of_int (max 1 dc);
+        base_energy = be;
+        deact_energy = de;
+        energy_reduction_pct = 100.0 *. (1.0 -. (de /. max 1e-9 be));
+        base_invalidations = (Machine.counters base).invalidations;
+        deact_invalidations = (Machine.counters deact).invalidations;
+      })
+    pbbs_suite
+
+let average_speedup rows =
+  List.fold_left (fun a r -> a +. r.speedup) 0.0 rows
+  /. float_of_int (List.length rows)
+
+let average_energy_reduction rows =
+  List.fold_left (fun a r -> a +. r.energy_reduction_pct) 0.0 rows
+  /. float_of_int (List.length rows)

@@ -1,0 +1,1 @@
+lib/core/stack.ml: Iw_hw Iw_ir Iw_kernel Iw_mem Printf

@@ -1,0 +1,1 @@
+lib/core/stack.mli: Iw_hw Iw_kernel Iw_mem

@@ -1,0 +1,23 @@
+(** The experiment registry: one entry per table/figure reproduced
+    from the paper (E1..E12) plus ablations of the design choices
+    DESIGN.md calls out (A1..A4).
+
+    Every experiment is deterministic (fixed seeds) and returns
+    rendered {!Table.t}s; the benchmark harness and the CLI both drive
+    this registry. *)
+
+type experiment = {
+  id : string;  (** "E1".."E12", "A1".."A4" *)
+  title : string;
+  paper_claim : string;  (** What the paper reports, for comparison. *)
+  tables : unit -> Table.t list;  (** Run it. *)
+}
+
+val all : unit -> experiment list
+(** In id order. *)
+
+val find : string -> experiment
+(** @raise Not_found *)
+
+val run_to_string : experiment -> string
+(** Header + every table, rendered. *)

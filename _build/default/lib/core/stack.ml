@@ -1,0 +1,89 @@
+type os_choice = Nautilus | Linux | Linux_rt
+
+type memory_choice = Demand_paging | Identity_mapped | Carat
+
+type timing_choice = Hardware_timer | Compiler_timed of { check_budget : int }
+
+type event_choice = Signal_chain | Ipi_broadcast | Pipeline_interrupts
+
+type t = {
+  platform : Iw_hw.Platform.t;
+  os : os_choice;
+  memory : memory_choice;
+  timing : timing_choice;
+  events : event_choice;
+}
+
+let commodity platform =
+  {
+    platform;
+    os = Linux;
+    memory = Demand_paging;
+    timing = Hardware_timer;
+    events = Signal_chain;
+  }
+
+let interwoven platform =
+  {
+    platform;
+    os = Nautilus;
+    memory = Carat;
+    timing = Compiler_timed { check_budget = 2000 };
+    events = Ipi_broadcast;
+  }
+
+let describe t =
+  Printf.sprintf "%s on %s: %s memory, %s timing, %s events"
+    (match t.os with
+    | Nautilus -> "nautilus"
+    | Linux -> "linux"
+    | Linux_rt -> "linux-rt")
+    t.platform.Iw_hw.Platform.name
+    (match t.memory with
+    | Demand_paging -> "demand-paged"
+    | Identity_mapped -> "identity-mapped"
+    | Carat -> "carat-guarded")
+    (match t.timing with
+    | Hardware_timer -> "hw-timer"
+    | Compiler_timed { check_budget } ->
+        Printf.sprintf "compiler-timed(%d)" check_budget)
+    (match t.events with
+    | Signal_chain -> "signal-chain"
+    | Ipi_broadcast -> "ipi-broadcast"
+    | Pipeline_interrupts -> "pipeline-interrupt")
+
+let personality t =
+  match t.os with
+  | Nautilus -> Iw_kernel.Os.nautilus t.platform
+  | Linux -> Iw_kernel.Os.linux t.platform
+  | Linux_rt -> Iw_kernel.Os.linux_rt t.platform
+
+let boot ?seed ?quantum_us t =
+  Iw_kernel.Sched.boot ?seed ?quantum_us ~personality:(personality t) t.platform
+
+let address_space t =
+  let regime =
+    match t.memory with
+    | Demand_paging -> Iw_mem.Address_space.Demand_paged
+    | Identity_mapped -> Iw_mem.Address_space.Identity_large
+    | Carat -> Iw_mem.Address_space.Carat_guarded
+  in
+  Iw_mem.Address_space.create t.platform regime
+
+let event_delivery_cycles t =
+  let c = t.platform.Iw_hw.Platform.costs in
+  match t.events with
+  | Signal_chain ->
+      c.interrupt_dispatch + c.signal_deliver + c.signal_return
+      + c.kernel_entry + c.kernel_exit
+  | Ipi_broadcast -> c.ipi_send + c.ipi_latency + c.interrupt_dispatch
+  | Pipeline_interrupts ->
+      (Iw_hw.Pipeline_interrupt.deliver t.platform
+         Iw_hw.Pipeline_interrupt.Branch_injected)
+        .total_cycles
+
+let timer_mechanism_cost t =
+  let c = t.platform.Iw_hw.Platform.costs in
+  match t.timing with
+  | Hardware_timer -> c.interrupt_dispatch + c.interrupt_return
+  | Compiler_timed _ -> Iw_ir.Cost.callback + 20

@@ -1,0 +1,53 @@
+type t = {
+  title : string;
+  headers : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let make ~title ~headers ?(notes = []) rows =
+  List.iter
+    (fun row ->
+      if List.length row <> List.length headers then
+        invalid_arg
+          (Printf.sprintf "Table.make (%s): row width %d <> header width %d"
+             title (List.length row) (List.length headers)))
+    rows;
+  { title; headers; rows; notes }
+
+let widths t =
+  let all = t.headers :: t.rows in
+  List.mapi
+    (fun i _ ->
+      List.fold_left (fun acc row -> max acc (String.length (List.nth row i))) 0 all)
+    t.headers
+
+let pad width s = s ^ String.make (max 0 (width - String.length s)) ' '
+
+let render t =
+  let ws = widths t in
+  let render_row row = String.concat "  " (List.map2 pad ws row) in
+  let sep = String.concat "  " (List.map (fun w -> String.make w '-') ws) in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  Buffer.add_string buf (render_row t.headers ^ "\n");
+  Buffer.add_string buf (sep ^ "\n");
+  List.iter (fun r -> Buffer.add_string buf (render_row r ^ "\n")) t.rows;
+  List.iter (fun n -> Buffer.add_string buf ("  note: " ^ n ^ "\n")) t.notes;
+  Buffer.contents buf
+
+let to_markdown t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("### " ^ t.title ^ "\n\n");
+  Buffer.add_string buf ("| " ^ String.concat " | " t.headers ^ " |\n");
+  Buffer.add_string buf
+    ("|" ^ String.concat "|" (List.map (fun _ -> "---") t.headers) ^ "|\n");
+  List.iter
+    (fun r -> Buffer.add_string buf ("| " ^ String.concat " | " r ^ " |\n"))
+    t.rows;
+  List.iter (fun n -> Buffer.add_string buf ("\n_" ^ n ^ "_\n")) t.notes;
+  Buffer.contents buf
+
+let cell_f x = Printf.sprintf "%.2f" x
+let cell_pct x = Printf.sprintf "%.1f%%" x
+let cell_i = string_of_int

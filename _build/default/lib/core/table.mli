@@ -1,0 +1,22 @@
+(** Plain-text and Markdown table rendering for experiment output. *)
+
+type t = {
+  title : string;
+  headers : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+val make : title:string -> headers:string list -> ?notes:string list ->
+  string list list -> t
+
+val render : t -> string
+(** Aligned monospace text. *)
+
+val to_markdown : t -> string
+
+val cell_f : float -> string
+(** Two-decimal float cell. *)
+
+val cell_pct : float -> string
+val cell_i : int -> string

@@ -1,0 +1,55 @@
+module Request = struct
+  type _ t = ..
+end
+
+type status = Done | Failed of exn | Paused of paused
+
+and paused =
+  | Consumed of int * (unit -> status)
+  | Yielded of (unit -> status)
+  | Requested : 'a Request.t * ('a -> status) -> paused
+
+exception Not_in_coroutine
+
+type _ Effect.t +=
+  | Consume : int -> unit Effect.t
+  | Yield : unit Effect.t
+  | Request : 'a Request.t -> 'a Effect.t
+
+open Effect.Deep
+
+let start f =
+  match_with f ()
+    {
+      retc = (fun () -> Done);
+      exnc = (fun e -> Failed e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Consume n ->
+              Some
+                (fun (k : (a, status) continuation) ->
+                  Paused (Consumed (n, fun () -> continue k ())))
+          | Yield ->
+              Some
+                (fun (k : (a, status) continuation) ->
+                  Paused (Yielded (fun () -> continue k ())))
+          | Request r ->
+              Some
+                (fun (k : (a, status) continuation) ->
+                  Paused (Requested (r, fun v -> continue k v)))
+          | _ -> None);
+    }
+
+let consume n =
+  if n < 0 then invalid_arg "Coro.consume: negative cycles";
+  if n > 0 then
+    try Effect.perform (Consume n)
+    with Effect.Unhandled _ -> raise Not_in_coroutine
+
+let yield () =
+  try Effect.perform Yield with Effect.Unhandled _ -> raise Not_in_coroutine
+
+let request r =
+  try Effect.perform (Request r)
+  with Effect.Unhandled _ -> raise Not_in_coroutine

@@ -1,0 +1,51 @@
+(** Simulated threads as effect-based coroutines.
+
+    Code running inside a coroutine models the passage of time by
+    performing [consume n] ("burn [n] cycles of CPU"), cooperates with
+    [yield], and talks to whatever scheduler is driving it through
+    typed {!Request} values.  The scheduler receives a {!status} each
+    time the coroutine suspends, and decides when (in virtual time)
+    and where (on which simulated core) to continue it.
+
+    Requests are an open (extensible) GADT: each kernel model extends
+    [Request.t] with its own operations (spawn, lock, wait, ...) and
+    interprets them in its scheduling loop.  The coroutine layer is
+    policy-free. *)
+
+module Request : sig
+  type _ t = ..
+  (** Extensible scheduler-request type.  ['a] is the reply type. *)
+end
+
+type status =
+  | Done
+  | Failed of exn
+  | Paused of paused
+
+and paused =
+  | Consumed of int * (unit -> status)
+      (** The coroutine asked to burn [n] cycles.  Call the
+          continuation once the full quantum has been granted (the
+          scheduler is free to split it across preemptions; it tracks
+          the remainder itself). *)
+  | Yielded of (unit -> status)
+      (** Cooperative yield point. *)
+  | Requested : 'a Request.t * ('a -> status) -> paused
+      (** A typed request; continue with the reply. *)
+
+val start : (unit -> unit) -> status
+(** Run a coroutine until its first suspension (or completion). *)
+
+val consume : int -> unit
+(** Within a coroutine: account [n >= 0] cycles of simulated CPU
+    work.  [consume 0] is a no-op that does not suspend. *)
+
+val yield : unit -> unit
+(** Within a coroutine: offer the scheduler a switch point. *)
+
+val request : 'a Request.t -> 'a
+(** Within a coroutine: perform a scheduler request and wait for its
+    reply. *)
+
+exception Not_in_coroutine
+(** Raised when [consume]/[yield]/[request] is used outside [start]. *)

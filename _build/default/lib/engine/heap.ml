@@ -1,0 +1,86 @@
+type ('k, 'v) t = {
+  cmp : 'k -> 'k -> int;
+  mutable keys : 'k array;
+  mutable vals : 'v array;
+  mutable size : int;
+}
+
+let create ?(capacity = 16) ~cmp () =
+  ignore capacity;
+  { cmp; keys = [||]; vals = [||]; size = 0 }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+let grow t k v =
+  let cap = max 16 (2 * Array.length t.keys) in
+  let keys = Array.make cap k and vals = Array.make cap v in
+  Array.blit t.keys 0 keys 0 t.size;
+  Array.blit t.vals 0 vals 0 t.size;
+  t.keys <- keys;
+  t.vals <- vals
+
+let swap t i j =
+  let k = t.keys.(i) and v = t.vals.(i) in
+  t.keys.(i) <- t.keys.(j);
+  t.vals.(i) <- t.vals.(j);
+  t.keys.(j) <- k;
+  t.vals.(j) <- v
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.cmp t.keys.(i) t.keys.(parent) < 0 then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && t.cmp t.keys.(l) t.keys.(!smallest) < 0 then smallest := l;
+  if r < t.size && t.cmp t.keys.(r) t.keys.(!smallest) < 0 then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t k v =
+  if t.size = Array.length t.keys then grow t k v;
+  t.keys.(t.size) <- k;
+  t.vals.(t.size) <- v;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let peek t = if t.size = 0 then None else Some (t.keys.(0), t.vals.(0))
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let k = t.keys.(0) and v = t.vals.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.keys.(0) <- t.keys.(t.size);
+      t.vals.(0) <- t.vals.(t.size);
+      sift_down t 0
+    end;
+    Some (k, v)
+  end
+
+let clear t = t.size <- 0
+
+let to_sorted_list t =
+  let copy =
+    {
+      cmp = t.cmp;
+      keys = Array.sub t.keys 0 t.size;
+      vals = Array.sub t.vals 0 t.size;
+      size = t.size;
+    }
+  in
+  let rec drain acc =
+    match pop copy with None -> List.rev acc | Some kv -> drain (kv :: acc)
+  in
+  drain []

@@ -1,0 +1,25 @@
+(** Array-backed binary min-heap, polymorphic in the element type.
+
+    The simulator's event queue keys events by [(time, sequence)]
+    pairs; the heap is generic over any ordered key. *)
+
+type ('k, 'v) t
+
+val create : ?capacity:int -> cmp:('k -> 'k -> int) -> unit -> ('k, 'v) t
+
+val length : ('k, 'v) t -> int
+
+val is_empty : ('k, 'v) t -> bool
+
+val push : ('k, 'v) t -> 'k -> 'v -> unit
+
+val peek : ('k, 'v) t -> ('k * 'v) option
+(** Smallest key, without removing it. *)
+
+val pop : ('k, 'v) t -> ('k * 'v) option
+(** Remove and return the smallest key. *)
+
+val clear : ('k, 'v) t -> unit
+
+val to_sorted_list : ('k, 'v) t -> ('k * 'v) list
+(** Non-destructive: all entries in ascending key order. *)

@@ -1,0 +1,49 @@
+(** Deterministic pseudo-random number generation for simulations.
+
+    Every stochastic decision in the simulator draws from an explicit
+    [Rng.t] so that a run is reproducible from its seed alone.  The
+    generator is splitmix64: tiny state, good statistical quality for
+    simulation purposes, and trivially splittable. *)
+
+type t
+
+val create : seed:int -> t
+(** [create ~seed] returns a fresh generator.  Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** [copy t] duplicates the generator state; the copy and the original
+    produce identical streams from this point onward. *)
+
+val split : t -> t
+(** [split t] derives an independent generator from [t], advancing
+    [t].  Use it to give subsystems their own streams so that adding
+    draws in one subsystem does not perturb another. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be
+    positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val gaussian : t -> mu:float -> sigma:float -> float
+(** Box-Muller normal deviate. *)
+
+val exponential : t -> mean:float -> float
+(** Exponential deviate with the given mean. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array.  @raise Invalid_argument on
+    an empty array. *)

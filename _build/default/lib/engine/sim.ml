@@ -1,0 +1,98 @@
+type event = {
+  time : int;
+  seq : int;
+  mutable cancelled : bool;
+  action : unit -> unit;
+}
+
+type t = {
+  mutable now : int;
+  mutable seq : int;
+  mutable live : int;
+  queue : (int * int, event) Heap.t;
+  root_rng : Rng.t;
+}
+
+let key_cmp (t1, s1) (t2, s2) =
+  match compare t1 t2 with 0 -> compare s1 s2 | c -> c
+
+let create ?(seed = 42) () =
+  {
+    now = 0;
+    seq = 0;
+    live = 0;
+    queue = Heap.create ~cmp:key_cmp ();
+    root_rng = Rng.create ~seed;
+  }
+
+let now t = t.now
+
+let rng t = t.root_rng
+
+let schedule t ~at action =
+  if at < t.now then
+    invalid_arg
+      (Printf.sprintf "Sim.schedule: time %d is in the past (now=%d)" at t.now);
+  let ev = { time = at; seq = t.seq; cancelled = false; action } in
+  t.seq <- t.seq + 1;
+  t.live <- t.live + 1;
+  Heap.push t.queue (at, ev.seq) ev;
+  ev
+
+let schedule_after t dt action =
+  if dt < 0 then invalid_arg "Sim.schedule_after: negative delay";
+  schedule t ~at:(t.now + dt) action
+
+let cancel ev =
+  ev.cancelled <- true
+
+let cancelled ev = ev.cancelled
+
+(* [live] over-counts by the number of cancelled-but-queued events, so
+   recompute lazily from the queue when asked. *)
+let pending t =
+  List.length
+    (List.filter (fun (_, ev) -> not ev.cancelled) (Heap.to_sorted_list t.queue))
+
+let step t =
+  let rec next () =
+    match Heap.pop t.queue with
+    | None -> false
+    | Some (_, ev) when ev.cancelled ->
+        t.live <- t.live - 1;
+        next ()
+    | Some ((time, _), ev) ->
+        t.now <- time;
+        t.live <- t.live - 1;
+        ev.action ();
+        true
+  in
+  next ()
+
+let exhausted t =
+  let rec peek_live () =
+    match Heap.peek t.queue with
+    | None -> true
+    | Some (_, ev) when ev.cancelled ->
+        ignore (Heap.pop t.queue);
+        peek_live ()
+    | Some _ -> false
+  in
+  peek_live ()
+
+let run ?until ?max_events t =
+  let fired = ref 0 in
+  let within_budget () =
+    match max_events with None -> true | Some m -> !fired < m
+  in
+  let before_horizon () =
+    match until with
+    | None -> true
+    | Some horizon -> (
+        match Heap.peek t.queue with
+        | None -> false
+        | Some ((time, _), _) -> time <= horizon)
+  in
+  while (not (exhausted t)) && within_budget () && before_horizon () do
+    if step t then incr fired
+  done

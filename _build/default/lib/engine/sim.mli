@@ -1,0 +1,50 @@
+(** Deterministic discrete-event simulation core.
+
+    Virtual time is an integer count of cycles.  Events are totally
+    ordered by [(time, sequence-number)], so two runs of the same
+    program with the same seed produce identical schedules.  Events
+    may be cancelled after being scheduled (cancellation is lazy: the
+    entry stays in the queue but its action is skipped). *)
+
+type t
+
+type event
+(** Handle to a scheduled event, usable for cancellation. *)
+
+val create : ?seed:int -> unit -> t
+(** Fresh simulator at time 0.  [seed] (default 42) seeds the
+    simulator's root RNG. *)
+
+val now : t -> int
+(** Current virtual time, in cycles. *)
+
+val rng : t -> Rng.t
+(** The simulator's root RNG.  Subsystems should [Rng.split] it. *)
+
+val schedule : t -> at:int -> (unit -> unit) -> event
+(** [schedule t ~at f] runs [f] at virtual time [at].  @raise
+    Invalid_argument if [at] is in the past. *)
+
+val schedule_after : t -> int -> (unit -> unit) -> event
+(** [schedule_after t dt f] = [schedule t ~at:(now t + dt) f]. *)
+
+val cancel : event -> unit
+(** Cancel a pending event.  Cancelling an already-fired or
+    already-cancelled event is a no-op. *)
+
+val cancelled : event -> bool
+
+val pending : t -> int
+(** Number of not-yet-fired, not-cancelled events. *)
+
+val step : t -> bool
+(** Fire the next event.  Returns [false] when the queue is empty. *)
+
+val run : ?until:int -> ?max_events:int -> t -> unit
+(** Drain the event queue.  [until] stops the clock at that time (the
+    event at [until] itself still fires, later ones do not and remain
+    queued); [max_events] bounds the number of fired events (guards
+    against accidental non-termination in tests). *)
+
+val exhausted : t -> bool
+(** True when no live events remain. *)

@@ -1,0 +1,1 @@
+lib/heartbeat/deque.ml: List

@@ -1,0 +1,1 @@
+lib/heartbeat/tpal.ml: Api Array Coro Deque Ipi Iw_engine Iw_hw Iw_kernel Iw_linuxsim Lapic List Os Platform Printf Rng Sched Sim Stats

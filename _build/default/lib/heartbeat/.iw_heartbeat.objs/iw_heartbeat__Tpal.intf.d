@@ -1,0 +1,1 @@
+lib/heartbeat/tpal.mli: Iw_hw

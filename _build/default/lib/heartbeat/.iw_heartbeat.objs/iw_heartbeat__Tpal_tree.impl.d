@@ -1,0 +1,1 @@
+lib/heartbeat/tpal_tree.ml: Api Array Coro Deque Ipi Iw_engine Iw_hw Iw_kernel Lapic List Os Platform Printf Rng Sched Sim

@@ -1,0 +1,1 @@
+lib/heartbeat/tpal_tree.mli: Iw_hw

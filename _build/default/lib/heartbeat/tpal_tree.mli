@@ -1,0 +1,55 @@
+(** Heartbeat scheduling for nested fork-join programs (§IV-B).
+
+    The range-based module ({!Tpal}) covers parallel loops; this one
+    covers the recursive case the heartbeat papers are actually proved
+    for: a fork-join {e tree} in which every potential fork starts out
+    {e latent} — executed in-line, depth-first, like a sequential
+    program — and a heartbeat {e promotes} one latent frame into a
+    real, stealable task.
+
+    The promotion rule matters: heartbeat scheduling promotes the
+    {b oldest} latent frame (the shallowest unforked call), which
+    yields large tasks, few promotions, and the provable bounds.
+    {!policy} exposes promote-newest as the ablation foil (many small
+    tasks, more steals). *)
+
+type node = { work : int; children : (unit -> node) list }
+(** A tree node: [work] cycles of sequential body, then the (lazily
+    generated) children, each a latent fork. *)
+
+type bench = { tree_name : string; root : unit -> node }
+
+val fib : ?leaf_work:int -> ?node_work:int -> int -> bench
+(** The canonical heartbeat benchmark: binary recursion of depth [n]. *)
+
+val skewed : ?depth:int -> ?fanout:int -> unit -> bench
+(** An unbalanced tree: one heavy spine with light side branches —
+    adversarial for eager task creation. *)
+
+val total_nodes : bench -> int
+val total_work : bench -> int
+(** Both force the whole tree once (the trees are deterministic). *)
+
+type policy = Promote_oldest | Promote_newest
+
+type config = {
+  workers : int;
+  heartbeat_us : float;
+  policy : policy;
+  seed : int;
+}
+
+type report = {
+  bench : string;
+  policy : policy;
+  workers : int;
+  elapsed_cycles : int;
+  nodes_run : int;
+  promotions : int;
+  steals : int;
+  overhead_pct : float;
+  speedup_vs_serial : float;
+}
+
+val run : Iw_hw.Platform.t -> config -> bench -> report
+(** Nautilus stack (LAPIC + IPI heartbeats), deterministic per seed. *)

@@ -1,0 +1,1 @@
+lib/hw/cpu.ml: Iw_engine Option Printf Queue Sim

@@ -1,0 +1,1 @@
+lib/hw/ipi.ml: Cpu Iw_engine List Platform Sim

@@ -1,0 +1,1 @@
+lib/hw/lapic.ml: Cpu Iw_engine Option Platform Sim

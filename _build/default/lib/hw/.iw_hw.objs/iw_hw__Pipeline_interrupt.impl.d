@@ -1,0 +1,1 @@
+lib/hw/pipeline_interrupt.ml: List Platform

@@ -1,0 +1,1 @@
+lib/hw/platform.ml: Format Iw_engine

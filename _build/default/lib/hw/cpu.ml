@@ -1,0 +1,136 @@
+open Iw_engine
+
+type kind = Work | Overhead
+
+type grant_rec = {
+  total : int;
+  started : int;
+  g_kind : kind;
+  uninterruptible : bool;
+  mutable completion : Sim.event option;
+  on_complete : unit -> unit;
+}
+
+type irq = {
+  dispatch : int;
+  return_cost : int;
+  handler : preempted:int option -> int;
+  after : unit -> unit;
+}
+
+type state = Idle | Granted of grant_rec | In_irq
+
+type t = {
+  cpu_id : int;
+  s : Sim.t;
+  mutable state : state;
+  pending : irq Queue.t;
+  mutable work : int;
+  mutable overhead : int;
+  mutable irq_time : int;
+}
+
+let create s ~id =
+  {
+    cpu_id = id;
+    s;
+    state = Idle;
+    pending = Queue.create ();
+    work = 0;
+    overhead = 0;
+    irq_time = 0;
+  }
+
+let id t = t.cpu_id
+let sim t = t.s
+let busy t = match t.state with Idle -> false | Granted _ | In_irq -> true
+let pending_interrupts t = Queue.length t.pending
+let work_cycles t = t.work
+let overhead_cycles t = t.overhead
+let irq_cycles t = t.irq_time
+
+let reset_accounting t =
+  t.work <- 0;
+  t.overhead <- 0;
+  t.irq_time <- 0
+
+let account t kind cycles =
+  match kind with
+  | Work -> t.work <- t.work + cycles
+  | Overhead -> t.overhead <- t.overhead + cycles
+
+(* Deliver the next queued interrupt if the core is interruptible.
+   Mutually recursive with grant completion: draining continues until
+   the queue is empty or the core becomes un-preemptible. *)
+let rec try_deliver t =
+  let interruptible =
+    match t.state with
+    | In_irq -> false
+    | Granted g -> not g.uninterruptible
+    | Idle -> true
+  in
+  if interruptible && not (Queue.is_empty t.pending) then begin
+    let irq = Queue.pop t.pending in
+    let preempted =
+      match t.state with
+      | Granted g ->
+          Option.iter Sim.cancel g.completion;
+          let consumed = Sim.now t.s - g.started in
+          account t g.g_kind consumed;
+          Some (max 0 (g.total - consumed))
+      | Idle | In_irq -> None
+    in
+    t.state <- In_irq;
+    let _ =
+      Sim.schedule_after t.s irq.dispatch (fun () ->
+          let handler_cost = irq.handler ~preempted in
+          if handler_cost < 0 then
+            invalid_arg "Cpu.interrupt: handler returned negative cost";
+          let _ =
+            Sim.schedule_after t.s
+              (handler_cost + irq.return_cost)
+              (fun () ->
+                t.irq_time <-
+                  t.irq_time + irq.dispatch + handler_cost + irq.return_cost;
+                t.state <- Idle;
+                irq.after ();
+                try_deliver t)
+          in
+          ())
+    in
+    ()
+  end
+
+let grant t ~cycles ?(kind = Work) ?(uninterruptible = false) ~on_complete () =
+  if cycles < 0 then invalid_arg "Cpu.grant: negative cycles";
+  (match t.state with
+  | Idle -> ()
+  | Granted _ | In_irq ->
+      invalid_arg
+        (Printf.sprintf "Cpu.grant: core %d is busy" t.cpu_id));
+  let started = Sim.now t.s in
+  let g =
+    {
+      total = cycles;
+      started;
+      g_kind = kind;
+      uninterruptible;
+      completion = None;
+      on_complete;
+    }
+  in
+  let ev =
+    Sim.schedule_after t.s cycles (fun () ->
+        account t g.g_kind g.total;
+        t.state <- Idle;
+        g.on_complete ();
+        try_deliver t)
+  in
+  g.completion <- Some ev;
+  t.state <- Granted g
+
+let interrupt t ~dispatch ~return_cost ~handler ~after =
+  if dispatch < 0 || return_cost < 0 then
+    invalid_arg "Cpu.interrupt: negative cost";
+  Queue.push { dispatch; return_cost; handler; after } t.pending;
+  try_deliver t

@@ -1,0 +1,70 @@
+(** A simulated CPU core: a single execution slot with interrupts.
+
+    A kernel model drives each core by issuing {e grants}: "run for
+    [cycles], then call me back".  Interrupts injected with
+    {!interrupt} preempt the current grant (unless it was issued
+    uninterruptible), run a handler after the platform's dispatch
+    cost, and then hand control back to the kernel, which decides
+    whether to resume the preempted work or switch.
+
+    Interrupts never nest: an interrupt arriving while a handler runs
+    (or during an uninterruptible grant) is queued and delivered as
+    soon as the core is interruptible again.  All costs are explicit
+    cycles; the core keeps separate accounting of work, overhead, and
+    interrupt cycles so experiments can report overhead percentages
+    directly. *)
+
+type t
+
+type kind =
+  | Work  (** Application/runtime useful work. *)
+  | Overhead  (** Kernel bookkeeping: context switches, scheduling... *)
+
+val create : Iw_engine.Sim.t -> id:int -> t
+
+val id : t -> int
+val busy : t -> bool
+val sim : t -> Iw_engine.Sim.t
+
+val grant :
+  t ->
+  cycles:int ->
+  ?kind:kind ->
+  ?uninterruptible:bool ->
+  on_complete:(unit -> unit) ->
+  unit ->
+  unit
+(** Give the core to a computation for [cycles] cycles.  The core must
+    be idle.  [on_complete] fires when the full quantum has elapsed
+    without preemption; if an interrupt preempts the grant first,
+    [on_complete] is dropped and the interrupt handler receives the
+    remaining cycle count instead.  [kind] defaults to [Work].
+    Zero-cycle grants complete via a same-time event (never
+    synchronously), keeping the control stack flat. *)
+
+val interrupt :
+  t ->
+  dispatch:int ->
+  return_cost:int ->
+  handler:(preempted:int option -> int) ->
+  after:(unit -> unit) ->
+  unit
+(** Inject an interrupt.  When the core becomes interruptible the
+    sequence is: [dispatch] busy cycles; [handler ~preempted] runs
+    (its return value is the handler's own cost in cycles;
+    [preempted] is [Some remaining] when a grant was cut short);
+    [return_cost] busy cycles; then [after ()] with the core idle
+    again.  Queued interrupts are delivered FIFO. *)
+
+val pending_interrupts : t -> int
+
+val work_cycles : t -> int
+(** Total cycles granted as [Work] that actually elapsed. *)
+
+val overhead_cycles : t -> int
+(** Total cycles granted as [Overhead] that actually elapsed. *)
+
+val irq_cycles : t -> int
+(** Total cycles spent in dispatch + handler + return paths. *)
+
+val reset_accounting : t -> unit

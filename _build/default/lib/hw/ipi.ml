@@ -1,0 +1,19 @@
+open Iw_engine
+
+let send s plat ~target ~handler ~after =
+  let costs = plat.Platform.costs in
+  let _ =
+    Sim.schedule_after s costs.ipi_latency (fun () ->
+        Cpu.interrupt target ~dispatch:costs.interrupt_dispatch
+          ~return_cost:costs.interrupt_return ~handler ~after)
+  in
+  ()
+
+let broadcast s plat ~targets ~handler ~after =
+  List.iter
+    (fun target ->
+      let cid = Cpu.id target in
+      send s plat ~target
+        ~handler:(fun ~preempted -> handler cid ~preempted)
+        ~after:(fun () -> after cid))
+    targets

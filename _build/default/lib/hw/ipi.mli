@@ -1,0 +1,27 @@
+(** Inter-processor interrupts.
+
+    The sender pays [ipi_send] cycles (accounted by the caller, since
+    it happens inside whatever grant is running); after [ipi_latency]
+    the interrupt is injected on the target core with the full
+    architectural dispatch cost. *)
+
+val send :
+  Iw_engine.Sim.t ->
+  Platform.t ->
+  target:Cpu.t ->
+  handler:(preempted:int option -> int) ->
+  after:(unit -> unit) ->
+  unit
+(** Deliver a single IPI to [target]. *)
+
+val broadcast :
+  Iw_engine.Sim.t ->
+  Platform.t ->
+  targets:Cpu.t list ->
+  handler:(int -> preempted:int option -> int) ->
+  after:(int -> unit) ->
+  unit
+(** One ICR broadcast: every target receives the interrupt after the
+    same fabric latency.  [handler] and [after] receive the target
+    core id.  This is the §IV-B Nautilus heartbeat mechanism: one
+    LAPIC timer tick on CPU 0 fans out to all workers at once. *)

@@ -1,0 +1,50 @@
+open Iw_engine
+
+type t = {
+  s : Sim.t;
+  plat : Platform.t;
+  target : Cpu.t;
+  mutable armed : Sim.event option;
+  mutable generation : int;
+  mutable fired : int;
+}
+
+let create s plat target = { s; plat; target; armed = None; generation = 0; fired = 0 }
+
+let cpu t = t.target
+
+let inject t handler after =
+  t.fired <- t.fired + 1;
+  Cpu.interrupt t.target ~dispatch:t.plat.Platform.costs.interrupt_dispatch
+    ~return_cost:t.plat.Platform.costs.interrupt_return ~handler ~after
+
+let oneshot t ~delay ~handler ~after =
+  if delay < 0 then invalid_arg "Lapic.oneshot: negative delay";
+  let gen = t.generation in
+  let ev =
+    Sim.schedule_after t.s delay (fun () ->
+        if gen = t.generation then begin
+          t.armed <- None;
+          inject t handler after
+        end)
+  in
+  t.armed <- Some ev
+
+let periodic t ?phase ~period ~handler ~after () =
+  if period <= 0 then invalid_arg "Lapic.periodic: period <= 0";
+  let first = match phase with None -> period | Some p -> max 1 p in
+  let gen = t.generation in
+  let rec tick () =
+    if gen = t.generation then begin
+      inject t handler after;
+      t.armed <- Some (Sim.schedule_after t.s period tick)
+    end
+  in
+  t.armed <- Some (Sim.schedule_after t.s first tick)
+
+let stop t =
+  t.generation <- t.generation + 1;
+  Option.iter Sim.cancel t.armed;
+  t.armed <- None
+
+let fired t = t.fired

@@ -1,0 +1,41 @@
+(** Per-core local APIC timer.
+
+    Nautilus programs the LAPIC directly (no kernel/user crossing, no
+    timer-slack coalescing), so its timer interrupts land exactly at
+    the programmed deadline plus the architectural dispatch cost.  The
+    Linux model adds its own slack on top (see {!Iw_linuxsim}). *)
+
+type t
+
+val create : Iw_engine.Sim.t -> Platform.t -> Cpu.t -> t
+
+val cpu : t -> Cpu.t
+
+val oneshot :
+  t ->
+  delay:int ->
+  handler:(preempted:int option -> int) ->
+  after:(unit -> unit) ->
+  unit
+(** Arm the timer to fire once, [delay] cycles from now.  Handler and
+    [after] follow {!Cpu.interrupt} semantics; dispatch and return
+    costs come from the platform cost table. *)
+
+val periodic :
+  t ->
+  ?phase:int ->
+  period:int ->
+  handler:(preempted:int option -> int) ->
+  after:(unit -> unit) ->
+  unit ->
+  unit
+(** Arm in periodic mode: interrupts every [period] cycles, starting
+    [phase] (default [period]) from now, until {!stop}.  Ticks are injected on schedule
+    even when the previous one is still queued (the queue then grows,
+    just like a real APIC holding a pending vector). *)
+
+val stop : t -> unit
+(** Disarm; a pending oneshot is cancelled, a periodic stream stops. *)
+
+val fired : t -> int
+(** Number of interrupts injected so far. *)

@@ -1,0 +1,35 @@
+type mechanism = Idt | Branch_injected
+
+type outcome = { dispatch_cycles : int; return_cycles : int; total_cycles : int }
+
+let deliver plat mech =
+  let costs = plat.Platform.costs in
+  match mech with
+  | Idt ->
+      {
+        dispatch_cycles = costs.interrupt_dispatch;
+        return_cycles = costs.interrupt_return;
+        total_cycles = costs.interrupt_dispatch + costs.interrupt_return;
+      }
+  | Branch_injected ->
+      (* Injection behaves like a correctly predicted branch; the MSR
+         write for the return path is a few cycles, like syscall's. *)
+      let ret = max 1 (costs.pipeline_interrupt_dispatch / 2) in
+      {
+        dispatch_cycles = costs.pipeline_interrupt_dispatch;
+        return_cycles = ret;
+        total_cycles = costs.pipeline_interrupt_dispatch + ret;
+      }
+
+let speedup plat =
+  let idt = (deliver plat Idt).total_cycles in
+  let br = (deliver plat Branch_injected).total_cycles in
+  float_of_int idt /. float_of_int br
+
+let sweep plat ~rate_hz =
+  let cps = plat.Platform.ghz *. 1e9 in
+  let idt = float_of_int (deliver plat Idt).total_cycles in
+  let br = float_of_int (deliver plat Branch_injected).total_cycles in
+  List.map
+    (fun rate -> (rate, rate *. idt /. cps, rate *. br /. cps))
+    rate_hz

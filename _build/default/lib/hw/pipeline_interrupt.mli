@@ -1,0 +1,30 @@
+(** §V-D: pipeline interrupts.
+
+    The paper proposes delivering simple interrupts (no privilege
+    change) by injecting a branch into the instruction-fetch logic,
+    with an MSR-based return path — latency comparable to a correctly
+    predicted branch, i.e. 100-1000x cheaper than the ~1000-cycle IDT
+    dispatch the authors measure.  This module models both delivery
+    mechanisms so the microbenchmark can report the ratio, and lets a
+    kernel configuration select the mechanism for its timer vector. *)
+
+type mechanism =
+  | Idt  (** Classic IDT dispatch through microcode. *)
+  | Branch_injected  (** Predicted-branch-like injection + MSR return. *)
+
+type outcome = {
+  dispatch_cycles : int;
+  return_cycles : int;
+  total_cycles : int;
+}
+
+val deliver : Platform.t -> mechanism -> outcome
+(** Cost of one delivery under the mechanism. *)
+
+val speedup : Platform.t -> float
+(** IDT total cost over branch-injected total cost. *)
+
+val sweep : Platform.t -> rate_hz:float list -> (float * float * float) list
+(** For each interrupt rate (Hz), the fraction of one core consumed by
+    delivery overhead under (rate, idt_fraction, branch_fraction).
+    Shows when fine-grained event rates become feasible. *)

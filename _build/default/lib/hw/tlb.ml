@@ -1,0 +1,29 @@
+type t = { entries : int; page_kb : int }
+
+type profile = { footprint_kb : int; accesses : int; locality : float }
+
+let create plat ~page_kb =
+  if page_kb <= 0 then invalid_arg "Tlb.create: page_kb <= 0";
+  { entries = plat.Platform.tlb_entries; page_kb }
+
+let reach_kb t = t.entries * t.page_kb
+
+let misses t p =
+  if p.footprint_kb <= reach_kb t then 0
+  else begin
+    let uncovered =
+      float_of_int (p.footprint_kb - reach_kb t) /. float_of_int p.footprint_kb
+    in
+    let cold_accesses = float_of_int p.accesses *. (1.0 -. p.locality) in
+    int_of_float (cold_accesses *. uncovered)
+  end
+
+let first_touch_faults t p = (p.footprint_kb + t.page_kb - 1) / t.page_kb
+
+let access_overhead_cycles t plat p ~demand_paged =
+  let costs = plat.Platform.costs in
+  let miss_cost = misses t p * costs.tlb_miss_walk in
+  let fault_cost =
+    if demand_paged then first_touch_faults t p * costs.page_fault else 0
+  in
+  miss_cost + fault_cost

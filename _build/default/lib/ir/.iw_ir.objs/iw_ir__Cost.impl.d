@@ -1,0 +1,1 @@
+lib/ir/cost.ml: Ir List

@@ -1,0 +1,1 @@
+lib/ir/interp.ml: Array Cost Fun Hashtbl Ir List Printf

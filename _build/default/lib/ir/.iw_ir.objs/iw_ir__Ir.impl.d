@@ -1,0 +1,1 @@
+lib/ir/ir.ml: Array Format Fun Hashtbl List Printf String

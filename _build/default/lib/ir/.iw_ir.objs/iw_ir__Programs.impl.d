@@ -1,0 +1,1 @@
+lib/ir/programs.ml: Build Ir List Option

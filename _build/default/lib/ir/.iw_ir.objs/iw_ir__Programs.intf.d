@@ -1,0 +1,1 @@
+lib/ir/programs.mli: Ir

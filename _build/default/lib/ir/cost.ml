@@ -1,0 +1,27 @@
+let call_overhead = 12
+let guard_addr = 3
+let guard_region = 6
+let track = 8
+
+(* An injected timing/polling site is a counter bump + compare on the
+   common path; the framework call it guards fires only when due. *)
+let callback = 2
+let poll = 2
+
+let inst = function
+  | Ir.Bin _ | Ir.Mov _ -> 1
+  | Ir.Fbin _ -> 3
+  | Ir.Load _ | Ir.Store _ -> 4
+  | Ir.Alloc _ -> 40
+  | Ir.Free _ -> 25
+  | Ir.Call _ -> call_overhead
+  | Ir.Guard { kind = Ir.Guard_addr; _ } -> guard_addr
+  | Ir.Guard { kind = Ir.Guard_region _; _ } -> guard_region
+  | Ir.Track _ -> track
+  | Ir.Callback _ -> callback
+  | Ir.Poll _ -> poll
+
+let term = function Ir.Jmp _ -> 1 | Ir.Br _ -> 1 | Ir.Ret _ -> 2
+
+let block b =
+  List.fold_left (fun acc i -> acc + inst i) (term b.Ir.term) b.Ir.insts

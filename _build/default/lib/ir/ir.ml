@@ -1,0 +1,296 @@
+type reg = int
+type label = int
+
+type operand = Reg of reg | Imm of int
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shr
+  | Lt
+  | Le
+  | Eq
+  | Ne
+
+type guard_kind = Guard_addr | Guard_region of { length : operand }
+
+type inst =
+  | Bin of { dst : reg; op : binop; a : operand; b : operand }
+  | Fbin of { dst : reg; op : binop; a : operand; b : operand }
+  | Mov of { dst : reg; src : operand }
+  | Load of { dst : reg; base : operand; offset : operand }
+  | Store of { base : operand; offset : operand; value : operand }
+  | Alloc of { dst : reg; size : operand }
+  | Free of { base : operand }
+  | Call of { dst : reg option; callee : string; args : operand list }
+  | Guard of { base : operand; offset : operand; kind : guard_kind }
+  | Track of { base : operand; tkind : [ `Alloc of operand | `Free ] }
+  | Callback of { cb : string }
+  | Poll of { device : int }
+
+type terminator =
+  | Jmp of label
+  | Br of { cond : operand; if_true : label; if_false : label }
+  | Ret of operand option
+
+type block = {
+  bid : label;
+  mutable insts : inst list;
+  mutable term : terminator;
+}
+
+type func = {
+  fname : string;
+  params : reg list;
+  mutable blocks : block array;
+  entry : label;
+  mutable next_reg : reg;
+}
+
+type modul = { funcs : (string, func) Hashtbl.t }
+
+let create_module () = { funcs = Hashtbl.create 16 }
+
+let add_func m f =
+  if Hashtbl.mem m.funcs f.fname then
+    invalid_arg (Printf.sprintf "Ir.add_func: duplicate %s" f.fname);
+  Hashtbl.add m.funcs f.fname f
+
+let find_func m name = Hashtbl.find m.funcs name
+
+let fresh_reg f =
+  let r = f.next_reg in
+  f.next_reg <- r + 1;
+  r
+
+let block f l = f.blocks.(l)
+let block_count f = Array.length f.blocks
+
+let instruction_count f =
+  Array.fold_left (fun acc b -> acc + List.length b.insts) 0 f.blocks
+
+let count_matching f pred =
+  Array.fold_left
+    (fun acc b -> acc + List.length (List.filter pred b.insts))
+    0 f.blocks
+
+(* ------------------------------------------------------------------ *)
+(* Printing *)
+
+let pp_operand ppf = function
+  | Reg r -> Format.fprintf ppf "%%%d" r
+  | Imm i -> Format.fprintf ppf "%d" i
+
+let binop_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Rem -> "rem"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Shl -> "shl"
+  | Shr -> "shr"
+  | Lt -> "lt"
+  | Le -> "le"
+  | Eq -> "eq"
+  | Ne -> "ne"
+
+let pp_inst ppf = function
+  | Bin { dst; op; a; b } ->
+      Format.fprintf ppf "%%%d = %s %a, %a" dst (binop_name op) pp_operand a
+        pp_operand b
+  | Fbin { dst; op; a; b } ->
+      Format.fprintf ppf "%%%d = f%s %a, %a" dst (binop_name op) pp_operand a
+        pp_operand b
+  | Mov { dst; src } -> Format.fprintf ppf "%%%d = mov %a" dst pp_operand src
+  | Load { dst; base; offset } ->
+      Format.fprintf ppf "%%%d = load %a[%a]" dst pp_operand base pp_operand
+        offset
+  | Store { base; offset; value } ->
+      Format.fprintf ppf "store %a[%a] <- %a" pp_operand base pp_operand offset
+        pp_operand value
+  | Alloc { dst; size } ->
+      Format.fprintf ppf "%%%d = alloc %a" dst pp_operand size
+  | Free { base } -> Format.fprintf ppf "free %a" pp_operand base
+  | Call { dst; callee; args } ->
+      (match dst with
+      | Some d -> Format.fprintf ppf "%%%d = call %s(" d callee
+      | None -> Format.fprintf ppf "call %s(" callee);
+      List.iteri
+        (fun i a ->
+          if i > 0 then Format.fprintf ppf ", ";
+          pp_operand ppf a)
+        args;
+      Format.fprintf ppf ")"
+  | Guard { base; offset; kind } -> (
+      match kind with
+      | Guard_addr ->
+          Format.fprintf ppf "guard %a[%a]" pp_operand base pp_operand offset
+      | Guard_region { length } ->
+          Format.fprintf ppf "guard.region %a len %a (off %a)" pp_operand base
+            pp_operand length pp_operand offset)
+  | Track { base; tkind } -> (
+      match tkind with
+      | `Alloc size ->
+          Format.fprintf ppf "track.alloc %a size %a" pp_operand base
+            pp_operand size
+      | `Free -> Format.fprintf ppf "track.free %a" pp_operand base)
+  | Callback { cb } -> Format.fprintf ppf "callback %s" cb
+  | Poll { device } -> Format.fprintf ppf "poll dev%d" device
+
+let pp_term ppf = function
+  | Jmp l -> Format.fprintf ppf "jmp L%d" l
+  | Br { cond; if_true; if_false } ->
+      Format.fprintf ppf "br %a, L%d, L%d" pp_operand cond if_true if_false
+  | Ret None -> Format.fprintf ppf "ret"
+  | Ret (Some v) -> Format.fprintf ppf "ret %a" pp_operand v
+
+let pp_func ppf f =
+  Format.fprintf ppf "@[<v>func %s(%s):@," f.fname
+    (String.concat ", " (List.map (Printf.sprintf "%%%d") f.params));
+  Array.iter
+    (fun b ->
+      Format.fprintf ppf "L%d:@," b.bid;
+      List.iter (fun i -> Format.fprintf ppf "  %a@," pp_inst i) b.insts;
+      Format.fprintf ppf "  %a@," pp_term b.term)
+    f.blocks;
+  Format.fprintf ppf "@]"
+
+(* ------------------------------------------------------------------ *)
+(* Builder *)
+
+module Build = struct
+  (* Blocks under construction accumulate instructions in reverse. *)
+  type proto = {
+    pid : label;
+    mutable rev_insts : inst list;
+    mutable pterm : terminator option;
+  }
+
+  type t = {
+    name : string;
+    bparams : reg list;
+    mutable protos : proto list;  (* reverse order of creation *)
+    mutable nblocks : int;
+    mutable nregs : int;
+    mutable cursor : proto option;
+  }
+
+  let start ~name ~nparams =
+    let params = List.init nparams Fun.id in
+    {
+      name;
+      bparams = params;
+      protos = [];
+      nblocks = 0;
+      nregs = nparams;
+      cursor = None;
+    }
+
+  let params t = t.bparams
+
+  let new_block t =
+    let p = { pid = t.nblocks; rev_insts = []; pterm = None } in
+    t.nblocks <- t.nblocks + 1;
+    t.protos <- p :: t.protos;
+    if t.cursor = None then t.cursor <- Some p;
+    p.pid
+
+  let find_proto t l =
+    match List.find_opt (fun p -> p.pid = l) t.protos with
+    | Some p -> p
+    | None -> invalid_arg (Printf.sprintf "Build: no block L%d" l)
+
+  let set_cursor t l = t.cursor <- Some (find_proto t l)
+
+  let cursor t =
+    match t.cursor with
+    | Some p -> p
+    | None -> invalid_arg "Build: no cursor block"
+
+  let emit t i =
+    let p = cursor t in
+    p.rev_insts <- i :: p.rev_insts
+
+  let fresh t =
+    let r = t.nregs in
+    t.nregs <- r + 1;
+    r
+
+  let bin t op a b =
+    let dst = fresh t in
+    emit t (Bin { dst; op; a; b });
+    dst
+
+  let fbin t op a b =
+    let dst = fresh t in
+    emit t (Fbin { dst; op; a; b });
+    dst
+
+  let mov t src =
+    let dst = fresh t in
+    emit t (Mov { dst; src });
+    dst
+
+  let load t ~base ~offset =
+    let dst = fresh t in
+    emit t (Load { dst; base; offset });
+    dst
+
+  let store t ~base ~offset ~value = emit t (Store { base; offset; value })
+
+  let alloc t ~size =
+    let dst = fresh t in
+    emit t (Alloc { dst; size });
+    dst
+
+  let free t ~base = emit t (Free { base })
+
+  let call t ?(dst = false) callee args =
+    if dst then begin
+      let d = fresh t in
+      emit t (Call { dst = Some d; callee; args });
+      Some d
+    end
+    else begin
+      emit t (Call { dst = None; callee; args });
+      None
+    end
+
+  let set_term t l term = (find_proto t l).pterm <- Some term
+
+  let terminate t term = (cursor t).pterm <- Some term
+
+  let finish t =
+    let protos = List.rev t.protos in
+    let blocks =
+      protos
+      |> List.map (fun p ->
+             match p.pterm with
+             | None ->
+                 invalid_arg
+                   (Printf.sprintf "Build.finish: block L%d of %s lacks a terminator"
+                      p.pid t.name)
+             | Some term ->
+                 { bid = p.pid; insts = List.rev p.rev_insts; term })
+      |> Array.of_list
+    in
+    if Array.length blocks = 0 then
+      invalid_arg "Build.finish: function has no blocks";
+    {
+      fname = t.name;
+      params = t.bparams;
+      blocks;
+      entry = 0;
+      next_reg = t.nregs;
+    }
+end

@@ -1,0 +1,1 @@
+lib/kernel/api.ml: Coro Iw_engine List Printf Sched

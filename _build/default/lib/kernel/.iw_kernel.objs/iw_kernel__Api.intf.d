@@ -1,0 +1,1 @@
+lib/kernel/api.mli: Sched

@@ -1,0 +1,1 @@
+lib/kernel/device_irq.ml: Array Cpu Iw_engine Iw_hw Platform Sched Sim

@@ -1,0 +1,1 @@
+lib/kernel/device_irq.mli: Sched

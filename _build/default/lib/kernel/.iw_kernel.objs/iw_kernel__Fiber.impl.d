@@ -1,0 +1,1 @@
+lib/kernel/fiber.ml: Api Coro Iw_engine Iw_hw Queue

@@ -1,0 +1,1 @@
+lib/kernel/fiber.mli: Iw_hw

@@ -1,0 +1,1 @@
+lib/kernel/nautilus.ml: Api Ipi Iw_hw Iw_mem Os Platform Sched

@@ -1,0 +1,1 @@
+lib/kernel/nautilus.mli: Iw_hw Iw_mem Sched

@@ -1,0 +1,1 @@
+lib/kernel/os.ml: Iw_engine Iw_hw

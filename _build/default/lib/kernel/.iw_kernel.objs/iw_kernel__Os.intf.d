@@ -1,0 +1,1 @@
+lib/kernel/os.mli: Iw_engine Iw_hw

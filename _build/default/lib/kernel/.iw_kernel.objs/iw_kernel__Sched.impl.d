@@ -1,0 +1,1 @@
+lib/kernel/sched.ml: Array Coro Cpu Iw_engine Iw_hw Lapic List Os Platform Printf Queue Rng Sim Stats

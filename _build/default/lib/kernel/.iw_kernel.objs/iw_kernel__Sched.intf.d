@@ -1,0 +1,1 @@
+lib/kernel/sched.mli: Iw_engine Iw_hw Os

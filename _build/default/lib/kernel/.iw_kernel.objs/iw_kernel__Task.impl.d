@@ -1,0 +1,1 @@
+lib/kernel/task.ml: Api Array List Printf Queue Sched

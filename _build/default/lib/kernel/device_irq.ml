@@ -1,0 +1,68 @@
+open Iw_engine
+open Iw_hw
+
+type policy = Steered of int | Spread
+
+type t = {
+  k : Sched.t;
+  policy : policy;
+  period : int;
+  handler_cost : int;
+  mutable running : bool;
+  mutable count : int;
+  counts : int array;
+}
+
+let deliver t =
+  let cpu_id =
+    match t.policy with
+    | Steered c -> c
+    | Spread -> t.count mod Sched.cpu_count t.k
+  in
+  t.count <- t.count + 1;
+  t.counts.(cpu_id) <- t.counts.(cpu_id) + 1;
+  let plat = Sched.platform t.k in
+  Cpu.interrupt (Sched.cpu t.k cpu_id)
+    ~dispatch:plat.Platform.costs.interrupt_dispatch
+    ~return_cost:plat.Platform.costs.interrupt_return
+    ~handler:(fun ~preempted ->
+      (match preempted with
+      | Some r -> Sched.stash_preempted t.k cpu_id r
+      | None -> ());
+      t.handler_cost)
+    ~after:(fun () -> Sched.resched_or_resume t.k cpu_id)
+
+let start k ~rate_hz ?(handler_cost = 600) policy =
+  if rate_hz <= 0.0 then invalid_arg "Device_irq.start: rate <= 0";
+  let plat = Sched.platform k in
+  let period =
+    max 1 (int_of_float (plat.Platform.ghz *. 1e9 /. rate_hz))
+  in
+  (match policy with
+  | Steered c when c < 0 || c >= Sched.cpu_count k ->
+      invalid_arg "Device_irq.start: bad steering target"
+  | _ -> ());
+  let t =
+    {
+      k;
+      policy;
+      period;
+      handler_cost;
+      running = true;
+      count = 0;
+      counts = Array.make (Sched.cpu_count k) 0;
+    }
+  in
+  let s = Sched.sim k in
+  let rec tick () =
+    if t.running then begin
+      deliver t;
+      ignore (Sim.schedule_after s t.period tick)
+    end
+  in
+  ignore (Sim.schedule_after s t.period tick);
+  t
+
+let stop t = t.running <- false
+let delivered t = t.count
+let per_cpu t = Array.copy t.counts

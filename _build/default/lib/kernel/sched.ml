@@ -1,0 +1,500 @@
+open Iw_engine
+open Iw_hw
+
+type tstate = New | Runnable | Running | Blocked | Dead
+
+type spawn_spec = {
+  sp_name : string;
+  sp_cpu : int option;
+  sp_fp : bool;
+  sp_rt : bool;
+}
+
+let default_spec = { sp_name = "thread"; sp_cpu = None; sp_fp = false; sp_rt = false }
+
+type thread = {
+  tid : int;
+  tname : string;
+  bound : int;
+  fp : bool;
+  rt : bool;
+  mutable state : tstate;
+  mutable pending : pending;
+  joiners : thread Queue.t;
+}
+
+(* What a thread will do next time a CPU runs it: either begin its
+   body, or be owed [rem] cycles of a given accounting kind before its
+   continuation thunk resumes the coroutine. *)
+and pending =
+  | Start of (unit -> unit)
+  | Owe of owed
+  | Nothing
+
+and owed = { mutable rem : int; okind : Cpu.kind; thunk : unit -> Coro.status }
+
+type mutex = { mutable owner : thread option; mwaiters : thread Queue.t }
+type cond = { cwaiters : (thread * mutex) Queue.t }
+type semaphore = { mutable count : int; swaiters : thread Queue.t }
+
+type barrier = {
+  parties : int;
+  mutable arrived : int;
+  bwaiters : thread Queue.t;
+}
+
+type t = {
+  s : Sim.t;
+  plat : Platform.t;
+  p : Os.t;
+  cpus : Cpu.t array;
+  lapics : Lapic.t array;
+  rt_q : thread Queue.t array;
+  norm_q : thread Queue.t array;
+  current : thread option array;
+  kick_pending : bool array;
+  quantum : int;
+  krng : Rng.t;
+  kcounters : Stats.Counters.t;
+  mutable live : int;
+  mutable next_tid : int;
+  mutable ticking : bool;
+}
+
+type _ Coro.Request.t +=
+  | R_spawn : spawn_spec * (unit -> unit) -> thread Coro.Request.t
+  | R_join : thread -> unit Coro.Request.t
+  | R_now : int Coro.Request.t
+  | R_self : thread Coro.Request.t
+  | R_cpu : int Coro.Request.t
+  | R_sleep : int -> unit Coro.Request.t
+  | R_lock : mutex -> unit Coro.Request.t
+  | R_unlock : mutex -> unit Coro.Request.t
+  | R_cond_wait : cond * mutex -> unit Coro.Request.t
+  | R_cond_signal : cond -> unit Coro.Request.t
+  | R_cond_broadcast : cond -> unit Coro.Request.t
+  | R_sem_wait : semaphore -> unit Coro.Request.t
+  | R_sem_post : semaphore -> unit Coro.Request.t
+  | R_barrier : barrier -> unit Coro.Request.t
+  | R_rand : int -> int Coro.Request.t
+  | R_overhead : int -> unit Coro.Request.t
+  | R_kernel : t Coro.Request.t
+
+let mutex () = { owner = None; mwaiters = Queue.create () }
+let cond () = { cwaiters = Queue.create () }
+
+let semaphore ~init =
+  if init < 0 then invalid_arg "Sched.semaphore: negative count";
+  { count = init; swaiters = Queue.create () }
+
+let barrier ~parties =
+  if parties <= 0 then invalid_arg "Sched.barrier: parties <= 0";
+  { parties; arrived = 0; bwaiters = Queue.create () }
+
+let sim t = t.s
+let platform t = t.plat
+let personality t = t.p
+let cpu t i = t.cpus.(i)
+let lapic t i = t.lapics.(i)
+let cpu_count t = Array.length t.cpus
+let rng t = t.krng
+let counters t = t.kcounters
+let live_threads t = t.live
+let now t = Sim.now t.s
+
+let total_work_cycles t =
+  Array.fold_left (fun acc c -> acc + Cpu.work_cycles c) 0 t.cpus
+
+let total_overhead_cycles t =
+  Array.fold_left
+    (fun acc c -> acc + Cpu.overhead_cycles c + Cpu.irq_cycles c)
+    0 t.cpus
+
+let thread_id th = th.tid
+let thread_name th = th.tname
+let thread_cpu th = th.bound
+let thread_dead th = th.state = Dead
+
+let boot ?(seed = 42) ?(quantum_us = 1000.0) ~personality plat =
+  let s = Sim.create ~seed () in
+  let cpus = Array.init plat.Platform.cores (fun id -> Cpu.create s ~id) in
+  let lapics = Array.map (fun c -> Lapic.create s plat c) cpus in
+  {
+    s;
+    plat;
+    p = personality;
+    cpus;
+    lapics;
+    rt_q = Array.init plat.Platform.cores (fun _ -> Queue.create ());
+    norm_q = Array.init plat.Platform.cores (fun _ -> Queue.create ());
+    current = Array.make plat.Platform.cores None;
+    kick_pending = Array.make plat.Platform.cores false;
+    quantum = Platform.cycles_of_us plat quantum_us;
+    krng = Rng.split (Sim.rng s);
+    kcounters = Stats.Counters.create ();
+    live = 0;
+    next_tid = 0;
+    ticking = false;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Run queues and dispatch                                             *)
+
+let queue_nonempty t cid =
+  (not (Queue.is_empty t.rt_q.(cid))) || not (Queue.is_empty t.norm_q.(cid))
+
+let enqueue t th =
+  th.state <- Runnable;
+  let q = if th.rt then t.rt_q.(th.bound) else t.norm_q.(th.bound) in
+  Queue.push th q
+
+let pop_queue t cid =
+  if not (Queue.is_empty t.rt_q.(cid)) then Some (Queue.pop t.rt_q.(cid))
+  else if not (Queue.is_empty t.norm_q.(cid)) then Some (Queue.pop t.norm_q.(cid))
+  else None
+
+let rec kick ?(delay = 0) t cid =
+  if not t.kick_pending.(cid) then begin
+    t.kick_pending.(cid) <- true;
+    let _ =
+      Sim.schedule_after t.s delay (fun () ->
+          t.kick_pending.(cid) <- false;
+          maybe_dispatch t cid)
+    in
+    ()
+  end
+
+and maybe_dispatch t cid =
+  if (not (Cpu.busy t.cpus.(cid))) && t.current.(cid) = None then dispatch t cid
+
+and dispatch t cid =
+  match pop_queue t cid with
+  | None -> ()
+  | Some th ->
+      assert (th.state = Runnable);
+      th.state <- Running;
+      t.current.(cid) <- Some th;
+      Stats.Counters.incr t.kcounters "context_switches";
+      let pick = if th.rt then t.p.pick_rt else t.p.pick in
+      let switch =
+        t.p.switch_int + (if th.fp then t.p.switch_fp_extra else 0)
+      in
+      (* Pick + switch run with interrupts off. *)
+      Cpu.grant t.cpus.(cid) ~cycles:(pick + switch) ~kind:Overhead
+        ~uninterruptible:true
+        ~on_complete:(fun () -> resume_thread t cid th)
+        ()
+
+and resume_thread t cid th =
+  match th.pending with
+  | Start f ->
+      th.pending <- Nothing;
+      step t cid th (Coro.start f)
+  | Owe o when o.rem = 0 ->
+      th.pending <- Nothing;
+      step t cid th (o.thunk ())
+  | Owe o ->
+      (* Leave [pending] as Owe so a preemption can rewrite o.rem. *)
+      Cpu.grant t.cpus.(cid) ~cycles:o.rem ~kind:o.okind
+        ~on_complete:(fun () ->
+          th.pending <- Nothing;
+          step t cid th (o.thunk ()))
+        ()
+  | Nothing -> assert false
+
+and step t cid th (status : Coro.status) =
+  match status with
+  | Coro.Done -> finish t cid th
+  | Coro.Failed e -> raise e
+  | Coro.Paused (Coro.Consumed (n, k)) ->
+      th.pending <- Owe { rem = n; okind = Work; thunk = k };
+      resume_thread t cid th
+  | Coro.Paused (Coro.Yielded k) ->
+      th.pending <- Owe { rem = 0; okind = Work; thunk = k };
+      if queue_nonempty t cid then begin
+        enqueue t th;
+        t.current.(cid) <- None;
+        dispatch t cid
+      end
+      else begin
+        (* Nothing else to run: keep going, paying the re-check cost so
+           a yield spin-loop still advances virtual time. *)
+        th.state <- Running;
+        th.pending <-
+          Owe { rem = max 1 t.p.pick; okind = Overhead; thunk = k };
+        resume_thread t cid th
+      end
+  | Coro.Paused (Coro.Requested (req, k)) -> handle_request t cid th req k
+
+(* Continue [th] on [cid] after paying [cost] cycles of overhead and
+   delivering [v] to the coroutine. *)
+and reply : 'v. t -> int -> thread -> int -> 'v -> ('v -> Coro.status) -> unit
+    =
+ fun t cid th cost v k ->
+  if cost = 0 then step t cid th (k v)
+  else begin
+    th.pending <- Owe { rem = cost; okind = Overhead; thunk = (fun () -> k v) };
+    resume_thread t cid th
+  end
+
+(* Park [th] (currently on [cid]); its continuation is already stored
+   in [th.pending].  The CPU moves on. *)
+and block_current t cid th =
+  th.state <- Blocked;
+  t.current.(cid) <- None;
+  if t.p.block = 0 then dispatch t cid
+  else
+    Cpu.grant t.cpus.(cid) ~cycles:t.p.block ~kind:Overhead
+      ~uninterruptible:true
+      ~on_complete:(fun () -> dispatch t cid)
+      ()
+
+and make_runnable t th =
+  match th.state with
+  | Blocked | New ->
+      enqueue t th;
+      kick ~delay:t.p.wake_latency t th.bound
+  | Runnable | Running | Dead -> ()
+
+and finish t cid th =
+  th.state <- Dead;
+  t.current.(cid) <- None;
+  Stats.Counters.incr t.kcounters "thread_exits";
+  let waiters = Queue.fold (fun acc j -> j :: acc) [] th.joiners in
+  Queue.clear th.joiners;
+  Cpu.grant t.cpus.(cid) ~cycles:t.p.exit ~kind:Overhead ~uninterruptible:true
+    ~on_complete:(fun () ->
+      List.iter (make_runnable t) (List.rev waiters);
+      t.live <- t.live - 1;
+      if t.live = 0 then stop_ticks t;
+      dispatch t cid)
+    ()
+
+and create_thread t spec body =
+  let cpu_of_spec () =
+    match spec.sp_cpu with
+    | Some c ->
+        if c < 0 || c >= cpu_count t then
+          invalid_arg (Printf.sprintf "Sched.spawn: bad cpu %d" c);
+        c
+    | None ->
+        (* Least-loaded placement, ties to the lowest id. *)
+        let best = ref 0 and best_load = ref max_int in
+        for i = 0 to cpu_count t - 1 do
+          let load =
+            Queue.length t.rt_q.(i)
+            + Queue.length t.norm_q.(i)
+            + (match t.current.(i) with Some _ -> 1 | None -> 0)
+          in
+          if load < !best_load then begin
+            best := i;
+            best_load := load
+          end
+        done;
+        !best
+  in
+  let th =
+    {
+      tid = t.next_tid;
+      tname = spec.sp_name;
+      bound = cpu_of_spec ();
+      fp = spec.sp_fp;
+      rt = spec.sp_rt;
+      state = New;
+      pending = Start body;
+      joiners = Queue.create ();
+    }
+  in
+  t.next_tid <- t.next_tid + 1;
+  t.live <- t.live + 1;
+  Stats.Counters.incr t.kcounters "spawns";
+  th
+
+and handle_request : type a.
+    t -> int -> thread -> a Coro.Request.t -> (a -> Coro.status) -> unit =
+ fun t cid th req k ->
+  match req with
+  | R_spawn (spec, body) ->
+      let child = create_thread t spec body in
+      make_runnable t child;
+      reply t cid th t.p.spawn child k
+  | R_join target ->
+      if target.tid = th.tid then invalid_arg "Sched: join on self";
+      if target.state = Dead then reply t cid th t.p.uncontended_sync () k
+      else begin
+        th.pending <- Owe { rem = 0; okind = Overhead; thunk = (fun () -> k ()) };
+        Queue.push th target.joiners;
+        block_current t cid th
+      end
+  | R_now -> step t cid th (k (Sim.now t.s))
+  | R_self -> step t cid th (k th)
+  | R_cpu -> step t cid th (k cid)
+  | R_kernel -> step t cid th (k t)
+  | R_rand bound -> step t cid th (k (Rng.int t.krng bound))
+  | R_overhead n -> reply t cid th n () k
+  | R_sleep dt ->
+      th.pending <- Owe { rem = 0; okind = Overhead; thunk = (fun () -> k ()) };
+      th.state <- Blocked;
+      t.current.(cid) <- None;
+      let _ = Sim.schedule_after t.s dt (fun () -> make_runnable t th) in
+      Cpu.grant t.cpus.(cid) ~cycles:t.p.sleep_arm ~kind:Overhead
+        ~uninterruptible:true
+        ~on_complete:(fun () -> dispatch t cid)
+        ()
+  | R_lock m -> (
+      match m.owner with
+      | None ->
+          m.owner <- Some th;
+          reply t cid th t.p.uncontended_sync () k
+      | Some _ ->
+          Stats.Counters.incr t.kcounters "lock_contended";
+          th.pending <-
+            Owe { rem = 0; okind = Overhead; thunk = (fun () -> k ()) };
+          Queue.push th m.mwaiters;
+          block_current t cid th)
+  | R_unlock m -> (
+      (match m.owner with
+      | Some o when o.tid = th.tid -> ()
+      | _ -> invalid_arg "Sched: unlock by non-owner");
+      match Queue.take_opt m.mwaiters with
+      | None ->
+          m.owner <- None;
+          reply t cid th t.p.uncontended_sync () k
+      | Some w ->
+          m.owner <- Some w;
+          make_runnable t w;
+          reply t cid th t.p.wake () k)
+  | R_cond_wait (c, m) ->
+      (match m.owner with
+      | Some o when o.tid = th.tid -> ()
+      | _ -> invalid_arg "Sched: cond_wait without holding the mutex");
+      th.pending <- Owe { rem = 0; okind = Overhead; thunk = (fun () -> k ()) };
+      Queue.push (th, m) c.cwaiters;
+      (* Release the mutex, handing it over if contended. *)
+      (match Queue.take_opt m.mwaiters with
+      | None -> m.owner <- None
+      | Some w ->
+          m.owner <- Some w;
+          make_runnable t w);
+      block_current t cid th
+  | R_cond_signal c -> (
+      match Queue.take_opt c.cwaiters with
+      | None -> reply t cid th t.p.uncontended_sync () k
+      | Some (w, m) ->
+          wake_into_mutex t w m;
+          reply t cid th t.p.wake () k)
+  | R_cond_broadcast c ->
+      let n = Queue.length c.cwaiters in
+      Queue.iter (fun (w, m) -> wake_into_mutex t w m) c.cwaiters;
+      Queue.clear c.cwaiters;
+      reply t cid th (t.p.uncontended_sync + (n * t.p.wake)) () k
+  | R_sem_wait sem ->
+      if sem.count > 0 then begin
+        sem.count <- sem.count - 1;
+        reply t cid th t.p.uncontended_sync () k
+      end
+      else begin
+        th.pending <- Owe { rem = 0; okind = Overhead; thunk = (fun () -> k ()) };
+        Queue.push th sem.swaiters;
+        block_current t cid th
+      end
+  | R_sem_post sem -> (
+      match Queue.take_opt sem.swaiters with
+      | None ->
+          sem.count <- sem.count + 1;
+          reply t cid th t.p.uncontended_sync () k
+      | Some w ->
+          make_runnable t w;
+          reply t cid th t.p.wake () k)
+  | R_barrier b ->
+      b.arrived <- b.arrived + 1;
+      if b.arrived = b.parties then begin
+        b.arrived <- 0;
+        let n = Queue.length b.bwaiters in
+        Queue.iter (fun w -> make_runnable t w) b.bwaiters;
+        Queue.clear b.bwaiters;
+        reply t cid th (t.p.uncontended_sync + (n * t.p.wake)) () k
+      end
+      else begin
+        th.pending <- Owe { rem = 0; okind = Overhead; thunk = (fun () -> k ()) };
+        Queue.push th b.bwaiters;
+        block_current t cid th
+      end
+  | _ ->
+      invalid_arg
+        (Printf.sprintf "Sched: unknown request from thread %d (%s)" th.tid
+           th.tname)
+
+(* A cond-waiter must re-acquire the mutex before it can run. *)
+and wake_into_mutex t w m =
+  match m.owner with
+  | None ->
+      m.owner <- Some w;
+      make_runnable t w
+  | Some _ -> Queue.push w m.mwaiters
+
+and stop_ticks t =
+  if t.ticking then begin
+    t.ticking <- false;
+    Array.iter Lapic.stop t.lapics
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Interrupt-context services                                          *)
+
+let wake_thread t th = make_runnable t th
+
+let current_thread t cid = t.current.(cid)
+
+let stash_preempted t cid remaining =
+  match t.current.(cid) with
+  | Some th -> (
+      match th.pending with
+      | Owe o -> o.rem <- remaining
+      | Start _ | Nothing ->
+          (* Preempted before the first consume: nothing owed. *)
+          ())
+  | None -> ()
+
+let resched_or_resume t cid =
+  match t.current.(cid) with
+  | Some th when queue_nonempty t cid ->
+      Stats.Counters.incr t.kcounters "preemptions";
+      enqueue t th;
+      t.current.(cid) <- None;
+      dispatch t cid
+  | Some th -> resume_thread t cid th
+  | None -> maybe_dispatch t cid
+
+(* ------------------------------------------------------------------ *)
+(* Ticks and the run loop                                              *)
+
+let start_ticks t =
+  if not t.ticking then begin
+    t.ticking <- true;
+    let ncpus = Array.length t.lapics in
+    Array.iteri
+      (fun cid l ->
+        (* Stagger tick phases across CPUs, as real kernels do. *)
+        let phase = max 1 ((cid + 1) * t.quantum / ncpus) in
+        Lapic.periodic l ~phase ~period:t.quantum
+          ~handler:(fun ~preempted ->
+            Stats.Counters.incr t.kcounters "ticks";
+            (match preempted with
+            | Some rem -> stash_preempted t cid rem
+            | None -> ());
+            t.p.tick_cost + t.p.tick_noise t.krng)
+          ~after:(fun () -> resched_or_resume t cid)
+          ())
+      t.lapics
+  end
+
+let spawn t ?(spec = default_spec) body =
+  let th = create_thread t spec body in
+  make_runnable t th;
+  th
+
+let run ?horizon t =
+  start_ticks t;
+  if t.live = 0 then stop_ticks t;
+  Sim.run ?until:horizon t.s

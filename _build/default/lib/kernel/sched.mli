@@ -1,0 +1,132 @@
+(** The shared scheduler engine.
+
+    A kernel instance owns the simulated CPUs of a platform and runs
+    simulated threads (coroutines) on them under a given OS
+    personality.  Threads are bound to a CPU at spawn (Nautilus
+    style; benchmarks pin threads in the Linux configurations too),
+    scheduled round-robin within two classes (real-time first), and
+    preempted by a per-CPU scheduler tick.
+
+    Thread code runs inside {!Iw_engine.Coro} coroutines and talks to
+    the kernel through the request wrappers in {!Api}. *)
+
+type t
+type thread
+
+type spawn_spec = {
+  sp_name : string;
+  sp_cpu : int option;  (** Binding; [None] = least-loaded CPU. *)
+  sp_fp : bool;  (** Context switches move FP/vector state. *)
+  sp_rt : bool;  (** Real-time scheduling class. *)
+}
+
+val default_spec : spawn_spec
+
+(** {1 Kernel lifecycle} *)
+
+val boot :
+  ?seed:int ->
+  ?quantum_us:float ->
+  personality:Os.t ->
+  Iw_hw.Platform.t ->
+  t
+(** Create a kernel on a fresh simulator.  [quantum_us] (default 1000,
+    i.e. 1 ms) is both the scheduler-tick period and the round-robin
+    timeslice. *)
+
+val spawn : t -> ?spec:spawn_spec -> (unit -> unit) -> thread
+(** Create a thread from outside the simulation (initial threads).
+    Inside thread code, use {!Api.spawn}. *)
+
+val run : ?horizon:int -> t -> unit
+(** Start scheduler ticks and drive the simulation until every thread
+    has exited (or the optional horizon is reached).  Idempotent
+    ticks stop automatically when the last thread exits. *)
+
+val sim : t -> Iw_engine.Sim.t
+val platform : t -> Iw_hw.Platform.t
+val personality : t -> Os.t
+val cpu : t -> int -> Iw_hw.Cpu.t
+val lapic : t -> int -> Iw_hw.Lapic.t
+val cpu_count : t -> int
+val rng : t -> Iw_engine.Rng.t
+val counters : t -> Iw_engine.Stats.Counters.t
+val live_threads : t -> int
+val now : t -> int
+
+val total_work_cycles : t -> int
+(** Sum of [Work]-kind cycles across CPUs. *)
+
+val total_overhead_cycles : t -> int
+(** Sum of [Overhead]-kind plus interrupt-path cycles across CPUs. *)
+
+(** {1 Thread handles} *)
+
+val thread_id : thread -> int
+val thread_name : thread -> string
+val thread_cpu : thread -> int
+val thread_dead : thread -> bool
+
+(** {1 Synchronization objects}
+
+    Created freely; their blocking operations are requests (see
+    {!Api}). *)
+
+type mutex
+type cond
+type semaphore
+type barrier
+
+val mutex : unit -> mutex
+val cond : unit -> cond
+val semaphore : init:int -> semaphore
+val barrier : parties:int -> barrier
+
+(** {1 Requests}
+
+    The request constructors interpreted by this engine.  Thread code
+    normally uses {!Api}'s wrappers rather than performing these
+    directly. *)
+
+type _ Iw_engine.Coro.Request.t +=
+  | R_spawn : spawn_spec * (unit -> unit) -> thread Iw_engine.Coro.Request.t
+  | R_join : thread -> unit Iw_engine.Coro.Request.t
+  | R_now : int Iw_engine.Coro.Request.t
+  | R_self : thread Iw_engine.Coro.Request.t
+  | R_cpu : int Iw_engine.Coro.Request.t
+  | R_sleep : int -> unit Iw_engine.Coro.Request.t
+  | R_lock : mutex -> unit Iw_engine.Coro.Request.t
+  | R_unlock : mutex -> unit Iw_engine.Coro.Request.t
+  | R_cond_wait : cond * mutex -> unit Iw_engine.Coro.Request.t
+  | R_cond_signal : cond -> unit Iw_engine.Coro.Request.t
+  | R_cond_broadcast : cond -> unit Iw_engine.Coro.Request.t
+  | R_sem_wait : semaphore -> unit Iw_engine.Coro.Request.t
+  | R_sem_post : semaphore -> unit Iw_engine.Coro.Request.t
+  | R_barrier : barrier -> unit Iw_engine.Coro.Request.t
+  | R_rand : int -> int Iw_engine.Coro.Request.t
+  | R_overhead : int -> unit Iw_engine.Coro.Request.t
+  | R_kernel : t Iw_engine.Coro.Request.t
+
+(** {1 Interrupt-context services}
+
+    For device models and heartbeat drivers: called from interrupt
+    handlers or simulator events, never from thread code. *)
+
+val wake_thread : t -> thread -> unit
+(** Make a blocked thread runnable (no-op on runnable/dead threads).
+    Pays the personality's wake latency before the CPU notices. *)
+
+val current_thread : t -> int -> thread option
+(** What is (or was) running on a CPU — valid inside interrupt
+    handlers to identify the preempted thread. *)
+
+val stash_preempted : t -> int -> int -> unit
+(** [stash_preempted t cpu remaining]: record that the running
+    thread's current quantum was cut short with [remaining] cycles
+    owed.  Interrupt handlers that received [~preempted:(Some r)]
+    must call this before the kernel resumes the thread. *)
+
+val resched_or_resume : t -> int -> unit
+(** Standard end-of-interrupt path: if higher-priority work is queued,
+    preempt the interrupted thread, otherwise resume it.  Use as the
+    [after] callback of {!Iw_hw.Cpu.interrupt}. *)

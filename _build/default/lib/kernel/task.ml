@@ -1,0 +1,98 @@
+type task = { body : unit -> unit; th_handle : handle }
+
+and handle = { mutable finished : bool; done_sem : Sched.semaphore }
+
+type t = {
+  k : Sched.t;
+  inline_threshold : int;
+  queues : task Queue.t array;
+  qsems : Sched.semaphore array;  (* one count per queued task, per CPU *)
+  mutable workers : Sched.thread list;
+  mutable next_cpu : int;
+  mutable stopping : bool;
+  mutable executed : int;
+  mutable inlined : int;
+}
+
+let worker_body t cpu () =
+  let rec drain () =
+    Api.sem_wait t.qsems.(cpu);
+    match Queue.take_opt t.queues.(cpu) with
+    | None -> if not t.stopping then drain ()  (* shutdown poke *)
+    | Some task ->
+        task.body ();
+        task.th_handle.finished <- true;
+        Api.sem_post task.th_handle.done_sem;
+        t.executed <- t.executed + 1;
+        drain ()
+  in
+  drain ()
+
+let create k ?(inline_threshold = 2000) ?(workers_rt = false) () =
+  let n = Sched.cpu_count k in
+  let queues = Array.init n (fun _ -> Queue.create ()) in
+  let qsems = Array.init n (fun _ -> Sched.semaphore ~init:0) in
+  let t =
+    {
+      k;
+      inline_threshold;
+      queues;
+      qsems;
+      workers = [];
+      next_cpu = 0;
+      stopping = false;
+      executed = 0;
+      inlined = 0;
+    }
+  in
+  t.workers <-
+    List.init n (fun cpu ->
+        Sched.spawn k
+          ~spec:
+            {
+              Sched.sp_name = Printf.sprintf "taskd-%d" cpu;
+              sp_cpu = Some cpu;
+              sp_fp = false;
+              sp_rt = workers_rt;
+            }
+          (worker_body t cpu));
+  t
+
+let submit ?cpu ?size_hint t body =
+  let h = { finished = false; done_sem = Sched.semaphore ~init:0 } in
+  let inline_ok =
+    match size_hint with Some s -> s <= t.inline_threshold | None -> false
+  in
+  if inline_ok then begin
+    (* Compiler-estimated small task: run in the submitter's context,
+       no queueing, no wakeup. *)
+    body ();
+    h.finished <- true;
+    Api.sem_post h.done_sem;
+    t.inlined <- t.inlined + 1;
+    h
+  end
+  else begin
+    let cpu =
+      match cpu with
+      | Some c -> c
+      | None ->
+          let c = t.next_cpu in
+          t.next_cpu <- (t.next_cpu + 1) mod Array.length t.queues;
+          c
+    in
+    Queue.push { body; th_handle = h } t.queues.(cpu);
+    Api.sem_post t.qsems.(cpu);
+    h
+  end
+
+let wait h = if not h.finished then Api.sem_wait h.done_sem
+
+let shutdown t =
+  t.stopping <- true;
+  (* Poke every worker so it re-checks the stopping flag. *)
+  Array.iter (fun sem -> Api.sem_post sem) t.qsems;
+  List.iter Api.join t.workers
+
+let executed t = t.executed
+let inlined t = t.inlined

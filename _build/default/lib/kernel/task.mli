@@ -1,0 +1,30 @@
+(** SoftIRQ-like task framework (§V-A, CCK backend).
+
+    Nautilus's task framework accepts closures with an optional
+    compiler-estimated size.  Tasks whose estimated size is below the
+    inline threshold run immediately in the submitter's context (the
+    paper's "in the scheduler itself, even in interrupt context");
+    larger tasks queue per-CPU and are drained by bound worker
+    threads. *)
+
+type t
+type handle
+
+val create : Sched.t -> ?inline_threshold:int -> ?workers_rt:bool -> unit -> t
+(** Start one worker thread per CPU.  [inline_threshold] (cycles,
+    default 2000) bounds what runs inline at submission. *)
+
+val submit : ?cpu:int -> ?size_hint:int -> t -> (unit -> unit) -> handle
+(** Submit from inside a thread.  [size_hint] is the compiler's cycle
+    estimate ([None] = unknown, never inlined).  [cpu] defaults to
+    round-robin placement. *)
+
+val wait : handle -> unit
+(** Block until the task has run. *)
+
+val shutdown : t -> unit
+(** Stop the workers once all queued tasks have drained.  Must be
+    called from inside a thread; returns after all workers exit. *)
+
+val executed : t -> int
+val inlined : t -> int

@@ -1,0 +1,1 @@
+lib/linuxsim/itimer.ml: Iw_engine Iw_hw Iw_kernel List Os Rng Sched Sim

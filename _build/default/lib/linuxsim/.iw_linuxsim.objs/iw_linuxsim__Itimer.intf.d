@@ -1,0 +1,1 @@
+lib/linuxsim/itimer.mli: Iw_kernel

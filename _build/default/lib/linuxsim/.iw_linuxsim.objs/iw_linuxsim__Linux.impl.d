@@ -1,0 +1,1 @@
+lib/linuxsim/linux.ml: Iw_kernel Iw_mem

@@ -1,0 +1,1 @@
+lib/linuxsim/linux.mli: Iw_hw Iw_kernel Iw_mem

@@ -1,0 +1,73 @@
+open Iw_engine
+open Iw_kernel
+
+type t = {
+  k : Sched.t;
+  cpu : int;
+  period : int;
+  handler_cost : int;
+  handler : preempted:int option -> unit;
+  mutable running : bool;
+  mutable pending : bool;  (* delivery in flight *)
+  mutable delivered : int;
+  mutable overruns : int;
+  mutable times : int list;
+  rng : Rng.t;
+}
+
+let create k ~cpu ~period ?(handler_cost = 50) ~handler () =
+  if period <= 0 then invalid_arg "Itimer.create: period <= 0";
+  {
+    k;
+    cpu;
+    period;
+    handler_cost;
+    handler;
+    running = false;
+    pending = false;
+    delivered = 0;
+    overruns = 0;
+    times = [];
+    rng = Rng.split (Sim.rng (Sched.sim k));
+  }
+
+let deliver t =
+  let p = Sched.personality t.k in
+  let plat = Sched.platform t.k in
+  let costs = plat.Iw_hw.Platform.costs in
+  t.pending <- true;
+  Iw_hw.Cpu.interrupt (Sched.cpu t.k t.cpu) ~dispatch:costs.interrupt_dispatch
+    ~return_cost:costs.interrupt_return
+    ~handler:(fun ~preempted ->
+      t.delivered <- t.delivered + 1;
+      t.times <- Sim.now (Sched.sim t.k) :: t.times;
+      t.handler ~preempted;
+      (* hrtimer/softirq + signal frame + sigreturn + the user code. *)
+      p.Os.timer_extra + t.handler_cost)
+    ~after:(fun () ->
+      t.pending <- false;
+      Sched.resched_or_resume t.k t.cpu)
+
+let start t =
+  if not t.running then begin
+    t.running <- true;
+    let s = Sched.sim t.k in
+    let p = Sched.personality t.k in
+    let rec arm deadline =
+      if t.running then
+        let jitter = max 0 (p.Os.timer_jitter t.rng) in
+        ignore
+          (Sim.schedule s ~at:(max (Sim.now s) (deadline + jitter)) (fun () ->
+               if t.running then begin
+                 if t.pending then t.overruns <- t.overruns + 1
+                 else deliver t;
+                 arm (deadline + t.period)
+               end))
+    in
+    arm (Sim.now s + t.period)
+  end
+
+let stop t = t.running <- false
+let delivered t = t.delivered
+let overruns t = t.overruns
+let delivery_times t = List.rev t.times

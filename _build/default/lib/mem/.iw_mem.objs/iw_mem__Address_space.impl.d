@@ -1,0 +1,1 @@
+lib/mem/address_space.ml: Iw_hw Platform Tlb

@@ -1,0 +1,1 @@
+lib/mem/numa.ml: Array Buddy List Printf

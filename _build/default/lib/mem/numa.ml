@@ -1,0 +1,57 @@
+type zone = int
+
+type t = {
+  zone_size : int;
+  buddies : Buddy.t array;
+  mutable fallbacks : int;
+}
+
+let create ~zones ~zone_size ~min_block =
+  if zones <= 0 then invalid_arg "Numa.create: zones <= 0";
+  let buddies =
+    Array.init zones (fun i ->
+        Buddy.create ~base:(i * zone_size) ~size:zone_size ~min_block)
+  in
+  { zone_size; buddies; fallbacks = 0 }
+
+let zone_count t = Array.length t.buddies
+
+let zone_of_addr t addr =
+  let z = addr / t.zone_size in
+  if addr < 0 || z >= zone_count t then
+    invalid_arg (Printf.sprintf "Numa.zone_of_addr: %#x out of range" addr);
+  z
+
+let alloc_local t ~zone n = Buddy.alloc t.buddies.(zone) n
+
+let alloc t ~zone n =
+  match alloc_local t ~zone n with
+  | Some addr -> Some addr
+  | None ->
+      (* Nearest-first fallback by ring distance on zone ids. *)
+      let zones = zone_count t in
+      let order =
+        List.init (zones - 1) (fun i -> (zone + i + 1) mod zones)
+        |> List.sort (fun a b ->
+               let d z =
+                 let d = abs (z - zone) in
+                 min d (zones - d)
+               in
+               compare (d a) (d b))
+      in
+      let rec try_zones = function
+        | [] -> None
+        | z :: rest -> (
+            match alloc_local t ~zone:z n with
+            | Some addr ->
+                t.fallbacks <- t.fallbacks + 1;
+                Some addr
+            | None -> try_zones rest)
+      in
+      try_zones order
+
+let free t addr = Buddy.free t.buddies.(zone_of_addr t addr) addr
+
+let allocated_bytes t zone = Buddy.allocated_bytes t.buddies.(zone)
+
+let remote_fallbacks t = t.fallbacks

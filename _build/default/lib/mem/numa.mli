@@ -1,0 +1,31 @@
+(** NUMA zones: one buddy allocator per zone, explicit placement.
+
+    Nautilus makes all NUMA management explicit: allocations name a
+    target zone and fall back to the nearest other zone only on
+    exhaustion (§III). *)
+
+type t
+
+type zone = int
+
+val create : zones:int -> zone_size:int -> min_block:int -> t
+(** [zones] zones, each [zone_size] bytes (a power of two). *)
+
+val zone_count : t -> int
+
+val zone_of_addr : t -> int -> zone
+(** @raise Invalid_argument for an address outside every zone. *)
+
+val alloc : t -> zone:zone -> int -> int option
+(** Allocate preferring [zone]; falls back to other zones in order of
+    distance (ring distance on zone ids). *)
+
+val alloc_local : t -> zone:zone -> int -> int option
+(** Allocate strictly in [zone]; no fallback. *)
+
+val free : t -> int -> unit
+
+val allocated_bytes : t -> zone -> int
+
+val remote_fallbacks : t -> int
+(** How many allocations could not be satisfied locally. *)

@@ -1,0 +1,1 @@
+lib/omp/epcc.mli: Iw_hw Runtime

@@ -1,0 +1,1 @@
+lib/omp/nas.ml: Api Iw_hw Iw_kernel List Platform Runtime Sched Tlb

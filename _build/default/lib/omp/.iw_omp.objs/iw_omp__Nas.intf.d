@@ -1,0 +1,1 @@
+lib/omp/nas.mli: Iw_hw Runtime

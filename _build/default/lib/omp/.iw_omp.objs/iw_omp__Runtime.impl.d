@@ -1,0 +1,1 @@
+lib/omp/runtime.ml: Api Coro Iw_engine Iw_hw Iw_kernel List Os Printf Sched Task

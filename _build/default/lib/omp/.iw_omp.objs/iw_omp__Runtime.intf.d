@@ -1,0 +1,1 @@
+lib/omp/runtime.mli: Iw_hw Iw_kernel

@@ -1,0 +1,219 @@
+open Iw_engine
+open Iw_kernel
+
+type mode = Linux_user | Rtk | Pik | Cck
+
+let mode_name = function
+  | Linux_user -> "linux-omp"
+  | Rtk -> "rtk"
+  | Pik -> "pik"
+  | Cck -> "cck"
+
+let personality_of_mode mode plat =
+  match mode with
+  | Linux_user -> Os.linux plat
+  | Rtk | Pik | Cck -> Os.nautilus plat
+
+type schedule = Static | Dynamic of int | Guided of int
+
+type region = {
+  r_iters : int;
+  r_cycles : int -> int;
+  r_sched : schedule;
+  mutable r_next : int;
+}
+
+type t = {
+  k : Sched.t;
+  mode : mode;
+  nthreads : int;
+  mutable gen : int;  (* region generation; bump = release *)
+  mutable region : region option;
+  mutable arrived : int;  (* workers done with the current region *)
+  mutable team : Sched.thread list;
+  tasks : Task.t option;  (* CCK backend *)
+  mutable stopping : bool;
+  mutable nregions : int;
+  mutable nchunks : int;
+}
+
+(* The PIK process abstraction interposes a thin shim on each runtime
+   call (§V-A). *)
+let pik_shim = 100
+
+(* Active-wait polling, libomp-style (OMP_WAIT_POLICY=active): tight
+   at first, then progressively lazier so idle teams don't flood the
+   simulator with events. *)
+let poll_cost spins =
+  if spins < 16 then 150 else if spins < 64 then 1_500 else 15_000
+
+let sum_cycles f lo hi =
+  let acc = ref 0 in
+  for i = lo to hi - 1 do
+    acc := !acc + f i
+  done;
+  !acc
+
+let run_share t (r : region) wid =
+  let plat = Sched.platform t.k in
+  let costs = plat.Iw_hw.Platform.costs in
+  if t.mode = Pik then Api.overhead pik_shim;
+  let fetch_cost =
+    costs.atomic_rmw + if t.nthreads > 1 then costs.cache_line_remote else 0
+  in
+  match r.r_sched with
+  | Static ->
+      let lo = wid * r.r_iters / t.nthreads in
+      let hi = (wid + 1) * r.r_iters / t.nthreads in
+      if hi > lo then begin
+        t.nchunks <- t.nchunks + 1;
+        Coro.consume (sum_cycles r.r_cycles lo hi)
+      end
+  | Dynamic chunk ->
+      let chunk = max 1 chunk in
+      let rec grab () =
+        Api.overhead fetch_cost;
+        if r.r_next < r.r_iters then begin
+          let lo = r.r_next in
+          let hi = min r.r_iters (lo + chunk) in
+          r.r_next <- hi;
+          t.nchunks <- t.nchunks + 1;
+          Coro.consume (sum_cycles r.r_cycles lo hi);
+          grab ()
+        end
+      in
+      grab ()
+  | Guided min_chunk ->
+      let min_chunk = max 1 min_chunk in
+      let rec grab () =
+        Api.overhead fetch_cost;
+        if r.r_next < r.r_iters then begin
+          let remaining = r.r_iters - r.r_next in
+          let chunk = max min_chunk (remaining / (2 * t.nthreads)) in
+          let lo = r.r_next in
+          let hi = min r.r_iters (lo + chunk) in
+          r.r_next <- hi;
+          t.nchunks <- t.nchunks + 1;
+          Coro.consume (sum_cycles r.r_cycles lo hi);
+          grab ()
+        end
+      in
+      grab ()
+
+let arrive t =
+  let costs = (Sched.platform t.k).Iw_hw.Platform.costs in
+  Api.overhead (costs.atomic_rmw + costs.cache_line_remote);
+  t.arrived <- t.arrived + 1
+
+let worker_body t wid () =
+  let rec await gen spins =
+    if not t.stopping then begin
+      if t.gen >= gen then begin
+        (match t.region with Some r -> run_share t r wid | None -> ());
+        arrive t;
+        await (gen + 1) 0
+      end
+      else begin
+        Api.overhead (poll_cost spins);
+        await gen (spins + 1)
+      end
+    end
+  in
+  await 1 0
+
+let create k mode ~nthreads =
+  if nthreads < 1 then invalid_arg "Omp.create: nthreads < 1";
+  if nthreads > Sched.cpu_count k then
+    invalid_arg "Omp.create: more threads than CPUs";
+  let t =
+    {
+      k;
+      mode;
+      nthreads;
+      gen = 0;
+      region = None;
+      arrived = 0;
+      team = [];
+      tasks = (match mode with Cck -> Some (Task.create k ()) | _ -> None);
+      stopping = false;
+      nregions = 0;
+      nchunks = 0;
+    }
+  in
+  (match mode with
+  | Cck -> ()  (* the task framework's per-CPU daemons are the team *)
+  | Linux_user | Rtk | Pik ->
+      t.team <-
+        List.init (nthreads - 1) (fun i ->
+            let wid = i + 1 in
+            Sched.spawn k
+              ~spec:
+                {
+                  Sched.sp_name = Printf.sprintf "omp-%d" wid;
+                  sp_cpu = Some wid;
+                  sp_fp = true;
+                  sp_rt = false;
+                }
+              (worker_body t wid)));
+  t
+
+let parallel_for t ?(schedule = Static) ~iters ~iter_cycles () =
+  if iters < 0 then invalid_arg "Omp.parallel_for: negative iters";
+  t.nregions <- t.nregions + 1;
+  let costs = (Sched.platform t.k).Iw_hw.Platform.costs in
+  match t.tasks with
+  | Some tf ->
+      (* CCK: pragmas compiled straight to kernel tasks. *)
+      let nchunks = max 1 (min iters (4 * t.nthreads)) in
+      let handles = ref [] in
+      for c = 0 to nchunks - 1 do
+        let lo = c * iters / nchunks and hi = (c + 1) * iters / nchunks in
+        if hi > lo then begin
+          let cost = sum_cycles iter_cycles lo hi in
+          t.nchunks <- t.nchunks + 1;
+          let h =
+            Task.submit ~cpu:(c mod t.nthreads) ~size_hint:cost tf (fun () ->
+                Coro.consume cost)
+          in
+          handles := h :: !handles
+        end
+      done;
+      List.iter Task.wait !handles
+  | None ->
+      let r =
+        {
+          r_iters = iters;
+          r_cycles = iter_cycles;
+          r_sched = schedule;
+          r_next = 0;
+        }
+      in
+      t.region <- Some r;
+      t.arrived <- 0;
+      if t.mode = Pik then Api.overhead pik_shim;
+      (* Publishing the region is one shared-line write the spinning
+         team observes; not a per-worker syscall chain. *)
+      Api.overhead (costs.atomic_rmw + costs.cache_line_remote);
+      t.gen <- t.gen + 1;
+      run_share t r 0;
+      arrive t;
+      (* Implicit barrier: the master waits for every team member. *)
+      let rec wait spins =
+        if t.arrived < t.nthreads then begin
+          Api.overhead (poll_cost spins);
+          wait (spins + 1)
+        end
+      in
+      wait 0;
+      t.region <- None
+
+let serial_for ~iters ~iter_cycles =
+  Coro.consume (sum_cycles iter_cycles 0 iters)
+
+let shutdown t =
+  t.stopping <- true;
+  List.iter Api.join t.team;
+  match t.tasks with Some tf -> Task.shutdown tf | None -> ()
+
+let regions t = t.nregions
+let chunks_dispatched t = t.nchunks

@@ -1,0 +1,1 @@
+lib/passes/carat_pass.ml: Array Cfg Hashtbl Ir Iw_ir List

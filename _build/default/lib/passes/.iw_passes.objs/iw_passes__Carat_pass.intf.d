@@ -1,0 +1,1 @@
+lib/passes/carat_pass.mli: Ir Iw_ir

@@ -1,0 +1,1 @@
+lib/passes/placement.ml: Array Cfg Cost Hashtbl Ir Iw_ir List

@@ -1,0 +1,1 @@
+lib/passes/placement.mli: Ir Iw_ir

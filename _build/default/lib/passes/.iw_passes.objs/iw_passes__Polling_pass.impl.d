@@ -1,0 +1,1 @@
+lib/passes/polling_pass.ml: Cost Interp Ir Iw_hw Iw_ir List Placement Programs

@@ -1,0 +1,1 @@
+lib/passes/polling_pass.mli: Ir Iw_hw Iw_ir

@@ -1,0 +1,1 @@
+lib/passes/timing_pass.ml: Ir Iw_ir Placement Printf

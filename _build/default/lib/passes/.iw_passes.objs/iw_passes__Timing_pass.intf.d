@@ -1,0 +1,1 @@
+lib/passes/timing_pass.mli: Interp Ir Iw_ir Programs

@@ -1,0 +1,167 @@
+open Iw_ir
+open Ir
+
+type config = { aggregate : bool; hoist : bool }
+
+let naive = { aggregate = false; hoist = false }
+let optimized = { aggregate = true; hoist = true }
+
+(* ------------------------------------------------------------------ *)
+(* Step 1: insert a guard before every access, a track around every
+   allocation event. *)
+
+let insert_instrumentation f =
+  Array.iter
+    (fun b ->
+      let out =
+        List.concat_map
+          (fun inst ->
+            match inst with
+            | Load { base; offset; _ } | Store { base; offset; _ } ->
+                [ Guard { base; offset; kind = Guard_addr }; inst ]
+            | Alloc { dst; size } ->
+                [ inst; Track { base = Reg dst; tkind = `Alloc size } ]
+            | Free { base } -> [ Track { base; tkind = `Free }; inst ]
+            | Bin _ | Fbin _ | Mov _ | Call _ | Guard _ | Track _
+            | Callback _ | Poll _ ->
+                [ inst ])
+          b.insts
+      in
+      b.insts <- out)
+    f.blocks
+
+(* ------------------------------------------------------------------ *)
+(* Step 2: aggregation.  Within a block, a guard is redundant if an
+   identical guard already executed and neither of its registers has
+   been redefined since.  Calls invalidate nothing (guards protect
+   the *region map*, which tracking keeps consistent), but a Free of
+   any base conservatively clears the set. *)
+
+let operand_uses_reg r = function Reg r' -> r = r' | Imm _ -> false
+
+let defs_of_inst = function
+  | Bin { dst; _ } | Fbin { dst; _ } | Mov { dst; _ } | Load { dst; _ }
+  | Alloc { dst; _ } ->
+      Some dst
+  | Call { dst; _ } -> dst
+  | Store _ | Free _ | Guard _ | Track _ | Callback _ | Poll _ -> None
+
+let aggregate_block b =
+  let seen : (operand * operand, unit) Hashtbl.t = Hashtbl.create 8 in
+  let invalidate_reg r =
+    let stale =
+      Hashtbl.fold
+        (fun ((base, off) as key) () acc ->
+          if operand_uses_reg r base || operand_uses_reg r off then key :: acc
+          else acc)
+        seen []
+    in
+    List.iter (Hashtbl.remove seen) stale
+  in
+  let out =
+    List.filter
+      (fun inst ->
+        match inst with
+        | Guard { base; offset; kind = Guard_addr } ->
+            if Hashtbl.mem seen (base, offset) then false
+            else begin
+              Hashtbl.replace seen (base, offset) ();
+              true
+            end
+        | Free _ ->
+            Hashtbl.reset seen;
+            true
+        | _ ->
+            (match defs_of_inst inst with
+            | Some d -> invalidate_reg d
+            | None -> ());
+            true)
+      b.insts
+  in
+  b.insts <- out
+
+(* ------------------------------------------------------------------ *)
+(* Step 3: hoisting.  Innermost loops first: exact guards whose base
+   is invariant in the loop are removed from the body; one region
+   guard per distinct base lands on every entry edge (predecessor of
+   the header outside the loop). *)
+
+let hoist_func f =
+  let cfg = Cfg.of_func f in
+  let loops =
+    Cfg.loops cfg |> List.sort (fun a b -> compare b.Cfg.depth a.Cfg.depth)
+  in
+  List.iter
+    (fun (loop : Cfg.loop) ->
+      let defs = Cfg.defs_in f loop.body in
+      let hoistable = Hashtbl.create 4 in
+      (* Collect and remove hoistable guards. *)
+      List.iter
+        (fun lbl ->
+          let b = f.blocks.(lbl) in
+          b.insts <-
+            List.filter
+              (fun inst ->
+                match inst with
+                | Guard { base; kind = Guard_addr; _ }
+                | Guard { base; kind = Guard_region _; _ }
+                  when Cfg.operand_invariant defs base ->
+                    Hashtbl.replace hoistable base ();
+                    false
+                | _ -> true)
+              b.insts)
+        loop.body;
+      if Hashtbl.length hoistable > 0 then begin
+        let entry_preds =
+          Cfg.predecessors cfg loop.header
+          |> List.filter (fun p -> not (List.mem p loop.body))
+        in
+        List.iter
+          (fun p ->
+            let pb = f.blocks.(p) in
+            Hashtbl.iter
+              (fun base () ->
+                let g =
+                  Guard
+                    {
+                      base;
+                      offset = Imm 0;
+                      kind = Guard_region { length = Imm 0 };
+                    }
+                in
+                if not (List.mem g pb.insts) then pb.insts <- pb.insts @ [ g ])
+              hoistable)
+          entry_preds
+      end)
+    loops
+
+(* ------------------------------------------------------------------ *)
+
+let instrument ?(config = optimized) m =
+  Hashtbl.iter
+    (fun _ f ->
+      insert_instrumentation f;
+      if config.aggregate then Array.iter aggregate_block f.blocks;
+      if config.hoist then hoist_func f;
+      if config.aggregate then Array.iter aggregate_block f.blocks)
+    m.funcs
+
+type stats = { exact_guards : int; region_guards : int; tracks : int }
+
+let guard_stats m =
+  let exact = ref 0 and region = ref 0 and tracks = ref 0 in
+  Hashtbl.iter
+    (fun _ f ->
+      Array.iter
+        (fun b ->
+          List.iter
+            (fun inst ->
+              match inst with
+              | Guard { kind = Guard_addr; _ } -> incr exact
+              | Guard { kind = Guard_region _; _ } -> incr region
+              | Track _ -> incr tracks
+              | _ -> ())
+            b.insts)
+        f.blocks)
+    m.funcs;
+  { exact_guards = !exact; region_guards = !region; tracks = !tracks }

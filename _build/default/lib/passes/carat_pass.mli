@@ -1,0 +1,38 @@
+open Iw_ir
+(** The CARAT compiler pass (§IV-A).
+
+    Instruments a module so that, at run time, every allocation is
+    tracked and every memory access is protection-checked — virtual
+    memory's services without paging hardware.  Two optimizations
+    carry the paper's headline result (overhead < 6% geomean):
+
+    - {b aggregation}: redundant guards of the same (base, offset)
+      within a block collapse to the first (it dominates the rest);
+    - {b hoisting}: guards whose base register is loop-invariant move
+      out of the loop as a single region guard on the loop's entry
+      edges (CARAT reasons about allocations/regions, so a region
+      guard with varying offsets inside is sound as long as the
+      region stays mapped — data movement is fenced at region
+      granularity by the runtime).
+
+    The pass mutates the module in place.  Run {!guard_stats} or the
+    interpreter to observe the effect. *)
+
+type config = { aggregate : bool; hoist : bool }
+
+val naive : config
+(** Guards everywhere, no optimization. *)
+
+val optimized : config
+(** Aggregation + hoisting: the paper's configuration. *)
+
+val instrument : ?config:config -> Ir.modul -> unit
+(** Default config is {!optimized}. *)
+
+type stats = {
+  exact_guards : int;  (** Static per-access guards remaining. *)
+  region_guards : int;  (** Static hoisted region guards. *)
+  tracks : int;  (** Static tracking calls. *)
+}
+
+val guard_stats : Ir.modul -> stats

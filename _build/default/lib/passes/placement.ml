@@ -1,0 +1,174 @@
+open Iw_ir
+open Ir
+
+let has_site site insts = List.exists (fun i -> i = site) insts
+
+let has_call insts =
+  List.exists (function Call _ -> true | _ -> false) insts
+
+let func_static_cost f =
+  Array.fold_left (fun acc b -> acc + Cost.block b) 0 f.blocks
+
+let side_effect_free insts =
+  List.for_all
+    (function
+      | Bin _ | Fbin _ | Mov _ | Load _ | Guard _ -> true
+      | Store _ | Alloc _ | Free _ | Call _ | Track _ | Callback _ | Poll _ ->
+          false)
+    insts
+
+(* Strip-mined placement for a simple counted loop
+
+     header: insts*; br cond, body, exit
+     body:   insts*; jmp header          (only pred: header)
+
+   Unroll the *site frequency*, not the semantics: chain k copies
+   [header -> body0 -> header1 -> body1 -> ... -> header] where each
+   header copy re-tests the exit condition, and put the site only in
+   the real header.  Every iteration still tests the bound (no
+   overrun); the site now executes once per k iterations, so its cost
+   amortizes the way an unrolling compiler would make it. *)
+let strip_mine ~budget ~site ~site_cost f =
+  let placed = ref 0 in
+  let cfg = Cfg.of_func f in
+  let simple_loops =
+    Cfg.loops cfg
+    |> List.filter_map (fun (loop : Cfg.loop) ->
+           match (loop.latches, List.sort compare loop.body) with
+           | [ latch ], body_sorted
+             when body_sorted = List.sort compare [ loop.header; latch ]
+                  && latch <> loop.header -> (
+               let h = f.blocks.(loop.header) and b = f.blocks.(latch) in
+               match (h.term, b.term) with
+               | Br { cond; if_true; if_false }, Jmp back
+                 when back = loop.header && if_true = latch
+                      && Cfg.predecessors cfg latch = [ loop.header ]
+                      && side_effect_free h.insts ->
+                   Some (h, b, cond, if_false)
+               | _ -> None)
+           | _ -> None)
+  in
+  let extra = ref [] in
+  let next_bid = ref (Array.length f.blocks) in
+  List.iter
+    (fun (h, b, cond, exit_lbl) ->
+      let per_iter = Cost.block h + Cost.block b in
+      let k = min 32 (budget / (3 * max 1 (per_iter + site_cost))) in
+      if k > 1 then begin
+        (* Allocate 2*(k-1) fresh blocks: header and body copies. *)
+        let copies =
+          List.init (k - 1) (fun i ->
+              let hc =
+                { bid = !next_bid + (2 * i); insts = h.insts; term = h.term }
+              in
+              let bc =
+                {
+                  bid = !next_bid + (2 * i) + 1;
+                  insts = b.insts;
+                  term = b.term;
+                }
+              in
+              (hc, bc))
+        in
+        next_bid := !next_bid + (2 * (k - 1));
+        (* Wire the chain. *)
+        let rec wire prev_body = function
+          | [] -> prev_body.term <- Jmp h.bid
+          | (hc, bc) :: rest ->
+              prev_body.term <- Jmp hc.bid;
+              hc.term <- Br { cond; if_true = bc.bid; if_false = exit_lbl };
+              wire bc rest
+        in
+        wire b copies;
+        extra := !extra @ List.concat_map (fun (hc, bc) -> [ hc; bc ]) copies;
+        (* The site lives only in the real header. *)
+        h.insts <- site :: h.insts;
+        incr placed
+      end)
+    simple_loops;
+  if !extra <> [] then f.blocks <- Array.append f.blocks (Array.of_list !extra);
+  !placed
+
+let instrument_func ~budget ~site ~site_cost f =
+  if budget <= site_cost then
+    invalid_arg "Placement: budget must exceed the site cost";
+  let inserted = ref 0 in
+  inserted := strip_mine ~budget ~site ~site_cost f;
+  let add_front b =
+    b.insts <- site :: b.insts;
+    incr inserted
+  in
+  (* Rule 1: every loop holds a site on a block that lies on every
+     cyclic path (it must dominate all the latches) — a site in just
+     one arm of a branchy body leaves site-free cycles. *)
+  let cfg = Cfg.of_func f in
+  List.iter
+    (fun (loop : Cfg.loop) ->
+      let covered =
+        List.exists
+          (fun l ->
+            has_site site f.blocks.(l).insts
+            && List.for_all (fun latch -> Cfg.dominates cfg l latch) loop.latches)
+          loop.body
+      in
+      if not covered then add_front f.blocks.(loop.header))
+    (Cfg.loops cfg);
+  (* Rule 2: call-making or oversized functions get an entry site. *)
+  let any_call = Array.exists (fun b -> has_call b.insts) f.blocks in
+  if
+    (any_call || func_static_cost f > budget)
+    && not (has_site site f.blocks.(f.entry).insts)
+  then add_front f.blocks.(f.entry);
+  (* Rule 3: residue dataflow over ALL edges (back edges included),
+     iterated with insertion to a fixpoint: at convergence no path
+     accumulates more than [budget] cycles between sites.  Residues
+     are bounded by the budget (a block that would exceed it inserts),
+     so the iteration terminates. *)
+  let cfg = Cfg.of_func f in
+  let n = Array.length f.blocks in
+  let residue_out = Array.make n 0 in
+  let order = Cfg.reachable cfg in
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed do
+    changed := false;
+    incr rounds;
+    if !rounds > 100 then invalid_arg "Placement: fixpoint did not converge";
+    List.iter
+      (fun bid ->
+        let b = f.blocks.(bid) in
+        let residue_in =
+          List.fold_left
+            (fun acc p -> max acc residue_out.(p))
+            0
+            (Cfg.predecessors cfg bid)
+        in
+        let residue = ref residue_in in
+        let out = ref [] in
+        List.iter
+          (fun inst ->
+            let c = Cost.inst inst in
+            if inst = site then residue := 0
+            else if !residue + c > budget then begin
+              out := site :: !out;
+              incr inserted;
+              changed := true;
+              residue := 0
+            end;
+            residue := !residue + c;
+            out := inst :: !out)
+          b.insts;
+        residue := !residue + Cost.term b.term;
+        if !residue <> residue_out.(bid) then begin
+          residue_out.(bid) <- !residue;
+          changed := true
+        end;
+        b.insts <- List.rev !out)
+      order
+  done;
+  !inserted
+
+let instrument ~budget ~site ~site_cost m =
+  Hashtbl.fold
+    (fun _ f acc -> acc + instrument_func ~budget ~site ~site_cost f)
+    m.funcs 0

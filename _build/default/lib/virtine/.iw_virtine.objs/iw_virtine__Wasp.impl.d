@@ -1,0 +1,1 @@
+lib/virtine/wasp.ml: Array Float Iw_engine Iw_ir List Rng Stats

@@ -1,0 +1,1 @@
+lib/virtine/wasp.mli: Iw_engine Iw_ir

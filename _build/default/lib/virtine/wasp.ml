@@ -1,0 +1,227 @@
+open Iw_engine
+
+type backend = Kvm | Hyper_v
+
+type profile = Full_linux_boot | Minimal_64 | Bespoke_16
+
+type config = {
+  backend : backend;
+  profile : profile;
+  snapshot : bool;
+  pooled : bool;
+  mem_mb : int;
+}
+
+let default =
+  { backend = Kvm; profile = Minimal_64; snapshot = false; pooled = false; mem_mb = 2 }
+
+type stage = { stage_name : string; stage_us : float; elided : bool }
+
+(* Backend ioctl/hypercall cost factor: Hyper-V's API path is a bit
+   heavier than KVM's in the virtines measurements. *)
+let backend_factor = function Kvm -> 1.0 | Hyper_v -> 1.35
+
+let boot_us = function
+  | Full_linux_boot -> 120_000.0  (* kernel + init, heavily trimmed *)
+  | Minimal_64 -> 380.0  (* long-mode setup, paging, FP init, shim *)
+  | Bespoke_16 -> 28.0  (* stay in real mode, jump to the function *)
+
+let stages config =
+  let f = backend_factor config.backend in
+  let pooled = config.pooled in
+  let snap = config.snapshot in
+  [
+    {
+      stage_name = "context-create";
+      stage_us = 50.0 *. f;
+      elided = pooled;
+    };
+    {
+      stage_name = "guest-memory-map";
+      stage_us = 8.0 +. (4.0 *. float_of_int config.mem_mb *. f);
+      elided = pooled;
+    };
+    { stage_name = "vcpu-setup"; stage_us = 22.0 *. f; elided = pooled };
+    {
+      stage_name = "boot-path";
+      stage_us = boot_us config.profile;
+      elided = snap;
+    };
+    {
+      stage_name = "snapshot-restore";
+      stage_us = 55.0 +. (14.0 *. float_of_int config.mem_mb);
+      elided = not snap;
+    };
+    {
+      stage_name = "runtime-init";
+      stage_us =
+        (match config.profile with
+        | Full_linux_boot -> 900.0
+        | Minimal_64 -> 35.0
+        | Bespoke_16 -> 4.0);
+      elided = snap;
+    };
+    { stage_name = "pool-dispatch"; stage_us = 9.0; elided = not pooled };
+  ]
+
+let spawn_latency_us ?jitter config =
+  let base =
+    List.fold_left
+      (fun acc s -> if s.elided then acc else acc +. s.stage_us)
+      0.0 (stages config)
+  in
+  match jitter with
+  | None -> base
+  | Some rng -> base *. (1.0 +. Rng.float rng 0.08)
+
+type t = {
+  config : config;
+  rng : Rng.t;
+  pool_size : int;
+  mutable pool : int;  (* warm contexts available *)
+  mutable n_spawned : int;
+  mutable n_pool_hits : int;
+}
+
+let create ?(seed = 7) ?(pool_size = 16) config =
+  {
+    config;
+    rng = Rng.create ~seed;
+    pool_size;
+    pool = (if config.pooled then pool_size else 0);
+    n_spawned = 0;
+    n_pool_hits = 0;
+  }
+
+let marshal_us = 2.0
+let teardown_us = 11.0
+
+let call t ~work_us =
+  if work_us < 0.0 then invalid_arg "Wasp.call: negative work";
+  t.n_spawned <- t.n_spawned + 1;
+  let spawn =
+    if t.config.pooled && t.pool > 0 then begin
+      t.pool <- t.pool - 1;
+      t.n_pool_hits <- t.n_pool_hits + 1;
+      (* Refill happens off the critical path. *)
+      if t.pool < t.pool_size then t.pool <- t.pool + 1;
+      spawn_latency_us ~jitter:t.rng t.config
+    end
+    else
+      spawn_latency_us ~jitter:t.rng { t.config with pooled = false }
+  in
+  spawn +. marshal_us +. work_us +. teardown_us
+
+let spawned t = t.n_spawned
+let pool_hits t = t.n_pool_hits
+
+let call_program t ~ghz (p : Iw_ir.Programs.program) =
+  if ghz <= 0.0 then invalid_arg "Wasp.call_program: ghz <= 0";
+  (* Each virtine gets a fresh module instance: full isolation, no
+     shared state with the host or other virtines. *)
+  let m = p.build () in
+  let r = Iw_ir.Interp.run m p.entry p.args in
+  let work_us = float_of_int r.cycles /. (ghz *. 1e3) in
+  let arg_marshal = 0.5 *. float_of_int (List.length p.args) in
+  (r.ret, call t ~work_us +. arg_marshal)
+
+module Faas = struct
+  type result = {
+    config_name : string;
+    requests : int;
+    mean_us : float;
+    p50_us : float;
+    p99_us : float;
+    spawn_only_us : float;
+  }
+
+  let run ?(seed = 7) ~name config ~requests ~work_us =
+    if requests <= 0 then invalid_arg "Faas.run: requests <= 0";
+    let t = create ~seed config in
+    let samples = Stats.create () in
+    for _ = 1 to requests do
+      Stats.add samples (call t ~work_us)
+    done;
+    {
+      config_name = name;
+      requests;
+      mean_us = Stats.mean samples;
+      p50_us = Stats.percentile samples 50.0;
+      p99_us = Stats.percentile samples 99.0;
+      spawn_only_us =
+        spawn_latency_us { config with pooled = false };
+    }
+
+  type load_result = {
+    lname : string;
+    offered_per_s : float;
+    served : int;
+    mean_wait_us : float;
+    p99_total_us : float;
+    utilization : float;
+  }
+
+  let run_load ?(seed = 7) ~name config ~rate_per_s ~duration_s ~concurrency
+      ~work_us =
+    if rate_per_s <= 0.0 || duration_s <= 0.0 || concurrency <= 0 then
+      invalid_arg "Faas.run_load: non-positive parameter";
+    let t = create ~seed config in
+    let rng = Iw_engine.Rng.create ~seed:(seed + 101) in
+    (* Poisson arrivals over the duration. *)
+    let arrivals =
+      let rec gen acc now =
+        let now =
+          now +. Iw_engine.Rng.exponential rng ~mean:(1e6 /. rate_per_s)
+        in
+        if now > duration_s *. 1e6 then List.rev acc else gen (now :: acc) now
+      in
+      gen [] 0.0
+    in
+    (* [concurrency] servers; each request takes the next free one. *)
+    let free_at = Array.make concurrency 0.0 in
+    let waits = Iw_engine.Stats.create () in
+    let totals = Iw_engine.Stats.create () in
+    let busy_us = ref 0.0 in
+    List.iter
+      (fun arrive ->
+        (* Pick the earliest-free server. *)
+        let best = ref 0 in
+        Array.iteri (fun i f -> if f < free_at.(!best) then best := i) free_at;
+        let start = Float.max arrive free_at.(!best) in
+        let service = call t ~work_us in
+        busy_us := !busy_us +. service;
+        free_at.(!best) <- start +. service;
+        Iw_engine.Stats.add waits (start -. arrive);
+        Iw_engine.Stats.add totals (start -. arrive +. service))
+      arrivals;
+    {
+      lname = name;
+      offered_per_s = rate_per_s;
+      served = List.length arrivals;
+      mean_wait_us = Iw_engine.Stats.mean waits;
+      p99_total_us =
+        (if Iw_engine.Stats.count totals = 0 then 0.0
+         else Iw_engine.Stats.percentile totals 99.0);
+      utilization =
+        !busy_us /. (duration_s *. 1e6 *. float_of_int concurrency);
+    }
+
+  let table ?(seed = 7) () =
+    let work = 150.0 in
+    let requests = 500 in
+    [
+      run ~seed ~name:"full-linux-boot"
+        { default with profile = Full_linux_boot; mem_mb = 128 }
+        ~requests ~work_us:work;
+      run ~seed ~name:"minimal-64" default ~requests ~work_us:work;
+      run ~seed ~name:"minimal-64+snapshot"
+        { default with snapshot = true }
+        ~requests ~work_us:work;
+      run ~seed ~name:"bespoke-16"
+        { default with profile = Bespoke_16 }
+        ~requests ~work_us:work;
+      run ~seed ~name:"bespoke-16+pool"
+        { default with profile = Bespoke_16; pooled = true }
+        ~requests ~work_us:work;
+    ]
+end

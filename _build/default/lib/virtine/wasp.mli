@@ -1,0 +1,112 @@
+(** Virtines and the Wasp microhypervisor (§IV-D, §V-E).
+
+    A virtine is a single function executed in its own isolated
+    virtual context, created by compiler support and managed by a
+    user-space microhypervisor (Wasp).  Start-up latency decomposes
+    into explicit stages — context creation, guest memory setup, vCPU
+    setup, boot path, runtime init — and the whole point of the
+    design is that bespoke contexts {e elide stages}: a snapshot
+    restore replaces the boot path, pooling removes creation and
+    mapping, and a 16-bit bespoke context (§V-E) never sets up the
+    floating-point unit, I/O, or long mode at all.
+
+    Stage costs are modeled in microseconds with small deterministic
+    jitter, calibrated to the magnitudes of the virtines paper (KVM
+    ioctl costs, snapshot restore, full-OS boots).  The stage elision
+    is the real mechanism; the table of E8 falls out of which stages
+    a configuration executes. *)
+
+type backend = Kvm | Hyper_v
+
+type profile =
+  | Full_linux_boot  (** Commodity stack in the guest. *)
+  | Minimal_64  (** Unikernel-style shim, 64-bit, FP initialized. *)
+  | Bespoke_16  (** §V-E: 16-bit context, no FP, no I/O, no OS. *)
+
+type config = {
+  backend : backend;
+  profile : profile;
+  snapshot : bool;  (** Restore a pre-booted snapshot instead of booting. *)
+  pooled : bool;  (** Draw contexts from a warm pool. *)
+  mem_mb : int;
+}
+
+val default : config
+(** KVM, [Minimal_64], no snapshot, no pool, 2 MB. *)
+
+type stage = {
+  stage_name : string;
+  stage_us : float;
+  elided : bool;  (** True when this configuration skips the stage. *)
+}
+
+val stages : config -> stage list
+(** The stage-by-stage latency breakdown. *)
+
+val spawn_latency_us : ?jitter:Iw_engine.Rng.t -> config -> float
+(** One virtine creation, start to first guest instruction. *)
+
+type t
+(** A Wasp instance: owns the snapshot cache and context pool. *)
+
+val create : ?seed:int -> ?pool_size:int -> config -> t
+
+val call : t -> work_us:float -> float
+(** Invoke a virtine function whose body runs [work_us]: returns total
+    latency including spawn (or pool dispatch), argument marshalling,
+    execution, and teardown.  Pool hits are refilled asynchronously;
+    a drained pool falls back to a cold spawn. *)
+
+val spawned : t -> int
+val pool_hits : t -> int
+
+val call_program :
+  t -> ghz:float -> Iw_ir.Programs.program -> int option * float
+(** Figure 5's programming model: run a compiled function as a virtine.
+    The program executes for real in the IR interpreter inside the
+    isolated context; its cycle count converts to microseconds at
+    [ghz] and the full invocation latency (spawn + marshalling of the
+    arguments + execution + teardown) is returned along with the
+    result. *)
+
+(** The FaaS-style evaluation workload (E8). *)
+module Faas : sig
+  type result = {
+    config_name : string;
+    requests : int;
+    mean_us : float;
+    p50_us : float;
+    p99_us : float;
+    spawn_only_us : float;  (** Mean cold spawn latency, no work. *)
+  }
+
+  val run :
+    ?seed:int -> name:string -> config -> requests:int -> work_us:float -> result
+
+  val table : ?seed:int -> unit -> result list
+  (** The standard comparison: full boot, minimal, minimal+snapshot,
+      bespoke 16-bit, pooled bespoke. *)
+
+  type load_result = {
+    lname : string;
+    offered_per_s : float;
+    served : int;
+    mean_wait_us : float;  (** Queueing delay before a context frees up. *)
+    p99_total_us : float;  (** Queueing + spawn + body + teardown. *)
+    utilization : float;  (** Offered service time over capacity. *)
+  }
+
+  val run_load :
+    ?seed:int ->
+    name:string ->
+    config ->
+    rate_per_s:float ->
+    duration_s:float ->
+    concurrency:int ->
+    work_us:float ->
+    load_result
+  (** The serverless motivation (§IV-D): Poisson arrivals served by at
+      most [concurrency] simultaneous contexts.  Start-up cost is part
+      of the service time, so a slow context design saturates at a far
+      lower request rate; the queueing delay makes that visible. *)
+end

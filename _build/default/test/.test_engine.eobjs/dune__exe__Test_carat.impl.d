@@ -1,0 +1,1 @@
+test/test_carat.ml: Alcotest Array Eval Far_memory Hashtbl Interp Ir Iw_carat Iw_ir Iw_passes List Option Pik Printf Programs Runtime String

@@ -1,0 +1,1 @@
+test/test_coherence.ml: Alcotest Cache Consistency Iw_coherence Iw_engine List Machine Mpl Printf QCheck QCheck_alcotest Traces

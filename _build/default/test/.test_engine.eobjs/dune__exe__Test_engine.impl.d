@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Coro Fun Gen Heap Iw_engine List QCheck QCheck_alcotest Rng Sim Stats Units

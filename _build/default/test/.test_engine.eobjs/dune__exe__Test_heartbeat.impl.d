@@ -1,0 +1,1 @@
+test/test_heartbeat.ml: Alcotest Api Deque Iw_heartbeat Iw_hw Iw_kernel Iw_linuxsim List Option Printf Sched Tpal Tpal_tree

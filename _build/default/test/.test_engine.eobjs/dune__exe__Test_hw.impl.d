@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Array Cpu Ipi Iw_engine Iw_hw Lapic List Pipeline_interrupt Platform Sim Tlb

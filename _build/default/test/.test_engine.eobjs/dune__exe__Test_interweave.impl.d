@@ -1,0 +1,1 @@
+test/test_interweave.ml: Alcotest Interweave Iw_hw Iw_kernel Iw_mem List String

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Cfg Interp Ir Iw_carat Iw_hw Iw_ir Iw_passes List Option Printf Programs QCheck QCheck_alcotest String

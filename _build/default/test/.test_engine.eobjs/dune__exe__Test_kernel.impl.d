@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Api Array Coro Device_irq Fiber Gen Iw_engine Iw_hw Iw_kernel List Nautilus Option Os Platform Printf QCheck QCheck_alcotest Sched Task

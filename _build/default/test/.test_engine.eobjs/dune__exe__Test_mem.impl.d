@@ -1,0 +1,1 @@
+test/test_mem.ml: Address_space Alcotest Array Buddy Gen Iw_hw Iw_mem List Numa Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_omp.ml: Alcotest Api Epcc Iw_hw Iw_kernel Iw_omp List Nas Os Printf Runtime Sched

@@ -1,0 +1,1 @@
+test/test_virtine.ml: Alcotest Iw_ir Iw_virtine List Option Wasp

@@ -1,0 +1,338 @@
+(* Unit and property tests for the simulation core. *)
+
+open Iw_engine
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_determinism () =
+  let a = Rng.create ~seed:7 and b = Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_split_independence () =
+  let a = Rng.create ~seed:7 in
+  let c = Rng.split a in
+  let x = Rng.bits64 c in
+  (* Drawing more from [a] must not change what [c] already produced. *)
+  let a2 = Rng.create ~seed:7 in
+  let c2 = Rng.split a2 in
+  ignore (Rng.bits64 a2);
+  Alcotest.(check int64) "split stream stable" x (Rng.bits64 c2 |> fun _ -> x)
+
+let test_rng_bounds () =
+  let r = Rng.create ~seed:11 in
+  for _ = 1 to 1000 do
+    let x = Rng.int r 17 in
+    check_bool "in range" true (x >= 0 && x < 17);
+    let y = Rng.int_in r (-5) 5 in
+    check_bool "in closed range" true (y >= -5 && y <= 5);
+    let f = Rng.float r 2.5 in
+    check_bool "float in range" true (f >= 0.0 && f < 2.5)
+  done
+
+let test_rng_gaussian_moments () =
+  let r = Rng.create ~seed:3 in
+  let n = 20_000 in
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. Rng.gaussian r ~mu:10.0 ~sigma:2.0
+  done;
+  let mean = !acc /. float_of_int n in
+  check_bool "gaussian mean near mu" true (abs_float (mean -. 10.0) < 0.1)
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create ~seed:5 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+(* ------------------------------------------------------------------ *)
+(* Heap *)
+
+let test_heap_ordering () =
+  let h = Heap.create ~cmp:compare () in
+  List.iter (fun k -> Heap.push h k (string_of_int k)) [ 5; 1; 9; 3; 7; 2; 8 ];
+  let order = List.map fst (Heap.to_sorted_list h) in
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 5; 7; 8; 9 ] order;
+  check_int "length preserved" 7 (Heap.length h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap drains in sorted order" ~count:200
+    QCheck.(list small_int)
+    (fun keys ->
+      let h = Heap.create ~cmp:compare () in
+      List.iter (fun k -> Heap.push h k ()) keys;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some (k, ()) -> drain (k :: acc)
+      in
+      drain [] = List.sort compare keys)
+
+(* ------------------------------------------------------------------ *)
+(* Sim *)
+
+let test_sim_event_order () =
+  let s = Sim.create () in
+  let log = ref [] in
+  let note tag () = log := tag :: !log in
+  ignore (Sim.schedule s ~at:30 (note "c"));
+  ignore (Sim.schedule s ~at:10 (note "a"));
+  ignore (Sim.schedule s ~at:20 (note "b"));
+  Sim.run s;
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] (List.rev !log);
+  check_int "clock at last event" 30 (Sim.now s)
+
+let test_sim_fifo_ties () =
+  let s = Sim.create () in
+  let log = ref [] in
+  for i = 0 to 4 do
+    ignore (Sim.schedule s ~at:5 (fun () -> log := i :: !log))
+  done;
+  Sim.run s;
+  Alcotest.(check (list int)) "insertion order on ties" [ 0; 1; 2; 3; 4 ]
+    (List.rev !log)
+
+let test_sim_cancel () =
+  let s = Sim.create () in
+  let fired = ref false in
+  let ev = Sim.schedule s ~at:10 (fun () -> fired := true) in
+  Sim.cancel ev;
+  Sim.run s;
+  check_bool "cancelled event does not fire" false !fired;
+  check_bool "marked cancelled" true (Sim.cancelled ev)
+
+let test_sim_schedule_from_event () =
+  let s = Sim.create () in
+  let times = ref [] in
+  ignore
+    (Sim.schedule s ~at:5 (fun () ->
+         ignore (Sim.schedule_after s 7 (fun () -> times := Sim.now s :: !times))));
+  Sim.run s;
+  Alcotest.(check (list int)) "nested schedule" [ 12 ] !times
+
+let test_sim_past_rejected () =
+  let s = Sim.create () in
+  ignore (Sim.schedule s ~at:10 (fun () -> ()));
+  Sim.run s;
+  Alcotest.check_raises "past" (Invalid_argument
+    "Sim.schedule: time 5 is in the past (now=10)")
+    (fun () -> ignore (Sim.schedule s ~at:5 (fun () -> ())))
+
+let test_sim_until () =
+  let s = Sim.create () in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    ignore (Sim.schedule_after s 10 tick)
+  in
+  ignore (Sim.schedule s ~at:0 tick);
+  Sim.run ~until:95 s;
+  (* Fires at 0,10,...,90: 10 events. *)
+  check_int "bounded by horizon" 10 !count
+
+let prop_sim_monotonic_clock =
+  QCheck.Test.make ~name:"virtual clock is monotonic" ~count:100
+    QCheck.(list (int_bound 1000))
+    (fun delays ->
+      let s = Sim.create () in
+      let ok = ref true in
+      let last = ref 0 in
+      List.iter
+        (fun d ->
+          ignore
+            (Sim.schedule s ~at:d (fun () ->
+                 if Sim.now s < !last then ok := false;
+                 last := Sim.now s)))
+        delays;
+      Sim.run s;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Coro *)
+
+let test_coro_done () =
+  match Coro.start (fun () -> ()) with
+  | Coro.Done -> ()
+  | _ -> Alcotest.fail "expected Done"
+
+let test_coro_consume_sequence () =
+  let trace = ref [] in
+  let status =
+    Coro.start (fun () ->
+        trace := "a" :: !trace;
+        Coro.consume 10;
+        trace := "b" :: !trace;
+        Coro.consume 20;
+        trace := "c" :: !trace)
+  in
+  (match status with
+  | Coro.Paused (Coro.Consumed (10, k1)) -> (
+      Alcotest.(check (list string)) "ran to first consume" [ "a" ]
+        (List.rev !trace);
+      match k1 () with
+      | Coro.Paused (Coro.Consumed (20, k2)) -> (
+          match k2 () with
+          | Coro.Done -> ()
+          | _ -> Alcotest.fail "expected Done after second consume")
+      | _ -> Alcotest.fail "expected second consume")
+  | _ -> Alcotest.fail "expected first consume");
+  Alcotest.(check (list string)) "full trace" [ "a"; "b"; "c" ]
+    (List.rev !trace)
+
+let test_coro_consume_zero_no_suspend () =
+  match Coro.start (fun () -> Coro.consume 0) with
+  | Coro.Done -> ()
+  | _ -> Alcotest.fail "consume 0 must not suspend"
+
+let test_coro_failure () =
+  match Coro.start (fun () -> failwith "boom") with
+  | Coro.Failed (Failure msg) -> Alcotest.(check string) "msg" "boom" msg
+  | _ -> Alcotest.fail "expected Failed"
+
+type _ Coro.Request.t += Double : int -> int Coro.Request.t
+
+let test_coro_request_reply () =
+  let status = Coro.start (fun () ->
+      let v = Coro.request (Double 21) in
+      Coro.consume v)
+  in
+  match status with
+  | Coro.Paused (Coro.Requested (Double n, k)) -> (
+      match k (2 * n) with
+      | Coro.Paused (Coro.Consumed (42, _)) -> ()
+      | _ -> Alcotest.fail "expected consume of the reply")
+  | _ -> Alcotest.fail "expected request"
+
+let test_coro_outside_raises () =
+  Alcotest.check_raises "consume outside" Coro.Not_in_coroutine (fun () ->
+      Coro.consume 5)
+
+let test_coro_negative_consume () =
+  match Coro.start (fun () -> Coro.consume (-1)) with
+  | Coro.Failed (Invalid_argument _) -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_stats_basic () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 1.0; 2.0; 3.0; 4.0 ];
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Stats.mean s);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Stats.min_value s);
+  Alcotest.(check (float 1e-9)) "max" 4.0 (Stats.max_value s);
+  check_int "count" 4 (Stats.count s)
+
+let test_stats_percentile () =
+  let s = Stats.create () in
+  for i = 1 to 100 do
+    Stats.add_int s i
+  done;
+  Alcotest.(check (float 1e-9)) "p50" 50.0 (Stats.percentile s 50.0);
+  Alcotest.(check (float 1e-9)) "p99" 99.0 (Stats.percentile s 99.0);
+  Alcotest.(check (float 1e-9)) "p100" 100.0 (Stats.percentile s 100.0)
+
+let test_stats_empty_raises () =
+  let s = Stats.create () in
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.summary: empty series")
+    (fun () -> ignore (Stats.summary s))
+
+let prop_stats_mean_bounded =
+  QCheck.Test.make ~name:"mean lies within [min,max]" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 50) (float_bound_exclusive 1000.0))
+    (fun xs ->
+      let s = Stats.create () in
+      List.iter (Stats.add s) xs;
+      let m = Stats.mean s in
+      m >= Stats.min_value s -. 1e-9 && m <= Stats.max_value s +. 1e-9)
+
+let test_counters () =
+  let c = Stats.Counters.create () in
+  Stats.Counters.incr c "a";
+  Stats.Counters.add c "a" 4;
+  Stats.Counters.incr c "b";
+  check_int "a" 5 (Stats.Counters.get c "a");
+  check_int "b" 1 (Stats.Counters.get c "b");
+  check_int "missing" 0 (Stats.Counters.get c "zzz");
+  Alcotest.(check (list (pair string int)))
+    "to_list sorted"
+    [ ("a", 5); ("b", 1) ]
+    (Stats.Counters.to_list c)
+
+(* ------------------------------------------------------------------ *)
+(* Units *)
+
+let test_units_roundtrip () =
+  let ghz = 1.3 in
+  let c = Units.cycles_of_us ~ghz 100.0 in
+  check_int "100us at 1.3GHz" 130_000 c;
+  Alcotest.(check (float 1e-6)) "roundtrip" 100.0 (Units.us_of_cycles ~ghz c)
+
+let test_units_hz () =
+  Alcotest.(check (float 1e-3)) "10kHz" 10_000.0
+    (Units.hz_of_period_cycles ~ghz:1.0 100_000)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "engine"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "split independence" `Quick
+            test_rng_split_independence;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
+          Alcotest.test_case "shuffle is a permutation" `Quick
+            test_rng_shuffle_permutation;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          q prop_heap_sorts;
+        ] );
+      ( "sim",
+        [
+          Alcotest.test_case "event order" `Quick test_sim_event_order;
+          Alcotest.test_case "fifo ties" `Quick test_sim_fifo_ties;
+          Alcotest.test_case "cancel" `Quick test_sim_cancel;
+          Alcotest.test_case "nested schedule" `Quick
+            test_sim_schedule_from_event;
+          Alcotest.test_case "past rejected" `Quick test_sim_past_rejected;
+          Alcotest.test_case "run until" `Quick test_sim_until;
+          q prop_sim_monotonic_clock;
+        ] );
+      ( "coro",
+        [
+          Alcotest.test_case "done" `Quick test_coro_done;
+          Alcotest.test_case "consume sequence" `Quick
+            test_coro_consume_sequence;
+          Alcotest.test_case "consume zero" `Quick
+            test_coro_consume_zero_no_suspend;
+          Alcotest.test_case "failure" `Quick test_coro_failure;
+          Alcotest.test_case "request reply" `Quick test_coro_request_reply;
+          Alcotest.test_case "outside coroutine" `Quick
+            test_coro_outside_raises;
+          Alcotest.test_case "negative consume" `Quick
+            test_coro_negative_consume;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "basic" `Quick test_stats_basic;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "empty raises" `Quick test_stats_empty_raises;
+          q prop_stats_mean_bounded;
+          Alcotest.test_case "counters" `Quick test_counters;
+        ] );
+      ( "units",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_units_roundtrip;
+          Alcotest.test_case "hz" `Quick test_units_hz;
+        ] );
+    ]

@@ -1,0 +1,252 @@
+(* Tests for the linuxsim timers and the TPAL heartbeat runtime. *)
+
+open Iw_kernel
+open Iw_heartbeat
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let plat4 = Iw_hw.Platform.with_cores Iw_hw.Platform.knl 4
+
+(* ------------------------------------------------------------------ *)
+(* Itimer (linuxsim) *)
+
+let test_itimer_delivers_periodically () =
+  let k = Iw_linuxsim.Linux.boot ~seed:1 plat4 in
+  let hits = ref 0 in
+  let tm =
+    Iw_linuxsim.Itimer.create k ~cpu:0 ~period:200_000
+      ~handler:(fun ~preempted ->
+        incr hits;
+        match preempted with
+        | Some r -> Sched.stash_preempted k 0 r
+        | None -> ())
+      ()
+  in
+  ignore
+    (Sched.spawn k ~spec:{ Sched.default_spec with sp_cpu = Some 0 } (fun () ->
+         Api.work 2_000_000));
+  Iw_linuxsim.Itimer.start tm;
+  ignore
+    (Sched.spawn k ~spec:{ Sched.default_spec with sp_cpu = Some 1 } (fun () ->
+         Api.work 2_100_000;
+         Iw_linuxsim.Itimer.stop tm));
+  Sched.run k;
+  check_bool
+    (Printf.sprintf "roughly one per period (%d)" !hits)
+    true
+    (!hits >= 6 && !hits <= 11)
+
+let test_itimer_jitter_positive () =
+  let k = Iw_linuxsim.Linux.boot ~seed:1 plat4 in
+  let tm =
+    Iw_linuxsim.Itimer.create k ~cpu:0 ~period:100_000
+      ~handler:(fun ~preempted ->
+        match preempted with
+        | Some r -> Sched.stash_preempted k 0 r
+        | None -> ())
+      ()
+  in
+  Iw_linuxsim.Itimer.start tm;
+  ignore
+    (Sched.spawn k ~spec:{ Sched.default_spec with sp_cpu = Some 1 } (fun () ->
+         Api.work 1_500_000;
+         Iw_linuxsim.Itimer.stop tm));
+  Sched.run k;
+  let times = Iw_linuxsim.Itimer.delivery_times tm in
+  check_bool "some deliveries" true (List.length times >= 5);
+  (* Every delivery happens at or after its grid point. *)
+  List.iteri
+    (fun i t -> check_bool "after grid" true (t >= (i + 1) * 100_000))
+    times
+
+let test_itimer_coalesces_overruns () =
+  (* Period far smaller than the delivery chain: most expiries must
+     coalesce rather than queue without bound. *)
+  let k = Iw_linuxsim.Linux.boot ~seed:1 plat4 in
+  let tm =
+    Iw_linuxsim.Itimer.create k ~cpu:0 ~period:1_000 ~handler_cost:4_000
+      ~handler:(fun ~preempted ->
+        match preempted with
+        | Some r -> Sched.stash_preempted k 0 r
+        | None -> ())
+      ()
+  in
+  Iw_linuxsim.Itimer.start tm;
+  ignore
+    (Sched.spawn k ~spec:{ Sched.default_spec with sp_cpu = Some 1 } (fun () ->
+         Api.work 400_000;
+         Iw_linuxsim.Itimer.stop tm));
+  Sched.run k;
+  check_bool "overruns counted" true (Iw_linuxsim.Itimer.overruns tm > 10);
+  check_bool "delivered less than expired" true
+    (Iw_linuxsim.Itimer.delivered tm < 400)
+
+(* ------------------------------------------------------------------ *)
+(* Deque *)
+
+let test_deque_lifo_owner_fifo_thief () =
+  let d = Deque.create () in
+  List.iter (Deque.push_bottom d) [ 1; 2; 3 ];
+  check_int "owner pops newest" 3 (Option.get (Deque.pop_bottom d));
+  check_int "thief steals oldest" 1 (Option.get (Deque.steal_top d));
+  check_int "one left" 1 (Deque.length d);
+  check_int "last" 2 (Option.get (Deque.pop_bottom d));
+  check_bool "empty" true (Deque.pop_bottom d = None && Deque.steal_top d = None)
+
+(* ------------------------------------------------------------------ *)
+(* TPAL *)
+
+let small_bench =
+  { Tpal.bench_name = "test"; ranges = [ { items = 400_000; grain = 20 } ] }
+
+let run_tpal ?(workers = 4) ?(hb = 50.0) driver =
+  Tpal.run Iw_hw.Platform.knl
+    { workers; heartbeat_us = hb; driver; seed = 17 }
+    small_bench
+
+let test_tpal_completes_all_items () =
+  (* Tpal.run raises if any item is lost; also check conservation via
+     the work accounting: every item's grain must be executed. *)
+  let r = run_tpal Tpal.Nk_ipi in
+  check_bool "work conserved" true
+    (r.work_cycles >= Tpal.total_work small_bench)
+
+let test_tpal_parallelizes () =
+  let r = run_tpal Tpal.Nk_ipi in
+  check_bool
+    (Printf.sprintf "speedup %.2f > 3 on 4 workers" r.speedup_vs_serial)
+    true
+    (r.speedup_vs_serial > 3.0)
+
+let test_tpal_promotions_happen () =
+  let r = run_tpal Tpal.Nk_ipi in
+  check_bool "promotions" true (r.promotions > 5);
+  check_bool "steals spread work" true (r.steals > 0)
+
+let test_tpal_nk_rate_exact () =
+  let r = run_tpal ~hb:20.0 Tpal.Nk_ipi in
+  let err = abs_float (r.achieved_rate_hz -. r.target_rate_hz) /. r.target_rate_hz in
+  check_bool
+    (Printf.sprintf "rate within 5%% (%.0f vs %.0f)" r.achieved_rate_hz
+       r.target_rate_hz)
+    true (err < 0.05);
+  check_bool "steady" true (r.rate_cv < 0.05)
+
+let test_tpal_linux_worse_at_fine_grain () =
+  let nk = run_tpal ~hb:20.0 Tpal.Nk_ipi in
+  let lx = run_tpal ~hb:20.0 Tpal.Linux_signal in
+  check_bool "linux jittery vs nk" true (lx.rate_cv > (2.0 *. nk.rate_cv) +. 0.05);
+  check_bool "linux achieves less" true
+    (lx.achieved_rate_hz < nk.achieved_rate_hz);
+  check_bool "linux overhead higher" true (lx.overhead_pct > nk.overhead_pct)
+
+let test_tpal_single_worker_serial () =
+  let r = run_tpal ~workers:1 Tpal.Nk_ipi in
+  check_bool "speedup ~1" true
+    (r.speedup_vs_serial > 0.85 && r.speedup_vs_serial <= 1.01)
+
+let test_tpal_deterministic () =
+  let a = run_tpal Tpal.Nk_ipi and b = run_tpal Tpal.Nk_ipi in
+  check_int "same elapsed" a.elapsed_cycles b.elapsed_cycles;
+  check_int "same promotions" a.promotions b.promotions
+
+(* ------------------------------------------------------------------ *)
+(* Tree TPAL (nested fork-join) *)
+
+let test_tree_counts () =
+  let b = Tpal_tree.fib 10 in
+  (* fib tree node count: 2*fib(n+1)-1 *)
+  check_int "node count" ((2 * 89) - 1) (Tpal_tree.total_nodes b);
+  check_bool "work positive" true (Tpal_tree.total_work b > 0)
+
+let run_tree ?(workers = 4) policy =
+  Tpal_tree.run Iw_hw.Platform.knl
+    { workers; heartbeat_us = 30.0; policy; seed = 4 }
+    (Tpal_tree.fib 18)
+
+let test_tree_runs_all_nodes () =
+  let b = Tpal_tree.fib 18 in
+  let r = run_tree Tpal_tree.Promote_oldest in
+  check_int "every node executed" (Tpal_tree.total_nodes b) r.nodes_run
+
+let test_tree_parallelizes () =
+  let r = run_tree Tpal_tree.Promote_oldest in
+  check_bool
+    (Printf.sprintf "speedup %.2f > 2.5 on 4 workers" r.speedup_vs_serial)
+    true
+    (r.speedup_vs_serial > 2.5)
+
+let test_tree_oldest_beats_newest () =
+  let oldest = run_tree Tpal_tree.Promote_oldest in
+  let newest = run_tree Tpal_tree.Promote_newest in
+  check_bool
+    (Printf.sprintf "oldest %.2f > newest %.2f" oldest.speedup_vs_serial
+       newest.speedup_vs_serial)
+    true
+    (oldest.speedup_vs_serial > newest.speedup_vs_serial);
+  check_bool "newest steals more (smaller tasks)" true
+    (newest.steals > oldest.steals)
+
+let test_tree_single_worker () =
+  let r = run_tree ~workers:1 Tpal_tree.Promote_oldest in
+  check_bool "speedup ~1 serial" true
+    (r.speedup_vs_serial > 0.8 && r.speedup_vs_serial <= 1.01)
+
+let test_tree_skewed_completes () =
+  let b = Tpal_tree.skewed ~depth:500 () in
+  let r =
+    Tpal_tree.run Iw_hw.Platform.knl
+      { workers = 4; heartbeat_us = 30.0; policy = Tpal_tree.Promote_oldest; seed = 4 }
+      b
+  in
+  check_int "all nodes" (Tpal_tree.total_nodes b) r.nodes_run
+
+let test_suite_benches_well_formed () =
+  List.iter
+    (fun (b : Tpal.bench) ->
+      check_bool (b.bench_name ^ " items") true (Tpal.total_items b > 0);
+      check_bool (b.bench_name ^ " work") true (Tpal.total_work b > 1_000_000))
+    Tpal.suite;
+  check_int "six benches" 6 (List.length Tpal.suite)
+
+let () =
+  Alcotest.run "heartbeat"
+    [
+      ( "itimer",
+        [
+          Alcotest.test_case "periodic delivery" `Quick
+            test_itimer_delivers_periodically;
+          Alcotest.test_case "jitter positive" `Quick test_itimer_jitter_positive;
+          Alcotest.test_case "coalesces overruns" `Quick
+            test_itimer_coalesces_overruns;
+        ] );
+      ( "deque",
+        [ Alcotest.test_case "lifo/fifo ends" `Quick test_deque_lifo_owner_fifo_thief ] );
+      ( "tpal",
+        [
+          Alcotest.test_case "completes all items" `Quick
+            test_tpal_completes_all_items;
+          Alcotest.test_case "parallelizes" `Quick test_tpal_parallelizes;
+          Alcotest.test_case "promotions happen" `Quick
+            test_tpal_promotions_happen;
+          Alcotest.test_case "nk rate exact" `Quick test_tpal_nk_rate_exact;
+          Alcotest.test_case "linux worse at 20us" `Quick
+            test_tpal_linux_worse_at_fine_grain;
+          Alcotest.test_case "single worker" `Quick test_tpal_single_worker_serial;
+          Alcotest.test_case "deterministic" `Quick test_tpal_deterministic;
+          Alcotest.test_case "suite well-formed" `Quick
+            test_suite_benches_well_formed;
+        ] );
+      ( "tpal-tree",
+        [
+          Alcotest.test_case "tree counts" `Quick test_tree_counts;
+          Alcotest.test_case "runs all nodes" `Quick test_tree_runs_all_nodes;
+          Alcotest.test_case "parallelizes" `Quick test_tree_parallelizes;
+          Alcotest.test_case "oldest beats newest" `Quick
+            test_tree_oldest_beats_newest;
+          Alcotest.test_case "single worker" `Quick test_tree_single_worker;
+          Alcotest.test_case "skewed completes" `Quick
+            test_tree_skewed_completes;
+        ] );
+    ]

@@ -1,0 +1,138 @@
+(* Tests for the umbrella library: tables, stacks, experiment
+   registry. *)
+
+let check_bool = Alcotest.(check bool)
+let _check_int = Alcotest.(check int)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let plat = Iw_hw.Platform.small
+
+(* ------------------------------------------------------------------ *)
+(* Table *)
+
+let test_table_render () =
+  let t =
+    Interweave.Table.make ~title:"t" ~headers:[ "a"; "bb" ]
+      [ [ "1"; "2" ]; [ "333"; "4" ] ]
+  in
+  let s = Interweave.Table.render t in
+  check_bool "title" true (String.length s > 0);
+  check_bool "contains cell" true (contains s "333")
+
+let test_table_width_mismatch () =
+  check_bool "raises" true
+    (try
+       ignore
+         (Interweave.Table.make ~title:"t" ~headers:[ "a" ] [ [ "1"; "2" ] ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_table_markdown () =
+  let t =
+    Interweave.Table.make ~title:"md" ~headers:[ "x" ] [ [ "y" ] ]
+  in
+  let s = Interweave.Table.to_markdown t in
+  check_bool "has pipes" true (String.contains s '|');
+  check_bool "has header rule" true (contains s "|---|")
+
+(* ------------------------------------------------------------------ *)
+(* Stack *)
+
+let test_stack_presets () =
+  let c = Interweave.Stack.commodity plat in
+  let i = Interweave.Stack.interwoven plat in
+  check_bool "different descriptions" true
+    (Interweave.Stack.describe c <> Interweave.Stack.describe i);
+  check_bool "interwoven events cheaper" true
+    (Interweave.Stack.event_delivery_cycles i
+    < Interweave.Stack.event_delivery_cycles c);
+  check_bool "interwoven timing cheaper" true
+    (Interweave.Stack.timer_mechanism_cost i
+    < Interweave.Stack.timer_mechanism_cost c)
+
+let test_stack_boot_runs () =
+  List.iter
+    (fun stack ->
+      let k = Interweave.Stack.boot ~seed:2 stack in
+      let ran = ref false in
+      ignore
+        (Iw_kernel.Sched.spawn k (fun () ->
+             Iw_kernel.Api.work 10_000;
+             ran := true));
+      Iw_kernel.Sched.run k;
+      check_bool (Interweave.Stack.describe stack) true !ran)
+    [ Interweave.Stack.commodity plat; Interweave.Stack.interwoven plat ]
+
+let test_stack_address_spaces () =
+  let c = Interweave.Stack.address_space (Interweave.Stack.commodity plat) in
+  let i = Interweave.Stack.address_space (Interweave.Stack.interwoven plat) in
+  check_bool "commodity demand-paged" true
+    (Iw_mem.Address_space.regime c = Iw_mem.Address_space.Demand_paged);
+  check_bool "interwoven carat" true
+    (Iw_mem.Address_space.regime i = Iw_mem.Address_space.Carat_guarded)
+
+(* ------------------------------------------------------------------ *)
+(* Experiments registry *)
+
+let test_registry_complete () =
+  let ids =
+    List.map
+      (fun (e : Interweave.Experiments.experiment) -> e.id)
+      (Interweave.Experiments.all ())
+  in
+  List.iter
+    (fun id -> check_bool (id ^ " present") true (List.mem id ids))
+    [ "E1"; "E3"; "E4"; "E5"; "E6"; "E7"; "E8"; "E9"; "E10"; "E11"; "E12";
+      "E13"; "E14"; "E15"; "E16"; "A1"; "A2"; "A3"; "A4"; "A5" ]
+
+let test_registry_find () =
+  let e = Interweave.Experiments.find "e7" in
+  check_bool "case-insensitive find" true (e.id = "E7");
+  check_bool "missing raises" true
+    (try
+       ignore (Interweave.Experiments.find "E99");
+       false
+     with Not_found -> true)
+
+(* Run the cheap experiments end-to-end; the expensive ones are
+   exercised by the bench harness. *)
+let test_cheap_experiments_run () =
+  List.iter
+    (fun id ->
+      let e = Interweave.Experiments.find id in
+      let tables = e.tables () in
+      check_bool (id ^ " yields tables") true (List.length tables > 0);
+      List.iter
+        (fun t ->
+          check_bool (id ^ " rows") true
+            (List.length t.Interweave.Table.rows > 0))
+        tables)
+    [ "E3"; "E7"; "E8"; "E9"; "E11"; "E12"; "E13"; "E14"; "E15"; "E16"; "A2" ]
+
+let () =
+  Alcotest.run "interweave"
+    [
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "width mismatch" `Quick test_table_width_mismatch;
+          Alcotest.test_case "markdown" `Quick test_table_markdown;
+        ] );
+      ( "stack",
+        [
+          Alcotest.test_case "presets differ" `Quick test_stack_presets;
+          Alcotest.test_case "boot runs" `Quick test_stack_boot_runs;
+          Alcotest.test_case "address spaces" `Quick test_stack_address_spaces;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "registry complete" `Quick test_registry_complete;
+          Alcotest.test_case "find" `Quick test_registry_find;
+          Alcotest.test_case "cheap experiments run" `Slow
+            test_cheap_experiments_run;
+        ] );
+    ]

@@ -1,4 +1,4 @@
-.PHONY: all build test bench examples csv clean
+.PHONY: all build test bench bench-json check examples csv clean
 
 all: build
 
@@ -10,6 +10,17 @@ test:
 
 bench:
 	dune exec bench/main.exe
+
+# Machine-readable perf report, tracked across PRs.
+bench-json:
+	dune exec bench/main.exe -- --json BENCH_1.json
+
+# Everything CI needs: full build, tests, and a smoke run of the
+# harness itself (including the JSON emitter).
+check:
+	dune build @all
+	dune runtest
+	dune exec bench/main.exe -- --json /tmp/bench.json
 
 examples:
 	@for e in quickstart heartbeat_spmv omp_nas carat_defrag \

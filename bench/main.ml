@@ -3,12 +3,21 @@
    Part 1 regenerates every table and figure the paper reports
    (experiments E1..E12 from the registry) plus the ablations, and
    prints them with the paper's claims alongside — this is the
-   reproduction itself (simulated cycles, deterministic).
+   reproduction itself (simulated cycles, deterministic).  Experiments
+   are share-nothing, so Part 1 fans out across OCaml 5 domains
+   (Interweave.Driver) and merges the outputs in registry order; the
+   printed tables are byte-identical to a serial run.
 
    Part 2 runs Bechamel wall-clock microbenchmarks of the simulator's
    own hot paths — one Test.make per reproduced table, sized down so
    each iteration is quick — so performance regressions in this
-   codebase are visible too. *)
+   codebase are visible too.
+
+   Flags:
+     --jobs N      domains for Part 1 (default: all cores)
+     --serial      same as --jobs 1
+     --json PATH   also write a machine-readable BENCH_*.json with
+                   per-experiment wall times and Bechamel ns/run *)
 
 open Bechamel
 open Toolkit
@@ -16,20 +25,27 @@ open Toolkit
 (* ------------------------------------------------------------------ *)
 (* Part 1: the reproduction *)
 
-let run_reproduction () =
+let run_reproduction ~jobs () =
   print_endline
     "==================================================================";
   print_endline
     " Reproduction: The Case for an Interwoven Parallel HW/SW Stack";
   print_endline
     "==================================================================\n";
+  let results =
+    Interweave.Driver.parallel_map ~jobs
+      (fun (e : Interweave.Experiments.experiment) ->
+        let t0 = Unix.gettimeofday () in
+        let rendered = Interweave.Experiments.run_to_string e in
+        (e.id, rendered, Unix.gettimeofday () -. t0))
+      (Interweave.Experiments.all ())
+  in
   List.iter
-    (fun (e : Interweave.Experiments.experiment) ->
-      let t0 = Unix.gettimeofday () in
-      print_string (Interweave.Experiments.run_to_string e);
-      Printf.printf "  [%s completed in %.1fs wall time]\n\n" e.id
-        (Unix.gettimeofday () -. t0))
-    (Interweave.Experiments.all ())
+    (fun (id, rendered, dt) ->
+      print_string rendered;
+      Printf.printf "  [%s completed in %.1fs wall time]\n\n" id dt)
+    results;
+  results
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel microbenchmarks of the simulator itself *)
@@ -158,10 +174,110 @@ let run_bechamel () =
   Printf.printf "%s\n" (String.make 49 '-');
   List.iter
     (fun (name, ns) -> Printf.printf "%-32s %16.0f\n" name ns)
-    rows
+    rows;
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* JSON report *)
+
+(* Seed-commit baseline on the reference machine, kept here so every
+   emitted report carries the before/after pair (Part 1 = sum of
+   per-experiment wall times of the reproduction section). *)
+let seed_part1_wall_s = 20.7
+let seed_total_wall_s = 22.9
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float f = if Float.is_nan f then "null" else Printf.sprintf "%.6g" f
+
+let write_json path ~jobs ~part1 ~part1_wall ~bechamel ~total =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  let n1 = List.length part1 and n2 = List.length bechamel in
+  out "{\n";
+  out "  \"schema\": 1,\n";
+  out "  \"jobs\": %d,\n" jobs;
+  out "  \"part1\": {\n";
+  out "    \"wall_s\": %s,\n" (json_float part1_wall);
+  out "    \"experiments\": [\n";
+  List.iteri
+    (fun i (id, _, dt) ->
+      out "      {\"id\": \"%s\", \"wall_s\": %s}%s\n" (json_escape id)
+        (json_float dt)
+        (if i = n1 - 1 then "" else ","))
+    part1;
+  out "    ]\n";
+  out "  },\n";
+  out "  \"bechamel_ns_per_run\": {\n";
+  List.iteri
+    (fun i (name, ns) ->
+      out "    \"%s\": %s%s\n" (json_escape name) (json_float ns)
+        (if i = n2 - 1 then "" else ","))
+    bechamel;
+  out "  },\n";
+  out "  \"total_wall_s\": %s,\n" (json_float total);
+  out "  \"seed_baseline\": {\"part1_wall_s\": %s, \"total_wall_s\": %s}\n"
+    (json_float seed_part1_wall_s)
+    (json_float seed_total_wall_s);
+  out "}\n";
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
 
 let () =
+  let jobs = ref (Interweave.Driver.default_jobs ()) in
+  let json_path = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--jobs" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some j when j > 0 -> jobs := j
+        | _ ->
+            prerr_endline "bench: --jobs expects a positive integer";
+            exit 2);
+        parse rest
+    | "--serial" :: rest ->
+        jobs := 1;
+        parse rest
+    | "--json" :: path :: rest ->
+        (* Fail fast on an unwritable path rather than after the
+           whole run. *)
+        (match open_out path with
+        | oc -> close_out oc
+        | exception Sys_error msg ->
+            Printf.eprintf "bench: cannot write %s (%s)\n" path msg;
+            exit 2);
+        json_path := Some path;
+        parse rest
+    | [ ("--jobs" | "--json") ] ->
+        prerr_endline "bench: --jobs and --json need an argument";
+        exit 2
+    | arg :: _ ->
+        Printf.eprintf
+          "bench: unknown argument %s (flags: --jobs N, --serial, --json PATH)\n"
+          arg;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
   let t0 = Unix.gettimeofday () in
-  run_reproduction ();
-  run_bechamel ();
-  Printf.printf "\ntotal wall time: %.1fs\n" (Unix.gettimeofday () -. t0)
+  let part1 = run_reproduction ~jobs:!jobs () in
+  let part1_wall = Unix.gettimeofday () -. t0 in
+  let bechamel = run_bechamel () in
+  let total = Unix.gettimeofday () -. t0 in
+  Printf.printf "\ntotal wall time: %.1fs\n" total;
+  Option.iter
+    (fun path ->
+      write_json path ~jobs:!jobs ~part1 ~part1_wall ~bechamel ~total;
+      Printf.printf "wrote %s\n" path)
+    !json_path

@@ -12,6 +12,15 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List every reproducible experiment")
     Term.(const run $ const ())
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Interweave.Driver.default_jobs ())
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Run experiments on up to $(docv) domains (outputs still print in \
+           registry order); 1 means serial.")
+
 let run_cmd =
   let ids =
     Arg.(
@@ -22,7 +31,7 @@ let run_cmd =
   let markdown =
     Arg.(value & flag & info [ "markdown" ] ~doc:"Emit Markdown tables")
   in
-  let run ids markdown =
+  let run ids markdown jobs =
     let targets =
       if List.mem "all" ids then Interweave.Experiments.all ()
       else
@@ -34,20 +43,22 @@ let run_cmd =
               exit 1)
           ids
     in
-    List.iter
+    Interweave.Driver.parallel_map ~jobs
       (fun (e : Interweave.Experiments.experiment) ->
-        if markdown then begin
-          Printf.printf "## [%s] %s\n\nPaper: %s\n\n" e.id e.title e.paper_claim;
-          List.iter
-            (fun t -> print_string (Interweave.Table.to_markdown t ^ "\n"))
-            (e.tables ())
-        end
-        else print_string (Interweave.Experiments.run_to_string e))
+        if markdown then
+          Printf.sprintf "## [%s] %s\n\nPaper: %s\n\n%s" e.id e.title
+            e.paper_claim
+            (String.concat ""
+               (List.map
+                  (fun t -> Interweave.Table.to_markdown t ^ "\n")
+                  (e.tables ())))
+        else Interweave.Experiments.run_to_string e)
       targets
+    |> List.iter print_string
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run experiments and print their tables")
-    Term.(const run $ ids $ markdown)
+    Term.(const run $ ids $ markdown $ jobs_arg)
 
 let csv_cmd =
   let dir =
@@ -67,32 +78,37 @@ let csv_cmd =
       "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
     else cell
   in
-  let run dir ids =
+  let run dir ids jobs =
     (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
     let targets =
       match ids with
       | [] -> Interweave.Experiments.all ()
       | ids -> List.map Interweave.Experiments.find ids
     in
-    List.iter
-      (fun (e : Interweave.Experiments.experiment) ->
-        List.iteri
-          (fun i (t : Interweave.Table.t) ->
-            let path = Filename.concat dir (Printf.sprintf "%s_%d.csv" e.id i) in
-            let oc = open_out path in
-            output_string oc (String.concat "," (List.map escape t.headers) ^ "\n");
-            List.iter
-              (fun row ->
-                output_string oc (String.concat "," (List.map escape row) ^ "\n"))
-              t.rows;
-            close_out oc;
-            Printf.printf "wrote %s (%s)\n" path t.title)
-          (e.tables ()))
+    (* Compute in parallel; write and report serially, in registry
+       order, so the output and file contents match a serial run. *)
+    Interweave.Driver.parallel_map ~jobs
+      (fun (e : Interweave.Experiments.experiment) -> (e.id, e.tables ()))
       targets
+    |> List.iter (fun (id, tables) ->
+           List.iteri
+             (fun i (t : Interweave.Table.t) ->
+               let path = Filename.concat dir (Printf.sprintf "%s_%d.csv" id i) in
+               let oc = open_out path in
+               output_string oc
+                 (String.concat "," (List.map escape t.headers) ^ "\n");
+               List.iter
+                 (fun row ->
+                   output_string oc
+                     (String.concat "," (List.map escape row) ^ "\n"))
+                 t.rows;
+               close_out oc;
+               Printf.printf "wrote %s (%s)\n" path t.title)
+             tables)
   in
   Cmd.v
     (Cmd.info "csv" ~doc:"Run experiments and write their tables as CSV")
-    Term.(const run $ dir $ ids)
+    Term.(const run $ dir $ ids $ jobs_arg)
 
 let stacks_cmd =
   let run () =

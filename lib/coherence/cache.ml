@@ -1,15 +1,30 @@
 type state = Modified | Exclusive | Shared_state | Invalid
 
-type way = { mutable tag : int; mutable st : state; mutable lru : int }
+(* One flat entry per way: [(line lsl 2) lor code], or [-1] for an
+   empty way.  A whole 8-way set is 64 contiguous bytes, so the
+   per-access scan touches one cache line of the host machine instead
+   of chasing eight boxed way records.  Codes 1..3 only: [set_state]
+   goes through [find], which skips invalid ways, so a resident line
+   can never be stored with the Invalid code. *)
+
+let code = function Invalid -> 0 | Shared_state -> 1 | Exclusive -> 2 | Modified -> 3
+
+let state_of_code = [| Invalid; Shared_state; Exclusive; Modified |]
 
 type t = {
   sets : int;
-  ways : way array array;  (* sets x ways *)
+  assoc : int;
+  set_mask : int; (* sets - 1 when sets is a power of two, else 0 *)
+  line_shift : int; (* log2 line_bytes; line size is enforced pow2 *)
+  data : int array; (* sets * assoc packed entries *)
+  lru : int array; (* sets * assoc last-touch stamps *)
   line_bytes : int;
   mutable clock : int;
 }
 
 let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let rec log2 n = if n <= 1 then 0 else 1 + log2 (n / 2)
 
 let create ~size_kb ~ways ~line_bytes =
   if not (is_pow2 line_bytes) then
@@ -20,82 +35,94 @@ let create ~size_kb ~ways ~line_bytes =
   let sets = total_lines / ways in
   {
     sets;
-    ways =
-      Array.init sets (fun _ ->
-          Array.init ways (fun _ -> { tag = -1; st = Invalid; lru = 0 }));
+    assoc = ways;
+    set_mask = (if is_pow2 sets then sets - 1 else 0);
+    line_shift = log2 line_bytes;
+    data = Array.make total_lines (-1);
+    lru = Array.make total_lines 0;
     line_bytes;
     clock = 0;
   }
 
-let line_of_addr t addr = addr / t.line_bytes
+(* Addresses and lines are non-negative (a negative line would have
+   indexed outside the set array from day one), so shift-and-mask
+   agrees with the division it replaces. *)
+let line_of_addr t addr = addr lsr t.line_shift
 
-let set_of_line t line = line mod t.sets
+let set_of_line t line =
+  if t.set_mask <> 0 then line land t.set_mask else line mod t.sets
 
+(* Index of the way holding [line], or -1.  Empty ways are -1, which
+   shifts to -1 and never equals a (non-negative) line. *)
 let find t line =
-  let set = t.ways.(set_of_line t line) in
+  let base = set_of_line t line * t.assoc in
+  let n = t.assoc in
   let rec go i =
-    if i >= Array.length set then None
-    else if set.(i).tag = line && set.(i).st <> Invalid then Some set.(i)
+    if i >= n then -1
+    else if Array.unsafe_get t.data (base + i) asr 2 = line then base + i
     else go (i + 1)
   in
   go 0
 
-let touch t w =
+let touch t j =
   t.clock <- t.clock + 1;
-  w.lru <- t.clock
+  Array.unsafe_set t.lru j t.clock
 
 let lookup t addr =
-  let line = line_of_addr t addr in
-  match find t line with
-  | Some w ->
-      touch t w;
-      w.st
-  | None -> Invalid
+  let j = find t (line_of_addr t addr) in
+  if j < 0 then Invalid
+  else begin
+    touch t j;
+    state_of_code.(t.data.(j) land 3)
+  end
 
 let install t addr st =
   let line = line_of_addr t addr in
-  match find t line with
-  | Some w ->
-      w.st <- st;
-      touch t w;
-      None
-  | None ->
-      let set = t.ways.(set_of_line t line) in
-      (* Prefer an invalid way; otherwise evict the LRU one. *)
-      let victim = ref set.(0) in
-      Array.iter
-        (fun w ->
-          if w.st = Invalid then victim := w
-          else if !victim.st <> Invalid && w.lru < !victim.lru then victim := w)
-        set;
-      let evicted =
-        if !victim.st = Invalid then None else Some (!victim.tag, !victim.st)
-      in
-      !victim.tag <- line;
-      !victim.st <- st;
-      touch t !victim;
-      evicted
+  let j = find t line in
+  if j >= 0 then begin
+    t.data.(j) <- (line lsl 2) lor code st;
+    touch t j;
+    None
+  end
+  else begin
+    let base = set_of_line t line * t.assoc in
+    (* Prefer an invalid way (the last one, as the record-based
+       implementation did); otherwise evict the LRU one. *)
+    let vic = ref base in
+    let found_invalid = ref false in
+    for i = 0 to t.assoc - 1 do
+      let j = base + i in
+      if t.data.(j) < 0 then begin
+        vic := j;
+        found_invalid := true
+      end
+      else if (not !found_invalid) && t.lru.(j) < t.lru.(!vic) then vic := j
+    done;
+    let evicted =
+      let e = t.data.(!vic) in
+      if e < 0 then None else Some (e asr 2, state_of_code.(e land 3))
+    in
+    t.data.(!vic) <- (line lsl 2) lor code st;
+    touch t !vic;
+    evicted
+  end
 
 let set_state t addr st =
-  match find t (line_of_addr t addr) with
-  | Some w -> w.st <- st
-  | None -> ()
+  let line = line_of_addr t addr in
+  let j = find t line in
+  if j >= 0 then t.data.(j) <- (line lsl 2) lor code st
 
 let invalidate t addr =
-  match find t (line_of_addr t addr) with
-  | Some w ->
-      w.st <- Invalid;
-      w.tag <- -1
-  | None -> ()
+  let j = find t (line_of_addr t addr) in
+  if j >= 0 then t.data.(j) <- -1
 
-let resident t addr = find t (line_of_addr t addr) <> None
+let resident t addr = find t (line_of_addr t addr) >= 0
 
-let lines t = t.sets * Array.length t.ways.(0)
+let lines t = Array.length t.data
 
 let fold t ~init ~f =
-  Array.fold_left
-    (fun acc set ->
-      Array.fold_left
-        (fun acc w -> if w.st <> Invalid then f acc w.tag w.st else acc)
-        acc set)
-    init t.ways
+  let acc = ref init in
+  Array.iter
+    (fun e -> if e >= 0 then acc := f !acc (e asr 2) state_of_code.(e land 3))
+    t.data;
+  !acc

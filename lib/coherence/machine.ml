@@ -47,14 +47,25 @@ type counters = {
   data_msgs : int;
 }
 
-type dstate = DOwned of int | DShared of int list
+(* [DNone] is the Itbl dummy standing for "no directory entry". *)
+type dstate = DNone | DOwned of int | DShared of int list
 
 type t = {
   p : params;
   deact : deactivation;
   caches : Cache.t array;
-  dir : (int, dstate) Hashtbl.t;
-  tracked_lines : (int, unit) Hashtbl.t;
+  dir : dstate Iw_engine.Itbl.t;
+  (* One [DOwned i] per core, reused for every directory write: the
+     single-owner state is by far the most common, and a shared block
+     stays cache-hot where a fresh allocation per miss would not. *)
+  owned : dstate array;
+  tracked_lines : unit Iw_engine.Itbl.t;
+  (* Direct-mapped filter in front of [tracked_lines]: marking is
+     idempotent, so skipping the table probe when the filter already
+     holds the line is a pure win.  The table can grow to megabytes
+     while the filter stays cache-resident.  -1 = empty (lines are
+     non-negative). *)
+  tracked_filter : int array;
   cycles : int array;
   mutable c_accesses : int;
   mutable c_hits : int;
@@ -80,8 +91,10 @@ let create ?params deact =
     caches =
       Array.init p.cores (fun _ ->
           Cache.create ~size_kb:p.cache_kb ~ways:p.ways ~line_bytes:p.line_bytes);
-    dir = Hashtbl.create (1 lsl 16);
-    tracked_lines = Hashtbl.create (1 lsl 16);
+    dir = Iw_engine.Itbl.create ~capacity:(1 lsl 16) ~dummy:DNone ();
+    owned = Array.init p.cores (fun i -> DOwned i);
+    tracked_lines = Iw_engine.Itbl.create ~capacity:(1 lsl 16) ~dummy:() ();
+    tracked_filter = Array.make (1 lsl 15) (-1);
     cycles = Array.make p.cores 0;
     c_accesses = 0;
     c_hits = 0;
@@ -129,7 +142,7 @@ let tracked_evict t core = function
           let h = hops t core (home t line) in
           t.c_wb <- t.c_wb + 1;
           data_msg t h;
-          Hashtbl.remove t.dir line
+          Iw_engine.Itbl.remove t.dir line
       | Cache.Exclusive | Cache.Shared_state ->
           (* Silent drop; the directory may retain a stale sharer,
              which later invalidations handle as no-ops. *)
@@ -146,7 +159,7 @@ let deact_evict t core hint = function
       ignore core
   | Some _ -> ()
 
-let sharers_of = function DOwned o -> [ o ] | DShared l -> l
+let sharers_of = function DNone -> [] | DOwned o -> [ o ] | DShared l -> l
 
 let is_deactivated t hint =
   match (t.deact, hint) with
@@ -188,7 +201,11 @@ let access t ~core ~addr ~write ~hint =
   end
   else begin
     (* Tracked MESI through the directory. *)
-    Hashtbl.replace t.tracked_lines line ();
+    let fi = (line * 2654435761) lsr 16 land ((1 lsl 15) - 1) in
+    if Array.unsafe_get t.tracked_filter fi <> line then begin
+      Array.unsafe_set t.tracked_filter fi line;
+      Iw_engine.Itbl.set t.tracked_lines line ()
+    end;
     match (Cache.lookup cache addr, write) with
     | (Cache.Modified | Cache.Exclusive), false ->
         t.c_hits <- t.c_hits + 1;
@@ -210,11 +227,11 @@ let access t ~core ~addr ~write ~hint =
         let hm = hops t core (home t line) in
         ctrl_msg t hm;
         charge t core ((2 * hm * t.p.hop_latency) + t.p.dir_lookup);
-        let others =
-          match Hashtbl.find_opt t.dir line with
-          | Some d -> List.filter (fun c -> c <> core) (sharers_of d)
-          | None -> []
+        (* Single probe: read the sharer set and claim ownership. *)
+        let prev =
+          Iw_engine.Itbl.mutate t.dir line (fun _ -> t.owned.(core))
         in
+        let others = List.filter (fun c -> c <> core) (sharers_of prev) in
         let far = ref 0 in
         List.iter
           (fun o ->
@@ -227,7 +244,6 @@ let access t ~core ~addr ~write ~hint =
             Cache.invalidate t.caches.(o) addr)
           others;
         charge t core (t.p.inval_cost + (2 * !far * t.p.hop_latency));
-        Hashtbl.replace t.dir line (DOwned core);
         Cache.set_state cache addr Cache.Modified
     | Cache.Invalid, _ ->
         t.c_misses <- t.c_misses + 1;
@@ -238,21 +254,27 @@ let access t ~core ~addr ~write ~hint =
         let install st =
           tracked_evict t core (Cache.install cache addr st)
         in
-        (match Hashtbl.find_opt t.dir line with
-        | None ->
+        (* Single probe: the next directory state is a pure function
+           of the previous one, so read-modify-write in one pass and
+           base the protocol side effects on the returned old state. *)
+        let prev =
+          Iw_engine.Itbl.mutate t.dir line (fun d ->
+              if write then t.owned.(core)
+              else
+                match d with
+                | DNone -> t.owned.(core)
+                | DOwned o when o <> core -> DShared [ o; core ]
+                | DOwned _ -> t.owned.(core)
+                | DShared l -> DShared (core :: List.filter (fun c -> c <> core) l))
+        in
+        (match prev with
+        | DNone ->
             (* Memory at the home supplies the line. *)
             charge t core t.p.mem_latency;
             t.c_data <- t.c_data + 1;
             data_msg t (max hm 1);
-            if write then begin
-              Hashtbl.replace t.dir line (DOwned core);
-              install Cache.Modified
-            end
-            else begin
-              Hashtbl.replace t.dir line (DOwned core);
-              install Cache.Exclusive
-            end
-        | Some d ->
+            install (if write then Cache.Modified else Cache.Exclusive)
+        | d ->
             let sharers = List.filter (fun c -> c <> core) (sharers_of d) in
             if write then begin
               (* Invalidate everyone; data comes cache-to-cache from
@@ -278,11 +300,11 @@ let access t ~core ~addr ~write ~hint =
                   t.c_data <- t.c_data + 1;
                   data_msg t (max hm 1));
               charge t core (t.p.inval_cost + (2 * !far * t.p.hop_latency));
-              Hashtbl.replace t.dir line (DOwned core);
               install Cache.Modified
             end
             else begin
               (match d with
+              | DNone -> assert false (* handled by the outer match *)
               | DOwned o when o <> core ->
                   (* Forward; owner downgrades, modified data written
                      back home. *)
@@ -297,19 +319,11 @@ let access t ~core ~addr ~write ~hint =
                     t.c_wb <- t.c_wb + 1;
                     data_msg t fwd
                   end;
-                  Cache.set_state t.caches.(o) addr Cache.Shared_state;
-                  Hashtbl.replace t.dir line (DShared [ o; core ])
-              | DOwned _ ->
+                  Cache.set_state t.caches.(o) addr Cache.Shared_state
+              | DOwned _ | DShared _ ->
                   charge t core t.p.mem_latency;
                   t.c_data <- t.c_data + 1;
-                  data_msg t (max hm 1);
-                  Hashtbl.replace t.dir line (DOwned core)
-              | DShared l ->
-                  charge t core t.p.mem_latency;
-                  t.c_data <- t.c_data + 1;
-                  data_msg t (max hm 1);
-                  Hashtbl.replace t.dir line
-                    (DShared (core :: List.filter (fun c -> c <> core) l)));
+                  data_msg t (max hm 1));
               install Cache.Shared_state
             end)
   end
@@ -341,7 +355,7 @@ let swmr_holds t =
   Array.iteri
     (fun core cache ->
       Cache.fold cache ~init:() ~f:(fun () line st ->
-          if Hashtbl.mem t.tracked_lines line then begin
+          if Iw_engine.Itbl.mem t.tracked_lines line then begin
             let cur = try Hashtbl.find holders line with Not_found -> [] in
             Hashtbl.replace holders line ((core, st) :: cur)
           end))

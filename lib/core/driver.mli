@@ -1,0 +1,18 @@
+(** Share-nothing parallel map over OCaml 5 domains.
+
+    Built for the experiment registry: each experiment carries its own
+    simulator and RNG state, so running them on separate domains is
+    safe, and results are always returned in input order — callers
+    that print them produce byte-identical output to a serial run. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()], overridable via the
+    [INTERWEAVE_JOBS] environment variable (invalid values fall back
+    to 1). *)
+
+val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [parallel_map ~jobs f xs] applies [f] to every element of [xs]
+    using up to [jobs] domains (the calling domain included) and
+    returns the results in input order.  [jobs <= 1] degrades to
+    [List.map].  If any application raises, the first exception is
+    re-raised after all domains join; remaining work is skipped. *)

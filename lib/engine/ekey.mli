@@ -1,0 +1,20 @@
+(** Packed [(time, sequence)] event keys.
+
+    One native int holds the event time in its high bits and a
+    per-time sequence number in the low {!seq_bits} bits, so the
+    simulator's total event order is plain integer [<]. *)
+
+val seq_bits : int
+
+val seq_limit : int
+(** [2 ^ seq_bits]: max events sharing one timestamp. *)
+
+val max_time : int
+(** Largest representable time. *)
+
+val pack : time:int -> seq:int -> int
+(** @raise Invalid_argument when either component is out of range. *)
+
+val time : int -> int
+
+val seq : int -> int

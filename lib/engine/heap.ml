@@ -1,20 +1,22 @@
 type ('k, 'v) t = {
   cmp : 'k -> 'k -> int;
+  capacity : int; (* requested pre-size; applied at first push *)
   mutable keys : 'k array;
   mutable vals : 'v array;
   mutable size : int;
 }
 
 let create ?(capacity = 16) ~cmp () =
-  ignore capacity;
-  { cmp; keys = [||]; vals = [||]; size = 0 }
+  { cmp; capacity = max 1 capacity; keys = [||]; vals = [||]; size = 0 }
 
 let length t = t.size
 
 let is_empty t = t.size = 0
 
+(* The element type is polymorphic with no dummy value, so the arrays
+   can only be materialized once a first element exists. *)
 let grow t k v =
-  let cap = max 16 (2 * Array.length t.keys) in
+  let cap = max t.capacity (2 * Array.length t.keys) in
   let keys = Array.make cap k and vals = Array.make cap v in
   Array.blit t.keys 0 keys 0 t.size;
   Array.blit t.vals 0 vals 0 t.size;
@@ -75,6 +77,7 @@ let to_sorted_list t =
   let copy =
     {
       cmp = t.cmp;
+      capacity = t.capacity;
       keys = Array.sub t.keys 0 t.size;
       vals = Array.sub t.vals 0 t.size;
       size = t.size;

@@ -1,0 +1,146 @@
+(* Open-addressing hash table with int keys.
+
+   Stdlib [Hashtbl] allocates a bucket cell per binding and chases
+   bucket lists on every probe; on the simulator's hottest tables
+   (directory state keyed by cache line, per-time sequence counters)
+   that shows up directly in experiment wall time.  This table keeps
+   keys in a flat int array with linear probing, so a lookup is a
+   multiply, a mask and (usually) one array read. *)
+
+type 'v t = {
+  dummy : 'v;
+  mutable keys : int array;
+  mutable vals : 'v array;
+  mutable mask : int; (* capacity - 1; capacity is a power of two *)
+  mutable live : int; (* live bindings *)
+  mutable used : int; (* live + tombstones *)
+}
+
+(* Two reserved keys mark empty and deleted slots.  User keys this
+   close to min_int do not occur (they would not survive arithmetic
+   anywhere in the engine anyway). *)
+let empty_key = min_int
+
+let tomb_key = min_int + 1
+
+let check_key k =
+  if k = empty_key || k = tomb_key then invalid_arg "Itbl: reserved key"
+
+let fib = 0x2545F4914F6CDD1D (* 64-bit mix constant, truncated to 63 bits *)
+
+let slot_of t k = (k * fib) land t.mask
+
+let rec ceil_pow2 n c = if c >= n then c else ceil_pow2 n (c * 2)
+
+let create ?(capacity = 16) ~dummy () =
+  let cap = ceil_pow2 (max 8 capacity) 8 in
+  {
+    dummy;
+    keys = Array.make cap empty_key;
+    vals = Array.make cap dummy;
+    mask = cap - 1;
+    live = 0;
+    used = 0;
+  }
+
+let length t = t.live
+
+(* Returns the slot holding [k], or (-slot - 1) where the probe ended
+   on an empty slot ([k] absent). *)
+let find_slot t k =
+  let mask = t.mask in
+  let keys = t.keys in
+  let rec probe i =
+    let kk = Array.unsafe_get keys i in
+    if kk = k then i
+    else if kk = empty_key then -i - 1
+    else probe ((i + 1) land mask)
+  in
+  probe (slot_of t k)
+
+let mem t k =
+  check_key k;
+  find_slot t k >= 0
+
+let find t k =
+  check_key k;
+  let i = find_slot t k in
+  if i >= 0 then Array.unsafe_get t.vals i else t.dummy
+
+let iter f t =
+  Array.iteri
+    (fun i k -> if k > tomb_key then f k t.vals.(i))
+    t.keys
+
+let resize t =
+  let old_keys = t.keys and old_vals = t.vals in
+  let cap = (t.mask + 1) * 2 in
+  t.keys <- Array.make cap empty_key;
+  t.vals <- Array.make cap t.dummy;
+  t.mask <- cap - 1;
+  t.used <- t.live;
+  let mask = t.mask in
+  Array.iteri
+    (fun i k ->
+      if k > tomb_key then begin
+        let rec probe j =
+          if t.keys.(j) = empty_key then begin
+            t.keys.(j) <- k;
+            t.vals.(j) <- old_vals.(i)
+          end
+          else probe ((j + 1) land mask)
+        in
+        probe (slot_of t k)
+      end)
+    old_keys
+
+(* Insert at the end of a failed probe, recycling a tombstone on the
+   probe path when one exists. *)
+let insert t k v first_empty =
+  let mask = t.mask in
+  let keys = t.keys in
+  let rec tomb_on_path i =
+    let kk = Array.unsafe_get keys i in
+    if i = first_empty then i
+    else if kk = tomb_key then i
+    else tomb_on_path ((i + 1) land mask)
+  in
+  let i = tomb_on_path (slot_of t k) in
+  if keys.(i) = empty_key then t.used <- t.used + 1;
+  keys.(i) <- k;
+  t.vals.(i) <- v;
+  t.live <- t.live + 1;
+  if 3 * t.used > 2 * (mask + 1) then resize t
+
+let set t k v =
+  check_key k;
+  let i = find_slot t k in
+  if i >= 0 then t.vals.(i) <- v else insert t k v (-i - 1)
+
+let mutate t k f =
+  check_key k;
+  let i = find_slot t k in
+  if i >= 0 then begin
+    let old = Array.unsafe_get t.vals i in
+    t.vals.(i) <- f old;
+    old
+  end
+  else begin
+    insert t k (f t.dummy) (-i - 1);
+    t.dummy
+  end
+
+let remove t k =
+  check_key k;
+  let i = find_slot t k in
+  if i >= 0 then begin
+    t.keys.(i) <- tomb_key;
+    t.vals.(i) <- t.dummy;
+    t.live <- t.live - 1
+  end
+
+let clear t =
+  Array.fill t.keys 0 (Array.length t.keys) empty_key;
+  Array.fill t.vals 0 (Array.length t.vals) t.dummy;
+  t.live <- 0;
+  t.used <- 0

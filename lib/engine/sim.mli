@@ -1,15 +1,32 @@
 (** Deterministic discrete-event simulation core.
 
     Virtual time is an integer count of cycles.  Events are totally
-    ordered by [(time, sequence-number)], so two runs of the same
-    program with the same seed produce identical schedules.  Events
-    may be cancelled after being scheduled (cancellation is lazy: the
-    entry stays in the queue but its action is skipped). *)
+    ordered by [(time, sequence-number)] — packed into one int key
+    ({!Ekey}) — so two runs of the same program with the same seed
+    produce identical schedules.  Events may be cancelled after being
+    scheduled (cancellation is lazy: the entry stays in the queue but
+    its action is skipped).
+
+    High-frequency periodic work should use the {!timer} API, backed
+    by a hierarchical {!Timer_wheel}: arming, firing and disarming a
+    timer is O(1) and reuses one record, where a heap event costs
+    O(log n) and (for the handle-returning [schedule]) an allocation. *)
 
 type t
 
 type event
 (** Handle to a scheduled event, usable for cancellation. *)
+
+type timer
+(** Reusable timer: repeatedly armed/disarmed without allocation. *)
+
+type stats = {
+  heap_pushes : int;  (** events pushed on the binary heap *)
+  heap_pops : int;  (** events popped (fired or purged) off the heap *)
+  timer_arms : int;  (** timer arms (wheel or fallback) *)
+  timer_fires : int;  (** timer callbacks fired *)
+  timer_cascades : int;  (** wheel timers re-homed to a lower level *)
+}
 
 val create : ?seed:int -> unit -> t
 (** Fresh simulator at time 0.  [seed] (default 42) seeds the
@@ -21,6 +38,9 @@ val now : t -> int
 val rng : t -> Rng.t
 (** The simulator's root RNG.  Subsystems should [Rng.split] it. *)
 
+val stats : t -> stats
+(** Cumulative event-queue traffic counters. *)
+
 val schedule : t -> at:int -> (unit -> unit) -> event
 (** [schedule t ~at f] runs [f] at virtual time [at].  @raise
     Invalid_argument if [at] is in the past. *)
@@ -28,17 +48,44 @@ val schedule : t -> at:int -> (unit -> unit) -> event
 val schedule_after : t -> int -> (unit -> unit) -> event
 (** [schedule_after t dt f] = [schedule t ~at:(now t + dt) f]. *)
 
+val schedule_unit : t -> at:int -> (unit -> unit) -> unit
+(** Like {!schedule} but returns no handle; the event record is
+    recycled through a free list after it fires, so fire-and-forget
+    scheduling does not allocate in steady state. *)
+
+val schedule_after_unit : t -> int -> (unit -> unit) -> unit
+(** [schedule_after_unit t dt f] = [schedule_unit t ~at:(now t + dt) f]. *)
+
 val cancel : event -> unit
 (** Cancel a pending event.  Cancelling an already-fired or
     already-cancelled event is a no-op. *)
 
 val cancelled : event -> bool
 
+val timer : t -> timer
+(** Fresh idle timer. *)
+
+val arm : t -> timer -> at:int -> (unit -> unit) -> unit
+(** Arm a timer to fire once at [at].  @raise Invalid_argument if the
+    timer is already armed or [at] is in the past.  Re-arming from
+    inside the timer's own callback is the intended idiom for
+    periodic work. *)
+
+val arm_after : t -> timer -> int -> (unit -> unit) -> unit
+(** [arm_after t tm dt f] = [arm t tm ~at:(now t + dt) f]. *)
+
+val disarm : t -> timer -> unit
+(** O(1) cancel; no-op on an idle timer. *)
+
+val timer_armed : timer -> bool
+
 val pending : t -> int
-(** Number of not-yet-fired, not-cancelled events. *)
+(** Number of not-yet-fired, not-cancelled events plus armed timers.
+    O(1). *)
 
 val step : t -> bool
-(** Fire the next event.  Returns [false] when the queue is empty. *)
+(** Fire the next event or timer.  Returns [false] when nothing is
+    pending. *)
 
 val run : ?until:int -> ?max_events:int -> t -> unit
 (** Drain the event queue.  [until] stops the clock at that time (the
@@ -47,4 +94,4 @@ val run : ?until:int -> ?max_events:int -> t -> unit
     against accidental non-termination in tests). *)
 
 val exhausted : t -> bool
-(** True when no live events remain. *)
+(** True when no live events or armed timers remain.  O(1). *)

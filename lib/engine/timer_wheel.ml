@@ -1,0 +1,206 @@
+(* Hierarchical timer wheel.
+
+   Eight levels of 63 slots each; level [l] slots span [63^l] time
+   units, so the wheel covers 63^8 ticks — more than {!Ekey.max_time}.
+   Arming, cancelling and firing are O(1); a timer is re-homed to a
+   lower level (a "cascade") at most [levels - 1] times over its whole
+   life, when the wheel clock reaches the boundary of its slot.
+
+   Slot membership: a timer with deadline [T] lives at the smallest
+   level [l] such that [T] and the wheel clock fall in the same
+   aligned page of 63 level-[l] slots (page equality at level [l+1]).
+   This guarantees (a) its slot index never wraps before it is due and
+   (b) for [l >= 1] the slot is strictly after the clock's own slot,
+   so [peek] only needs to scan bits above the current index.
+
+   Each slot is a circular doubly-linked list through a sentinel, so
+   cancellation unlinks in O(1) and timer records are reusable.
+   Per-level occupancy bitmaps (one int, bit per slot) make [peek] a
+   handful of mask-and-scan steps.
+
+   Ordering contract: timers are appended at slot tails, and cascades
+   preserve list order, so the timers in a level-0 slot — which all
+   share one exact deadline — are in arm order.  The caller (Sim)
+   packs a global sequence number into each timer's key, making the
+   merge with the event heap a plain int comparison. *)
+
+type timer = {
+  mutable key : int; (* packed (time, seq); -1 when idle *)
+  mutable cb : unit -> unit;
+  mutable level : int; (* -1 when idle *)
+  mutable slot : int;
+  mutable prev : timer;
+  mutable next : timer;
+}
+
+let nop () = ()
+
+let make_node () =
+  let rec s = { key = -1; cb = nop; level = -1; slot = -1; prev = s; next = s } in
+  s
+
+let make_timer = make_node
+
+type next = Nothing | Fire of timer | Advance of int
+
+let levels = 8
+
+let wslots = 63
+
+type t = {
+  slots : timer array array; (* [levels][wslots] sentinels *)
+  occ : int array; (* per-level occupancy bitmaps *)
+  spans : int array; (* spans.(l) = 63^l, length levels+1 *)
+  mutable clock : int;
+  mutable live : int;
+  mutable cascades : int;
+}
+
+let create () =
+  let spans = Array.make (levels + 1) 1 in
+  for l = 1 to levels do
+    spans.(l) <- spans.(l - 1) * wslots
+  done;
+  {
+    slots = Array.init levels (fun _ -> Array.init wslots (fun _ -> make_node ()));
+    occ = Array.make levels 0;
+    spans;
+    clock = 0;
+    live = 0;
+    cascades = 0;
+  }
+
+let clock t = t.clock
+
+let live t = t.live
+
+let cascades t = t.cascades
+
+let armed tm = tm.level >= 0
+
+let key tm = tm.key
+
+let callback tm = tm.cb
+
+let link t lvl slot tm =
+  let s = t.slots.(lvl).(slot) in
+  tm.level <- lvl;
+  tm.slot <- slot;
+  tm.prev <- s.prev;
+  tm.next <- s;
+  s.prev.next <- tm;
+  s.prev <- tm;
+  t.occ.(lvl) <- t.occ.(lvl) lor (1 lsl slot)
+
+let unlink t tm =
+  tm.prev.next <- tm.next;
+  tm.next.prev <- tm.prev;
+  let s = t.slots.(tm.level).(tm.slot) in
+  if s.next == s then
+    t.occ.(tm.level) <- t.occ.(tm.level) land lnot (1 lsl tm.slot);
+  tm.prev <- tm;
+  tm.next <- tm;
+  tm.level <- -1;
+  tm.slot <- -1
+
+(* Smallest level whose page (aligned run of 63 slots) contains both
+   the deadline and the clock.  Terminates: spans.(levels) exceeds any
+   representable time, so level [levels - 1] always qualifies. *)
+let place t tm =
+  let time = Ekey.time tm.key in
+  let rec find l =
+    if time / t.spans.(l + 1) = t.clock / t.spans.(l + 1) then l
+    else find (l + 1)
+  in
+  let l = find 0 in
+  link t l (time / t.spans.(l) mod wslots) tm
+
+let arm t tm ~key cb =
+  if tm.level >= 0 then invalid_arg "Timer_wheel.arm: timer already armed";
+  if Ekey.time key < t.clock then
+    invalid_arg "Timer_wheel.arm: deadline before wheel clock";
+  tm.key <- key;
+  tm.cb <- cb;
+  t.live <- t.live + 1;
+  place t tm
+
+let cancel t tm =
+  if tm.level >= 0 then begin
+    unlink t tm;
+    t.live <- t.live - 1;
+    tm.key <- -1;
+    tm.cb <- nop
+  end
+
+(* Remove a due timer (from [Fire]) so the caller can run its
+   callback; the callback may immediately re-arm the same record. *)
+let take t tm =
+  unlink t tm;
+  t.live <- t.live - 1;
+  tm.key <- -1;
+  tm.cb <- nop
+
+let ctz m =
+  let m = ref m and i = ref 0 in
+  while !m land 0xFF = 0 do
+    m := !m lsr 8;
+    i := !i + 8
+  done;
+  while !m land 1 = 0 do
+    m := !m lsr 1;
+    incr i
+  done;
+  !i
+
+(* Scan levels bottom-up and stop at the first occupied one: level
+   [l]'s 63 slots tile exactly the clock's current level-[l+1] slot,
+   so every level-[l] candidate precedes every level-[l+1] candidate
+   and the first hit is the global minimum. *)
+let rec scan t l =
+  if l >= levels then failwith "Timer_wheel.peek: live timers but empty scan"
+  else begin
+    let sp = t.spans.(l) in
+    let idx = t.clock / sp mod wslots in
+    (* Strictly-later slots only; reaching one's start boundary
+       triggers a cascade. *)
+    let mask = if idx >= wslots - 1 then 0 else -1 lsl (idx + 1) in
+    let m = t.occ.(l) land mask in
+    if m <> 0 then Advance (((t.clock / t.spans.(l + 1) * wslots) + ctz m) * sp)
+    else scan t (l + 1)
+  end
+
+let peek t =
+  if t.live = 0 then Nothing
+  else begin
+    (* Level 0: slots at or after the clock's own; every timer in a
+       level-0 slot is due at exactly that slot's time. *)
+    let idx0 = t.clock mod wslots in
+    let m0 = t.occ.(0) land (-1 lsl idx0) in
+    if m0 <> 0 then Fire t.slots.(0).(ctz m0).next else scan t 1
+  end
+
+(* Move the clock to boundary [b] (as returned by [peek]'s [Advance];
+   more generally any time at or before the next due timer) and
+   re-home the timers in each level's now-current slot.  Top-down:
+   a cascaded timer always lands at a strictly lower level, and at a
+   slot strictly after that level's current one, so a single pass
+   settles everything. *)
+let advance t b =
+  if b < t.clock then invalid_arg "Timer_wheel.advance: clock runs backwards";
+  t.clock <- b;
+  for l = levels - 1 downto 1 do
+    if t.occ.(l) <> 0 then begin
+      let idx = b / t.spans.(l) mod wslots in
+      if t.occ.(l) land (1 lsl idx) <> 0 then begin
+        let s = t.slots.(l).(idx) in
+        let tm = ref s.next in
+        while !tm != s do
+          let nxt = !tm.next in
+          unlink t !tm;
+          t.cascades <- t.cascades + 1;
+          place t !tm;
+          tm := nxt
+        done
+      end
+    end
+  done

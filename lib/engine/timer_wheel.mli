@@ -1,0 +1,59 @@
+(** Hierarchical timer wheel: O(1) arm / cancel / fire for
+    high-frequency timers (periodic ticks, heartbeats, polling).
+
+    Deadlines are packed {!Ekey} keys, so ties between wheel timers
+    and heap events resolve by plain int comparison in the caller.
+    The wheel covers the full {!Ekey.max_time} range via 8 levels of
+    63 slots; a timer cascades to a lower level at most 7 times in
+    its life. *)
+
+type t
+
+type timer
+(** Reusable timer record.  Idle until {!arm}ed; idle again after
+    {!cancel} or {!take}. *)
+
+type next =
+  | Nothing  (** no live timers *)
+  | Fire of timer
+      (** head timer of the soonest due slot; its deadline is
+          [Ekey.time (key tm)].  Call {!take} before running it. *)
+  | Advance of int
+      (** next relevant boundary: call [advance t b] once the caller's
+          clock is allowed to reach [b], then {!peek} again. *)
+
+val create : unit -> t
+
+val make_timer : unit -> timer
+
+val clock : t -> int
+
+val live : t -> int
+
+val cascades : t -> int
+(** Total timers re-homed to a lower level since [create]. *)
+
+val armed : timer -> bool
+
+val key : timer -> int
+(** Packed deadline of an armed timer; [-1] when idle. *)
+
+val callback : timer -> unit -> unit
+
+val arm : t -> timer -> key:int -> (unit -> unit) -> unit
+(** @raise Invalid_argument if already armed or the deadline precedes
+    the wheel clock. *)
+
+val cancel : t -> timer -> unit
+(** O(1) unlink; no-op on an idle timer. *)
+
+val take : t -> timer -> unit
+(** Unlink a due timer (obtained from [Fire]) prior to running its
+    callback.  The callback may re-arm the same record. *)
+
+val peek : t -> next
+
+val advance : t -> int -> unit
+(** Move the wheel clock forward and cascade newly current slots.
+    Only call with times at or before the next due timer — in
+    particular with boundaries from {!peek}. *)

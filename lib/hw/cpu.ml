@@ -7,7 +7,6 @@ type grant_rec = {
   started : int;
   g_kind : kind;
   uninterruptible : bool;
-  mutable completion : Sim.event option;
   on_complete : unit -> unit;
 }
 
@@ -25,6 +24,7 @@ type t = {
   s : Sim.t;
   mutable state : state;
   pending : irq Queue.t;
+  completion : Sim.timer; (* at most one grant is outstanding per core *)
   mutable work : int;
   mutable overhead : int;
   mutable irq_time : int;
@@ -36,6 +36,7 @@ let create s ~id =
     s;
     state = Idle;
     pending = Queue.create ();
+    completion = Sim.timer s;
     work = 0;
     overhead = 0;
     irq_time = 0;
@@ -74,31 +75,25 @@ let rec try_deliver t =
     let preempted =
       match t.state with
       | Granted g ->
-          Option.iter Sim.cancel g.completion;
+          Sim.disarm t.s t.completion;
           let consumed = Sim.now t.s - g.started in
           account t g.g_kind consumed;
           Some (max 0 (g.total - consumed))
       | Idle | In_irq -> None
     in
     t.state <- In_irq;
-    let _ =
-      Sim.schedule_after t.s irq.dispatch (fun () ->
-          let handler_cost = irq.handler ~preempted in
-          if handler_cost < 0 then
-            invalid_arg "Cpu.interrupt: handler returned negative cost";
-          let _ =
-            Sim.schedule_after t.s
-              (handler_cost + irq.return_cost)
-              (fun () ->
-                t.irq_time <-
-                  t.irq_time + irq.dispatch + handler_cost + irq.return_cost;
-                t.state <- Idle;
-                irq.after ();
-                try_deliver t)
-          in
-          ())
-    in
-    ()
+    Sim.schedule_after_unit t.s irq.dispatch (fun () ->
+        let handler_cost = irq.handler ~preempted in
+        if handler_cost < 0 then
+          invalid_arg "Cpu.interrupt: handler returned negative cost";
+        Sim.schedule_after_unit t.s
+          (handler_cost + irq.return_cost)
+          (fun () ->
+            t.irq_time <-
+              t.irq_time + irq.dispatch + handler_cost + irq.return_cost;
+            t.state <- Idle;
+            irq.after ();
+            try_deliver t))
   end
 
 let grant t ~cycles ?(kind = Work) ?(uninterruptible = false) ~on_complete () =
@@ -110,23 +105,13 @@ let grant t ~cycles ?(kind = Work) ?(uninterruptible = false) ~on_complete () =
         (Printf.sprintf "Cpu.grant: core %d is busy" t.cpu_id));
   let started = Sim.now t.s in
   let g =
-    {
-      total = cycles;
-      started;
-      g_kind = kind;
-      uninterruptible;
-      completion = None;
-      on_complete;
-    }
+    { total = cycles; started; g_kind = kind; uninterruptible; on_complete }
   in
-  let ev =
-    Sim.schedule_after t.s cycles (fun () ->
-        account t g.g_kind g.total;
-        t.state <- Idle;
-        g.on_complete ();
-        try_deliver t)
-  in
-  g.completion <- Some ev;
+  Sim.arm_after t.s t.completion cycles (fun () ->
+      account t g.g_kind g.total;
+      t.state <- Idle;
+      g.on_complete ();
+      try_deliver t);
   t.state <- Granted g
 
 let interrupt t ~dispatch ~return_cost ~handler ~after =

@@ -2,12 +2,9 @@ open Iw_engine
 
 let send s plat ~target ~handler ~after =
   let costs = plat.Platform.costs in
-  let _ =
-    Sim.schedule_after s costs.ipi_latency (fun () ->
-        Cpu.interrupt target ~dispatch:costs.interrupt_dispatch
-          ~return_cost:costs.interrupt_return ~handler ~after)
-  in
-  ()
+  Sim.schedule_after_unit s costs.ipi_latency (fun () ->
+      Cpu.interrupt target ~dispatch:costs.interrupt_dispatch
+        ~return_cost:costs.interrupt_return ~handler ~after)
 
 let broadcast s plat ~targets ~handler ~after =
   List.iter

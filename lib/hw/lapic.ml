@@ -1,10 +1,18 @@
 open Iw_engine
 
+(* Each [oneshot]/[periodic] call allocates one reusable Sim.timer for
+   its stream; a periodic stream then re-arms that same record every
+   tick through the O(1) timer wheel, instead of pushing a fresh heap
+   event per tick.  Several streams may coexist on one LAPIC (e.g. a
+   heartbeat driver installed on top of scheduler ticks); [armed]
+   tracks the most recently re-armed one, and the generation counter
+   quiesces the rest after [stop], exactly as before. *)
+
 type t = {
   s : Sim.t;
   plat : Platform.t;
   target : Cpu.t;
-  mutable armed : Sim.event option;
+  mutable armed : Sim.timer option;
   mutable generation : int;
   mutable fired : int;
 }
@@ -21,30 +29,32 @@ let inject t handler after =
 let oneshot t ~delay ~handler ~after =
   if delay < 0 then invalid_arg "Lapic.oneshot: negative delay";
   let gen = t.generation in
-  let ev =
-    Sim.schedule_after t.s delay (fun () ->
-        if gen = t.generation then begin
-          t.armed <- None;
-          inject t handler after
-        end)
-  in
-  t.armed <- Some ev
+  let tm = Sim.timer t.s in
+  Sim.arm_after t.s tm delay (fun () ->
+      if gen = t.generation then begin
+        t.armed <- None;
+        inject t handler after
+      end);
+  t.armed <- Some tm
 
 let periodic t ?phase ~period ~handler ~after () =
   if period <= 0 then invalid_arg "Lapic.periodic: period <= 0";
   let first = match phase with None -> period | Some p -> max 1 p in
   let gen = t.generation in
+  let tm = Sim.timer t.s in
   let rec tick () =
     if gen = t.generation then begin
       inject t handler after;
-      t.armed <- Some (Sim.schedule_after t.s period tick)
+      Sim.arm_after t.s tm period tick;
+      t.armed <- Some tm
     end
   in
-  t.armed <- Some (Sim.schedule_after t.s first tick)
+  Sim.arm_after t.s tm first tick;
+  t.armed <- Some tm
 
 let stop t =
   t.generation <- t.generation + 1;
-  Option.iter Sim.cancel t.armed;
+  Option.iter (Sim.disarm t.s) t.armed;
   t.armed <- None
 
 let fired t = t.fired

@@ -57,10 +57,10 @@ let start k ~rate_hz ?(handler_cost = 600) policy =
   let rec tick () =
     if t.running then begin
       deliver t;
-      ignore (Sim.schedule_after s t.period tick)
+      Sim.schedule_after_unit s t.period tick
     end
   in
-  ignore (Sim.schedule_after s t.period tick);
+  Sim.schedule_after_unit s t.period tick;
   t
 
 let stop t = t.running <- false

@@ -156,12 +156,9 @@ let pop_queue t cid =
 let rec kick ?(delay = 0) t cid =
   if not t.kick_pending.(cid) then begin
     t.kick_pending.(cid) <- true;
-    let _ =
-      Sim.schedule_after t.s delay (fun () ->
-          t.kick_pending.(cid) <- false;
-          maybe_dispatch t cid)
-    in
-    ()
+    Sim.schedule_after_unit t.s delay (fun () ->
+        t.kick_pending.(cid) <- false;
+        maybe_dispatch t cid)
   end
 
 and maybe_dispatch t cid =
@@ -336,7 +333,7 @@ and handle_request : type a.
       th.pending <- Owe { rem = 0; okind = Overhead; thunk = (fun () -> k ()) };
       th.state <- Blocked;
       t.current.(cid) <- None;
-      let _ = Sim.schedule_after t.s dt (fun () -> make_runnable t th) in
+      Sim.schedule_after_unit t.s dt (fun () -> make_runnable t th);
       Cpu.grant t.cpus.(cid) ~cycles:t.p.sleep_arm ~kind:Overhead
         ~uninterruptible:true
         ~on_complete:(fun () -> dispatch t cid)

@@ -56,13 +56,14 @@ let start t =
     let rec arm deadline =
       if t.running then
         let jitter = max 0 (p.Os.timer_jitter t.rng) in
-        ignore
-          (Sim.schedule s ~at:(max (Sim.now s) (deadline + jitter)) (fun () ->
-               if t.running then begin
-                 if t.pending then t.overruns <- t.overruns + 1
-                 else deliver t;
-                 arm (deadline + t.period)
-               end))
+        Sim.schedule_unit s
+          ~at:(max (Sim.now s) (deadline + jitter))
+          (fun () ->
+            if t.running then begin
+              if t.pending then t.overruns <- t.overruns + 1
+              else deliver t;
+              arm (deadline + t.period)
+            end)
     in
     arm (Sim.now s + t.period)
   end

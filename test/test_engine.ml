@@ -154,6 +154,105 @@ let prop_sim_monotonic_clock =
       !ok)
 
 (* ------------------------------------------------------------------ *)
+(* Fast path: Ekey, Int_heap, Timer_wheel, Sim counters *)
+
+let test_ekey_roundtrip () =
+  List.iter
+    (fun (time, seq) ->
+      let k = Ekey.pack ~time ~seq in
+      check_int "time" time (Ekey.time k);
+      check_int "seq" seq (Ekey.seq k))
+    [ (0, 0); (1, Ekey.seq_limit - 1); (Ekey.max_time, 0); (123_456_789, 42) ];
+  (match Ekey.pack ~time:(-1) ~seq:0 with
+  | _ -> Alcotest.fail "negative time accepted"
+  | exception Invalid_argument _ -> ());
+  match Ekey.pack ~time:0 ~seq:Ekey.seq_limit with
+  | _ -> Alcotest.fail "overflowing seq accepted"
+  | exception Invalid_argument _ -> ()
+
+let prop_int_heap_sorts =
+  QCheck.Test.make ~name:"int heap drains in sorted order" ~count:200
+    QCheck.(list small_signed_int)
+    (fun keys ->
+      (* Tiny initial capacity so growth is exercised too. *)
+      let h = Int_heap.create ~capacity:2 ~dummy:min_int () in
+      List.iter (fun k -> Int_heap.push h k k) keys;
+      let rec drain acc =
+        if Int_heap.is_empty h then List.rev acc
+        else begin
+          let k = Int_heap.min_key h in
+          let v = Int_heap.pop h in
+          if v <> k then List.rev (max_int :: acc) else drain (k :: acc)
+        end
+      in
+      drain [] = List.sort compare keys)
+
+let test_wheel_order () =
+  let w = Timer_wheel.create () in
+  let fired = ref [] in
+  (* Deadlines straddling slot and level boundaries (63^1, 63^2, 63^3). *)
+  let times = [ 1; 5; 62; 63; 64; 100; 3968; 3969; 250_047; 1_000_000 ] in
+  List.iteri
+    (fun i at ->
+      let tm = Timer_wheel.make_timer () in
+      Timer_wheel.arm w tm
+        ~key:(Ekey.pack ~time:at ~seq:i)
+        (fun () -> fired := at :: !fired))
+    times;
+  let rec drain () =
+    match Timer_wheel.peek w with
+    | Timer_wheel.Nothing -> ()
+    | Timer_wheel.Advance b ->
+        Timer_wheel.advance w b;
+        drain ()
+    | Timer_wheel.Fire tm ->
+        Timer_wheel.advance w (Ekey.time (Timer_wheel.key tm));
+        let cb = Timer_wheel.callback tm in
+        Timer_wheel.take w tm;
+        cb ();
+        drain ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "fires in deadline order"
+    (List.sort compare times) (List.rev !fired);
+  check_int "wheel drained" 0 (Timer_wheel.live w)
+
+let test_sim_pending_o1 () =
+  let s = Sim.create () in
+  let e1 = Sim.schedule s ~at:10 ignore in
+  let _e2 = Sim.schedule s ~at:20 ignore in
+  let tm = Sim.timer s in
+  Sim.arm s tm ~at:30 ignore;
+  check_int "three pending" 3 (Sim.pending s);
+  Sim.cancel e1;
+  check_int "cancel decrements" 2 (Sim.pending s);
+  Sim.cancel e1;
+  check_int "double cancel counted once" 2 (Sim.pending s);
+  Sim.disarm s tm;
+  check_int "disarm decrements" 1 (Sim.pending s);
+  Sim.run s;
+  check_int "drained" 0 (Sim.pending s);
+  check_bool "exhausted" true (Sim.exhausted s)
+
+let test_sim_timer_stats () =
+  let s = Sim.create () in
+  let tm = Sim.timer s in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    if !count < 1000 then Sim.arm_after s tm 10 tick
+  in
+  Sim.arm_after s tm 10 tick;
+  Sim.run s;
+  check_int "all ticks fired" 1000 !count;
+  let st = Sim.stats s in
+  check_int "timer fires counted" 1000 st.Sim.timer_fires;
+  check_bool "arms counted" true (st.Sim.timer_arms >= 1000);
+  (* The whole periodic stream lives on the wheel: the binary heap
+     sees (almost) none of it. *)
+  check_bool "heap traffic dropped" true (st.Sim.heap_pushes < 10)
+
+(* ------------------------------------------------------------------ *)
 (* Coro *)
 
 let test_coro_done () =
@@ -307,6 +406,14 @@ let () =
           Alcotest.test_case "past rejected" `Quick test_sim_past_rejected;
           Alcotest.test_case "run until" `Quick test_sim_until;
           q prop_sim_monotonic_clock;
+        ] );
+      ( "fastpath",
+        [
+          Alcotest.test_case "ekey roundtrip" `Quick test_ekey_roundtrip;
+          q prop_int_heap_sorts;
+          Alcotest.test_case "timer wheel order" `Quick test_wheel_order;
+          Alcotest.test_case "pending is exact" `Quick test_sim_pending_o1;
+          Alcotest.test_case "timer stats" `Quick test_sim_timer_stats;
         ] );
       ( "coro",
         [

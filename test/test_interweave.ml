@@ -113,6 +113,49 @@ let test_cheap_experiments_run () =
         tables)
     [ "E3"; "E7"; "E8"; "E9"; "E11"; "E12"; "E13"; "E14"; "E15"; "E16"; "A2" ]
 
+(* ------------------------------------------------------------------ *)
+(* Driver: determinism and parallel/serial equivalence *)
+
+let cheap_ids = [ "E9"; "E12"; "E14"; "A2" ]
+
+let test_driver_order () =
+  let xs = List.init 100 Fun.id in
+  Alcotest.(check (list int))
+    "results in input order"
+    (List.map (fun x -> x * x) xs)
+    (Interweave.Driver.parallel_map ~jobs:4 (fun x -> x * x) xs)
+
+let test_driver_exception () =
+  check_bool "first failure re-raised" true
+    (try
+       ignore
+         (Interweave.Driver.parallel_map ~jobs:3
+            (fun x -> if x = 5 then failwith "boom" else x)
+            (List.init 10 Fun.id));
+       false
+     with Failure _ -> true)
+
+let test_experiments_deterministic () =
+  List.iter
+    (fun id ->
+      let e = Interweave.Experiments.find id in
+      Alcotest.(check string)
+        (id ^ " reruns identically")
+        (Interweave.Experiments.run_to_string e)
+        (Interweave.Experiments.run_to_string e))
+    cheap_ids
+
+let test_parallel_matches_serial () =
+  let es = List.map Interweave.Experiments.find cheap_ids in
+  let serial = List.map Interweave.Experiments.run_to_string es in
+  let par =
+    Interweave.Driver.parallel_map ~jobs:4 Interweave.Experiments.run_to_string
+      es
+  in
+  List.iter2
+    (fun a b -> Alcotest.(check string) "parallel byte-identical to serial" a b)
+    serial par
+
 let () =
   Alcotest.run "interweave"
     [
@@ -134,5 +177,15 @@ let () =
           Alcotest.test_case "find" `Quick test_registry_find;
           Alcotest.test_case "cheap experiments run" `Slow
             test_cheap_experiments_run;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "order preserved" `Quick test_driver_order;
+          Alcotest.test_case "exception propagation" `Quick
+            test_driver_exception;
+          Alcotest.test_case "experiments deterministic" `Slow
+            test_experiments_deterministic;
+          Alcotest.test_case "parallel equals serial" `Slow
+            test_parallel_matches_serial;
         ] );
     ]

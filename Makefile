@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-json check examples csv clean
+.PHONY: all build test bench bench-json check trace-smoke sweep-smoke examples csv clean
 
 all: build
 
@@ -13,14 +13,25 @@ bench:
 
 # Machine-readable perf report, tracked across PRs.
 bench-json:
-	dune exec bench/main.exe -- --json BENCH_1.json
+	dune exec bench/main.exe -- --json BENCH_2.json
+
+# Run one experiment with the trace bus on, export Chrome trace-event
+# JSON, and validate it (Perfetto-loadable or the target fails).
+trace-smoke:
+	dune exec bin/main.exe -- trace E3 --out /tmp/trace_smoke.json --check
+
+# Exercise the cost-model sweep end to end on one hoisted field.
+sweep-smoke:
+	dune exec bin/main.exe -- sweep tick_update
 
 # Everything CI needs: full build, tests, and a smoke run of the
-# harness itself (including the JSON emitter).
+# harness itself (including the JSON emitter and the trace exporter).
 check:
 	dune build @all
 	dune runtest
 	dune exec bench/main.exe -- --json /tmp/bench.json
+	$(MAKE) trace-smoke
+	$(MAKE) sweep-smoke
 
 examples:
 	@for e in quickstart heartbeat_spmv omp_nas carat_defrag \

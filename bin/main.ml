@@ -125,10 +125,118 @@ let stacks_cmd =
     (Cmd.info "stacks" ~doc:"Describe the commodity and interwoven stacks")
     Term.(const run $ const ())
 
+let trace_cmd =
+  let id =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ID" ~doc:"Experiment id to run under tracing (e.g. E3)")
+  in
+  let out =
+    Arg.(
+      value & opt string "trace.json"
+      & info [ "out"; "o" ] ~docv:"PATH"
+          ~doc:"Chrome trace-event JSON output path (load it in Perfetto)")
+  in
+  let capacity =
+    Arg.(
+      value & opt int 262_144
+      & info [ "capacity" ] ~docv:"N"
+          ~doc:"Ring-buffer capacity in events; oldest events drop beyond it")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ] ~doc:"Validate the written JSON and fail if malformed")
+  in
+  let run id out capacity check =
+    let e =
+      try Interweave.Experiments.find id
+      with Not_found ->
+        Printf.eprintf "unknown experiment %s (try 'interweave list')\n" id;
+        exit 1
+    in
+    let tr = Iw_obs.Trace.ring ~capacity () in
+    let obs = Iw_obs.Obs.create ~trace:tr () in
+    (* Run serially under an ambient traced context: every kernel,
+       CPU, and runtime the experiment creates inherits the ring. *)
+    let text =
+      Iw_obs.Obs.with_ambient obs (fun () ->
+          Interweave.Experiments.run_to_string e)
+    in
+    print_string text;
+    Iw_obs.Chrome.write_file tr out;
+    Printf.printf "wrote %s: %d events (%d dropped)\n" out
+      (Iw_obs.Trace.length tr) (Iw_obs.Trace.dropped tr);
+    if check then
+      match Iw_obs.Chrome.validate_file out with
+      | Ok n -> Printf.printf "validated: %d events ok\n" n
+      | Error msg ->
+          Printf.eprintf "invalid trace: %s\n" msg;
+          exit 1
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run one experiment with the trace bus on and export a \
+          Perfetto-loadable Chrome trace-event JSON file")
+    Term.(const run $ id $ out $ capacity $ check)
+
+let sweep_cmd =
+  let field =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"FIELD"
+          ~doc:"Cost-model field to sweep (default tick_update)")
+  in
+  let values =
+    Arg.(
+      value
+      & opt (some (list int)) None
+      & info [ "values" ] ~docv:"V1,V2,..."
+          ~doc:"Explicit values; default 0,v/4,v/2,v,2v,4v around the preset")
+  in
+  let list_fields =
+    Arg.(value & flag & info [ "list" ] ~doc:"List sweepable cost fields")
+  in
+  let run field values list_fields =
+    let module Sweep = Interweave.Machine.Sweep in
+    if list_fields then
+      List.iter
+        (fun (fd : Sweep.field) ->
+          Printf.printf "%-28s %s (default %d)\n" fd.f_name fd.f_doc
+            (fd.get Iw_hw.Platform.small.Iw_hw.Platform.costs))
+        Sweep.fields
+    else
+      let fname = Option.value field ~default:"tick_update" in
+      match Sweep.find fname with
+      | None ->
+          Printf.eprintf "unknown cost field %s (try 'sweep --list')\n" fname;
+          exit 1
+      | Some fd ->
+          let plat = Iw_hw.Platform.small in
+          let values =
+            match values with
+            | Some vs -> vs
+            | None -> Sweep.default_values plat fd
+          in
+          print_string (Interweave.Table.render (Sweep.sensitivity fd values))
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Vary one hoisted cost-model field across a range and print a \
+          sensitivity table for the pinned probe workload")
+    Term.(const run $ field $ values $ list_fields)
+
 let () =
   let doc =
     "Reproduction of 'The Case for an Interwoven Parallel Hardware/Software \
      Stack' (SCWS/ROSS 2021)"
   in
   let info = Cmd.info "interweave" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; csv_cmd; stacks_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; run_cmd; csv_cmd; stacks_cmd; trace_cmd; sweep_cmd ]))

@@ -10,6 +10,7 @@ type region = {
 
 type t = {
   heap : Iw_mem.Buddy.t;
+  obs : Iw_obs.Obs.t;
   mutable regions : region IntMap.t;  (* keyed by logical base *)
   mutable next_logical : int;
   mutable ctx : Interp.ctx option;
@@ -19,12 +20,14 @@ type t = {
   mutable n_moved_words : int;
 }
 
-let create ?(heap_size = 1 lsl 22) () =
+let create ?obs ?(heap_size = 1 lsl 22) () =
+  let obs = match obs with Some o -> o | None -> Iw_obs.Obs.inherit_trace () in
   {
     (* Physical heap sits at [heap_size, 2*heap_size); logical bases
        start far above it and are never reused, so the two spaces
        cannot collide. *)
     heap = Iw_mem.Buddy.create ~base:heap_size ~size:heap_size ~min_block:16;
+    obs;
     regions = IntMap.empty;
     next_logical = 16 * heap_size;
     ctx = None;
@@ -80,11 +83,13 @@ let translate t addr =
 
 let guard t ~base ~offset ~length =
   t.checks <- t.checks + 1;
+  Iw_obs.Counter.incr t.obs.Iw_obs.Obs.counters Iw_obs.Counter.Guard_checks;
   let target = match length with None -> base + offset | Some _ -> base in
   match region_containing t target with
   | Some _ -> ()
   | None ->
       t.faults <- t.faults + 1;
+      Iw_obs.Counter.incr t.obs.Iw_obs.Obs.counters Iw_obs.Counter.Guard_faults;
       raise
         (Interp.Fault
            (Printf.sprintf "carat: protection fault at %#x" target))

@@ -13,9 +13,9 @@ open Iw_ir
 
 type t
 
-val create : ?heap_size:int -> unit -> t
+val create : ?obs:Iw_obs.Obs.t -> ?heap_size:int -> unit -> t
 (** [heap_size] (bytes/words, default [1 lsl 22]) sizes the physical
-    heap. *)
+    heap.  [obs] (default: ambient) counts guard checks and faults. *)
 
 val hooks : t -> Interp.hooks
 (** Interpreter hooks wiring this runtime into compiled code:

@@ -53,6 +53,7 @@ type dstate = DNone | DOwned of int | DShared of int list
 type t = {
   p : params;
   deact : deactivation;
+  obs : Iw_obs.Obs.t;
   caches : Cache.t array;
   dir : dstate Iw_engine.Itbl.t;
   (* One [DOwned i] per core, reused for every directory write: the
@@ -79,7 +80,8 @@ type t = {
   mutable energy : float;
 }
 
-let create ?params deact =
+let create ?obs ?params deact =
+  let obs = match obs with Some o -> o | None -> Iw_obs.Obs.inherit_trace () in
   let p =
     match params with
     | Some p -> p
@@ -88,6 +90,7 @@ let create ?params deact =
   {
     p;
     deact;
+    obs;
     caches =
       Array.init p.cores (fun _ ->
           Cache.create ~size_kb:p.cache_kb ~ways:p.ways ~line_bytes:p.line_bytes);
@@ -224,6 +227,8 @@ let access t ~core ~addr ~write ~hint =
         (* Upgrade: invalidate the other sharers via the directory. *)
         t.c_hits <- t.c_hits + 1;
         t.c_dir <- t.c_dir + 1;
+        Iw_obs.Counter.incr t.obs.Iw_obs.Obs.counters
+          Iw_obs.Counter.Dir_transitions;
         let hm = hops t core (home t line) in
         ctrl_msg t hm;
         charge t core ((2 * hm * t.p.hop_latency) + t.p.dir_lookup);
@@ -248,6 +253,8 @@ let access t ~core ~addr ~write ~hint =
     | Cache.Invalid, _ ->
         t.c_misses <- t.c_misses + 1;
         t.c_dir <- t.c_dir + 1;
+        Iw_obs.Counter.incr t.obs.Iw_obs.Obs.counters
+          Iw_obs.Counter.Dir_transitions;
         let hm = hops t core (home t line) in
         ctrl_msg t hm;
         charge t core ((2 * hm * t.p.hop_latency) + t.p.dir_lookup);

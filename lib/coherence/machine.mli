@@ -47,7 +47,7 @@ type counters = {
 
 type t
 
-val create : ?params:params -> deactivation -> t
+val create : ?obs:Iw_obs.Obs.t -> ?params:params -> deactivation -> t
 val params : t -> params
 val access : t -> core:int -> addr:int -> write:bool -> hint:hint -> unit
 val core_cycles : t -> int -> int

@@ -98,7 +98,9 @@ let thread_switch_cost personality ~rt ~fp =
          (fun () -> Api.work per_thread))
   done;
   Sched.run k;
-  let switches = Stats.Counters.get (Sched.counters k) "preemptions" in
+  let switches =
+    Iw_obs.Counter.get (Sched.counters k) Iw_obs.Counter.Preemptions
+  in
   let overhead = Sched.total_overhead_cycles k in
   float_of_int overhead /. float_of_int (max 1 switches)
 
@@ -114,7 +116,7 @@ let fiber_switch_cost ~compiler_timed ~fp =
                {
                  period = Platform.cycles_of_us plat 20.0;
                  check_interval = 2_000;
-                 check_cost = 40;
+                 check_cost = plat.Platform.costs.timing_check;
                }
            else Fiber.Cooperative
          in
@@ -133,7 +135,9 @@ let fiber_switch_cost ~compiler_timed ~fp =
          (* The switch cost proper: strip the periodic check stream
             (a rate-dependent cost reported by E12/A2), keep the one
             check that triggers each switch. *)
-         let check_cost = if compiler_timed then 40 else 0 in
+         let check_cost =
+           if compiler_timed then plat.Platform.costs.timing_check else 0
+         in
          let checks = Fiber.timing_checks fs in
          let switches = max 1 (Fiber.switches fs) in
          let per_switch =

@@ -86,4 +86,4 @@ let timer_mechanism_cost t =
   let c = t.platform.Iw_hw.Platform.costs in
   match t.timing with
   | Hardware_timer -> c.interrupt_dispatch + c.interrupt_return
-  | Compiler_timed _ -> Iw_ir.Cost.callback + 20
+  | Compiler_timed _ -> Iw_ir.Cost.callback + c.callback_indirect

@@ -112,6 +112,8 @@ let promotion_cost = 120
    cycles the scheduler still owes the thread. *)
 let on_heartbeat sh cpu ~preempted =
   sh.deliveries <- sh.deliveries + 1;
+  let obs = Sched.obs sh.k in
+  Iw_obs.Counter.incr obs.Iw_obs.Obs.counters Iw_obs.Counter.Heartbeats;
   let now = Sched.now sh.k in
   if sh.last_beat.(cpu) >= 0 then
     Stats.add_int sh.gaps (now - sh.last_beat.(cpu));
@@ -130,6 +132,11 @@ let on_heartbeat sh cpu ~preempted =
               Deque.push_bottom w.dq { t_items = promote; t_grain = e.e_grain };
               e.e_items <- e.e_items - promote;
               sh.promotions <- sh.promotions + 1;
+              Iw_obs.Counter.incr obs.Iw_obs.Obs.counters
+                Iw_obs.Counter.Promotions;
+              if obs.Iw_obs.Obs.trace.Iw_obs.Trace.enabled then
+                Iw_obs.Trace.instant obs.Iw_obs.Obs.trace ~name:"promote"
+                  ~cat:"heartbeat" ~cpu ~ts:now ();
               cost := !cost + promotion_cost;
               Sched.stash_preempted sh.k cpu (r - (promote * e.e_grain));
               true
@@ -144,6 +151,7 @@ let on_heartbeat sh cpu ~preempted =
 let worker_body sh w () =
   let plat = Sched.platform sh.k in
   let costs = plat.Platform.costs in
+  let obs = Sched.obs sh.k in
   let nworkers = Array.length sh.ws in
   let execute t =
     let e = { e_items = t.t_items; e_grain = t.t_grain } in
@@ -172,6 +180,11 @@ let worker_body sh w () =
             match Deque.steal_top sh.ws.(victim).dq with
             | Some t ->
                 sh.steals <- sh.steals + 1;
+                Iw_obs.Counter.incr obs.Iw_obs.Obs.counters Iw_obs.Counter.Steals;
+                (let tr = obs.Iw_obs.Obs.trace in
+                 if tr.Iw_obs.Trace.enabled then
+                   Iw_obs.Trace.instant tr ~name:"steal" ~cat:"heartbeat"
+                     ~cpu:w.wid ~ts:(Sched.now sh.k) ());
                 execute t;
                 loop 150
             | None ->

@@ -22,6 +22,7 @@ type state = Idle | Granted of grant_rec | In_irq
 type t = {
   cpu_id : int;
   s : Sim.t;
+  obs : Iw_obs.Obs.t;
   mutable state : state;
   pending : irq Queue.t;
   completion : Sim.timer; (* at most one grant is outstanding per core *)
@@ -30,10 +31,12 @@ type t = {
   mutable irq_time : int;
 }
 
-let create s ~id =
+let create ?obs s ~id =
+  let obs = match obs with Some o -> o | None -> Iw_obs.Obs.inherit_trace () in
   {
     cpu_id = id;
     s;
+    obs;
     state = Idle;
     pending = Queue.create ();
     completion = Sim.timer s;
@@ -44,6 +47,7 @@ let create s ~id =
 
 let id t = t.cpu_id
 let sim t = t.s
+let obs t = t.obs
 let busy t = match t.state with Idle -> false | Granted _ | In_irq -> true
 let pending_interrupts t = Queue.length t.pending
 let work_cycles t = t.work
@@ -59,6 +63,26 @@ let account t kind cycles =
   match kind with
   | Work -> t.work <- t.work + cycles
   | Overhead -> t.overhead <- t.overhead + cycles
+
+(* Trace a completed (or cut-short) stretch of granted execution.
+   Guarded on the enabled flag so the untraced path is a load+branch. *)
+let trace_grant t kind cycles =
+  if t.obs.Iw_obs.Obs.trace.Iw_obs.Trace.enabled && cycles > 0 then
+    Iw_obs.Trace.span t.obs.Iw_obs.Obs.trace
+      ~name:(match kind with Work -> "work" | Overhead -> "overhead")
+      ~cat:"hw" ~cpu:t.cpu_id
+      ~ts:(Sim.now t.s - cycles)
+      ~dur:cycles ()
+
+(* Record a delivered interrupt: bump the typed counter always, emit
+   the span only when tracing. *)
+let trace_irq t total =
+  Iw_obs.Counter.incr t.obs.Iw_obs.Obs.counters Iw_obs.Counter.Irq_dispatches;
+  if t.obs.Iw_obs.Obs.trace.Iw_obs.Trace.enabled then
+    Iw_obs.Trace.span t.obs.Iw_obs.Obs.trace ~name:"irq" ~cat:"hw"
+      ~cpu:t.cpu_id
+      ~ts:(Sim.now t.s - total)
+      ~dur:total ()
 
 (* Deliver the next queued interrupt if the core is interruptible.
    Mutually recursive with grant completion: draining continues until
@@ -78,6 +102,7 @@ let rec try_deliver t =
           Sim.disarm t.s t.completion;
           let consumed = Sim.now t.s - g.started in
           account t g.g_kind consumed;
+          trace_grant t g.g_kind consumed;
           Some (max 0 (g.total - consumed))
       | Idle | In_irq -> None
     in
@@ -89,8 +114,9 @@ let rec try_deliver t =
         Sim.schedule_after_unit t.s
           (handler_cost + irq.return_cost)
           (fun () ->
-            t.irq_time <-
-              t.irq_time + irq.dispatch + handler_cost + irq.return_cost;
+            let total = irq.dispatch + handler_cost + irq.return_cost in
+            t.irq_time <- t.irq_time + total;
+            trace_irq t total;
             t.state <- Idle;
             irq.after ();
             try_deliver t))
@@ -109,6 +135,7 @@ let grant t ~cycles ?(kind = Work) ?(uninterruptible = false) ~on_complete () =
   in
   Sim.arm_after t.s t.completion cycles (fun () ->
       account t g.g_kind g.total;
+      trace_grant t g.g_kind g.total;
       t.state <- Idle;
       g.on_complete ();
       try_deliver t);

@@ -20,7 +20,12 @@ type kind =
   | Work  (** Application/runtime useful work. *)
   | Overhead  (** Kernel bookkeeping: context switches, scheduling... *)
 
-val create : Iw_engine.Sim.t -> id:int -> t
+val create : ?obs:Iw_obs.Obs.t -> Iw_engine.Sim.t -> id:int -> t
+(** [obs] defaults to the domain's ambient observability context; the
+    core bumps its typed counters and, when tracing is enabled, emits
+    work/overhead/irq spans on its own track. *)
+
+val obs : t -> Iw_obs.Obs.t
 
 val id : t -> int
 val busy : t -> bool

@@ -2,7 +2,15 @@ open Iw_engine
 
 let send s plat ~target ~handler ~after =
   let costs = plat.Platform.costs in
+  let obs = Cpu.obs target in
+  Iw_obs.Counter.incr obs.Iw_obs.Obs.counters Iw_obs.Counter.Ipi_sends;
+  if obs.Iw_obs.Obs.trace.Iw_obs.Trace.enabled then
+    Iw_obs.Trace.instant obs.Iw_obs.Obs.trace ~name:"ipi_send" ~cat:"hw"
+      ~cpu:(-1) ~ts:(Sim.now s) ();
   Sim.schedule_after_unit s costs.ipi_latency (fun () ->
+      if obs.Iw_obs.Obs.trace.Iw_obs.Trace.enabled then
+        Iw_obs.Trace.instant obs.Iw_obs.Obs.trace ~name:"ipi_recv" ~cat:"hw"
+          ~cpu:(Cpu.id target) ~ts:(Sim.now s) ();
       Cpu.interrupt target ~dispatch:costs.interrupt_dispatch
         ~return_cost:costs.interrupt_return ~handler ~after)
 

@@ -23,6 +23,11 @@ let cpu t = t.target
 
 let inject t handler after =
   t.fired <- t.fired + 1;
+  let obs = Cpu.obs t.target in
+  Iw_obs.Counter.incr obs.Iw_obs.Obs.counters Iw_obs.Counter.Timer_fires;
+  if obs.Iw_obs.Obs.trace.Iw_obs.Trace.enabled then
+    Iw_obs.Trace.instant obs.Iw_obs.Obs.trace ~name:"timer_fire" ~cat:"hw"
+      ~cpu:(Cpu.id t.target) ~ts:(Sim.now t.s) ();
   Cpu.interrupt t.target ~dispatch:t.plat.Platform.costs.interrupt_dispatch
     ~return_cost:t.plat.Platform.costs.interrupt_return ~handler ~after
 

@@ -29,6 +29,12 @@ type costs = {
   cache_line_local : int;
   cache_line_remote : int;
   atomic_rmw : int;
+  tick_update : int;
+  tick_accounting_extra : int;
+  timer_path_direct : int;
+  timer_path_softirq : int;
+  timing_check : int;
+  callback_indirect : int;
 }
 
 type t = {
@@ -75,6 +81,12 @@ let default_costs =
     cache_line_local = 4;
     cache_line_remote = 180;
     atomic_rmw = 24;
+    tick_update = 120;
+    tick_accounting_extra = 280;
+    timer_path_direct = 80;
+    timer_path_softirq = 1200;
+    timing_check = 40;
+    callback_indirect = 20;
   }
 
 let knl =

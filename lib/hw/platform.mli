@@ -52,6 +52,29 @@ type costs = {
   cache_line_local : int;  (** L1 hit. *)
   cache_line_remote : int;  (** Line transfer across the interconnect. *)
   atomic_rmw : int;  (** Uncontended atomic read-modify-write. *)
+  (* Timer tick and timing-event paths (hoisted from per-module magic
+     numbers so experiments can sweep them). *)
+  tick_update : int;
+      (** Lightweight per-tick bookkeeping a Nautilus-style kernel does
+          on each timer tick (§IV-B: a specialized kernel's tick is a
+          couple hundred cycles, not thousands). *)
+  tick_accounting_extra : int;
+      (** Extra accounting a general-purpose (Linux-like) tick carries:
+          cputime accounting, RCU callbacks, load tracking.  A Linux
+          tick is [tick_update + tick_accounting_extra]. *)
+  timer_path_direct : int;
+      (** Timer expiry dispatched directly from the interrupt handler
+          (kernel-mode callbacks, §IV-B). *)
+  timer_path_softirq : int;
+      (** Timer expiry deferred through a softirq-style bottom half
+          before user delivery — the Linux hrtimer→signal path the
+          paper's §V-B timing measurements have to cross. *)
+  timing_check : int;
+      (** One compiler-inserted timing check (polling branch) in
+          compiler-timed fibers (§IV-C: tens of cycles). *)
+  callback_indirect : int;
+      (** Indirect-call overhead of invoking a registered timing
+          callback from the runtime (function-pointer dispatch). *)
 }
 
 type t = {

@@ -20,10 +20,19 @@ let misses t p =
 
 let first_touch_faults t p = (p.footprint_kb + t.page_kb - 1) / t.page_kb
 
-let access_overhead_cycles t plat p ~demand_paged =
+let access_overhead_cycles ?obs t plat p ~demand_paged =
+  let obs = match obs with Some o -> o | None -> Iw_obs.Obs.ambient () in
   let costs = plat.Platform.costs in
-  let miss_cost = misses t p * costs.tlb_miss_walk in
+  let nmisses = misses t p in
+  let miss_cost = nmisses * costs.tlb_miss_walk in
+  Iw_obs.Counter.add obs.Iw_obs.Obs.counters Iw_obs.Counter.Tlb_misses nmisses;
   let fault_cost =
-    if demand_paged then first_touch_faults t p * costs.page_fault else 0
+    if demand_paged then begin
+      let nfaults = first_touch_faults t p in
+      Iw_obs.Counter.add obs.Iw_obs.Obs.counters Iw_obs.Counter.Page_faults
+        nfaults;
+      nfaults * costs.page_fault
+    end
+    else 0
   in
   miss_cost + fault_cost

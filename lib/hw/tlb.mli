@@ -37,6 +37,7 @@ val first_touch_faults : t -> profile -> int
     (zero under identity mapping — query the identity config). *)
 
 val access_overhead_cycles :
-  t -> Platform.t -> profile -> demand_paged:bool -> int
+  ?obs:Iw_obs.Obs.t -> t -> Platform.t -> profile -> demand_paged:bool -> int
 (** Total extra cycles the memory system charges this profile:
-    miss walks, plus fault service when [demand_paged]. *)
+    miss walks, plus fault service when [demand_paged].  Miss/fault
+    counts are added to [obs] (default: the ambient context). *)

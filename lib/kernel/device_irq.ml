@@ -21,6 +21,13 @@ let deliver t =
   in
   t.count <- t.count + 1;
   t.counts.(cpu_id) <- t.counts.(cpu_id) + 1;
+  let obs = Sched.obs t.k in
+  Iw_obs.Counter.incr obs.Iw_obs.Obs.counters Iw_obs.Counter.Device_irqs;
+  if obs.Iw_obs.Obs.trace.Iw_obs.Trace.enabled then
+    Iw_obs.Trace.instant obs.Iw_obs.Obs.trace ~name:"device_irq" ~cat:"kernel"
+      ~cpu:cpu_id
+      ~ts:(Sim.now (Sched.sim t.k))
+      ();
   let plat = Sched.platform t.k in
   Cpu.interrupt (Sched.cpu t.k cpu_id)
     ~dispatch:plat.Platform.costs.interrupt_dispatch

@@ -13,6 +13,7 @@ type fiber = { fname : string; mutable fstate : fstate }
 
 type t = {
   mode : mode;
+  obs : Iw_obs.Obs.t;
   switch_cycles : int;
   q : fiber Queue.t;
   mutable since_check : int;  (* work cycles since last timing call *)
@@ -22,7 +23,8 @@ type t = {
   mutable overhead : int;
 }
 
-let create plat ~mode ~fp =
+let create ?obs plat ~mode ~fp =
+  let obs = match obs with Some o -> o | None -> Iw_obs.Obs.inherit_trace () in
   let c = plat.Iw_hw.Platform.costs in
   let switch_cycles =
     c.fiber_switch_base + if fp then c.fiber_fp_save + c.fiber_fp_restore else 0
@@ -34,6 +36,7 @@ let create plat ~mode ~fp =
         invalid_arg "Fiber.create: bad compiler-timed parameters");
   {
     mode;
+    obs;
     switch_cycles;
     q = Queue.create ();
     since_check = 0;
@@ -58,8 +61,13 @@ let overhead_cycles t = t.overhead
 let pay_switch t =
   t.switches <- t.switches + 1;
   t.overhead <- t.overhead + t.switch_cycles;
+  Iw_obs.Counter.incr t.obs.Iw_obs.Obs.counters Iw_obs.Counter.Fiber_switches;
   Coro.consume t.switch_cycles;
-  t.last_switch <- Api.now ()
+  t.last_switch <- Api.now ();
+  let tr = t.obs.Iw_obs.Obs.trace in
+  if tr.Iw_obs.Trace.enabled then
+    Iw_obs.Trace.instant tr ~name:"fiber_switch" ~cat:"fiber" ~cpu:(-1)
+      ~ts:t.last_switch ()
 
 (* Burn [n] fiber-work cycles in carrier-thread context.  Under
    compiler timing, interleave the injected timing calls and preempt
@@ -85,6 +93,8 @@ let burn t n =
             Coro.consume until_check;
             t.since_check <- 0;
             t.checks <- t.checks + 1;
+            Iw_obs.Counter.incr t.obs.Iw_obs.Obs.counters
+              Iw_obs.Counter.Timing_checks;
             t.overhead <- t.overhead + check_cost;
             Coro.consume check_cost;
             let n = n - until_check in

@@ -23,7 +23,8 @@ type mode =
   | Cooperative
   | Compiler_timed of { period : int; check_interval : int; check_cost : int }
 
-val create : Iw_hw.Platform.t -> mode:mode -> fp:bool -> t
+val create : ?obs:Iw_obs.Obs.t -> Iw_hw.Platform.t -> mode:mode -> fp:bool -> t
+(** [obs] (default: ambient) counts fiber switches and timing checks. *)
 
 val spawn : t -> ?name:string -> (unit -> unit) -> fiber
 (** Queue a fiber; it runs once {!run} reaches it. *)

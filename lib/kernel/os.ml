@@ -31,9 +31,10 @@ let nautilus plat =
     wake = 200;
     wake_latency = c.ipi_latency;
     sleep_arm = c.timer_program;
-    timer_extra = 80;
+    (* Kernel-mode callback dispatched straight from the handler. *)
+    timer_extra = c.timer_path_direct;
     timer_jitter = (fun _ -> 0);
-    tick_cost = 120;
+    tick_cost = c.tick_update;
     tick_noise = (fun _ -> 0);
     uncontended_sync = c.atomic_rmw;
   }
@@ -57,7 +58,7 @@ let linux plat =
     sleep_arm = c.timer_program + crossing;
     (* hrtimer bookkeeping, softirq, then a signal frame to user space
        and a sigreturn afterwards: the §IV-B event-delivery chain. *)
-    timer_extra = 1200 + c.signal_deliver + c.signal_return;
+    timer_extra = c.timer_path_softirq + c.signal_deliver + c.signal_return;
     timer_jitter =
       (fun rng ->
         (* hrtimer slack plus softirq batching and the occasional long
@@ -72,7 +73,9 @@ let linux plat =
           else 0
         in
         int_of_float slack + tail);
-    tick_cost = 400;
+    (* A general-purpose tick carries cputime/RCU/load accounting on
+       top of the basic timer update. *)
+    tick_cost = c.tick_update + c.tick_accounting_extra;
     tick_noise =
       (fun rng ->
         (* Deferred kernel work rides the tick now and then; any one
@@ -89,8 +92,10 @@ let linux_rt plat =
     base with
     os_name = "linux-rt";
     pick = base.pick_rt;
-    timer_extra = 1200 + plat.Iw_hw.Platform.costs.signal_deliver
-                  + plat.Iw_hw.Platform.costs.signal_return;
+    timer_extra =
+      plat.Iw_hw.Platform.costs.timer_path_softirq
+      + plat.Iw_hw.Platform.costs.signal_deliver
+      + plat.Iw_hw.Platform.costs.signal_return;
     timer_jitter =
       (fun rng ->
         int_of_float

@@ -55,7 +55,7 @@ type t = {
   kick_pending : bool array;
   quantum : int;
   krng : Rng.t;
-  kcounters : Stats.Counters.t;
+  obs : Iw_obs.Obs.t;
   mutable live : int;
   mutable next_tid : int;
   mutable ticking : bool;
@@ -98,7 +98,8 @@ let cpu t i = t.cpus.(i)
 let lapic t i = t.lapics.(i)
 let cpu_count t = Array.length t.cpus
 let rng t = t.krng
-let counters t = t.kcounters
+let counters t = t.obs.Iw_obs.Obs.counters
+let obs t = t.obs
 let live_threads t = t.live
 let now t = Sim.now t.s
 
@@ -115,9 +116,10 @@ let thread_name th = th.tname
 let thread_cpu th = th.bound
 let thread_dead th = th.state = Dead
 
-let boot ?(seed = 42) ?(quantum_us = 1000.0) ~personality plat =
+let boot ?obs ?(seed = 42) ?(quantum_us = 1000.0) ~personality plat =
+  let obs = match obs with Some o -> o | None -> Iw_obs.Obs.inherit_trace () in
   let s = Sim.create ~seed () in
-  let cpus = Array.init plat.Platform.cores (fun id -> Cpu.create s ~id) in
+  let cpus = Array.init plat.Platform.cores (fun id -> Cpu.create ~obs s ~id) in
   let lapics = Array.map (fun c -> Lapic.create s plat c) cpus in
   {
     s;
@@ -131,7 +133,7 @@ let boot ?(seed = 42) ?(quantum_us = 1000.0) ~personality plat =
     kick_pending = Array.make plat.Platform.cores false;
     quantum = Platform.cycles_of_us plat quantum_us;
     krng = Rng.split (Sim.rng s);
-    kcounters = Stats.Counters.create ();
+    obs;
     live = 0;
     next_tid = 0;
     ticking = false;
@@ -171,7 +173,12 @@ and dispatch t cid =
       assert (th.state = Runnable);
       th.state <- Running;
       t.current.(cid) <- Some th;
-      Stats.Counters.incr t.kcounters "context_switches";
+      Iw_obs.Counter.incr t.obs.Iw_obs.Obs.counters Iw_obs.Counter.Context_switches;
+      let tr = t.obs.Iw_obs.Obs.trace in
+      if tr.Iw_obs.Trace.enabled then
+        Iw_obs.Trace.instant tr
+          ~name:("switch:" ^ th.tname)
+          ~cat:"sched" ~cpu:cid ~ts:(Sim.now t.s) ();
       let pick = if th.rt then t.p.pick_rt else t.p.pick in
       let switch =
         t.p.switch_int + (if th.fp then t.p.switch_fp_extra else 0)
@@ -256,7 +263,7 @@ and make_runnable t th =
 and finish t cid th =
   th.state <- Dead;
   t.current.(cid) <- None;
-  Stats.Counters.incr t.kcounters "thread_exits";
+  Iw_obs.Counter.incr t.obs.Iw_obs.Obs.counters Iw_obs.Counter.Thread_exits;
   let waiters = Queue.fold (fun acc j -> j :: acc) [] th.joiners in
   Queue.clear th.joiners;
   Cpu.grant t.cpus.(cid) ~cycles:t.p.exit ~kind:Overhead ~uninterruptible:true
@@ -304,7 +311,7 @@ and create_thread t spec body =
   in
   t.next_tid <- t.next_tid + 1;
   t.live <- t.live + 1;
-  Stats.Counters.incr t.kcounters "spawns";
+  Iw_obs.Counter.incr t.obs.Iw_obs.Obs.counters Iw_obs.Counter.Spawns;
   th
 
 and handle_request : type a.
@@ -344,7 +351,7 @@ and handle_request : type a.
           m.owner <- Some th;
           reply t cid th t.p.uncontended_sync () k
       | Some _ ->
-          Stats.Counters.incr t.kcounters "lock_contended";
+          Iw_obs.Counter.incr t.obs.Iw_obs.Obs.counters Iw_obs.Counter.Lock_contended;
           th.pending <-
             Owe { rem = 0; okind = Overhead; thunk = (fun () -> k ()) };
           Queue.push th m.mwaiters;
@@ -456,7 +463,11 @@ let stash_preempted t cid remaining =
 let resched_or_resume t cid =
   match t.current.(cid) with
   | Some th when queue_nonempty t cid ->
-      Stats.Counters.incr t.kcounters "preemptions";
+      Iw_obs.Counter.incr t.obs.Iw_obs.Obs.counters Iw_obs.Counter.Preemptions;
+      let tr = t.obs.Iw_obs.Obs.trace in
+      if tr.Iw_obs.Trace.enabled then
+        Iw_obs.Trace.instant tr ~name:"preempt" ~cat:"sched" ~cpu:cid
+          ~ts:(Sim.now t.s) ();
       enqueue t th;
       t.current.(cid) <- None;
       dispatch t cid
@@ -476,7 +487,8 @@ let start_ticks t =
         let phase = max 1 ((cid + 1) * t.quantum / ncpus) in
         Lapic.periodic l ~phase ~period:t.quantum
           ~handler:(fun ~preempted ->
-            Stats.Counters.incr t.kcounters "ticks";
+            Iw_obs.Counter.incr t.obs.Iw_obs.Obs.counters
+              Iw_obs.Counter.Ticks;
             (match preempted with
             | Some rem -> stash_preempted t cid rem
             | None -> ());

@@ -25,6 +25,7 @@ val default_spec : spawn_spec
 (** {1 Kernel lifecycle} *)
 
 val boot :
+  ?obs:Iw_obs.Obs.t ->
   ?seed:int ->
   ?quantum_us:float ->
   personality:Os.t ->
@@ -32,7 +33,9 @@ val boot :
   t
 (** Create a kernel on a fresh simulator.  [quantum_us] (default 1000,
     i.e. 1 ms) is both the scheduler-tick period and the round-robin
-    timeslice. *)
+    timeslice.  [obs] (default: the domain's ambient context) receives
+    every typed counter bump and trace probe from the kernel and its
+    CPUs. *)
 
 val spawn : t -> ?spec:spawn_spec -> (unit -> unit) -> thread
 (** Create a thread from outside the simulation (initial threads).
@@ -50,7 +53,13 @@ val cpu : t -> int -> Iw_hw.Cpu.t
 val lapic : t -> int -> Iw_hw.Lapic.t
 val cpu_count : t -> int
 val rng : t -> Iw_engine.Rng.t
-val counters : t -> Iw_engine.Stats.Counters.t
+
+val counters : t -> Iw_obs.Counter.set
+(** The kernel's typed counter cells (shared with its [obs]). *)
+
+val obs : t -> Iw_obs.Obs.t
+(** The observability context this kernel reports into. *)
+
 val live_threads : t -> int
 val now : t -> int
 

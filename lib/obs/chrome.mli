@@ -1,0 +1,16 @@
+(** Chrome trace-event (Perfetto-loadable) export + validation. *)
+
+val to_json : Trace.t -> string
+(** Render the trace as Chrome trace-event JSON: one "process" per
+    simulated CPU (pid = cpu + 1; pid 0 = machine-wide), complete
+    spans as [ph:"X"], instants as [ph:"i"], timestamps in virtual
+    cycles, sorted by [ts]. *)
+
+val write_file : Trace.t -> string -> unit
+
+val validate : string -> (int, string) result
+(** Check a JSON string parses and every X/i event has non-negative
+    integral [ts]/[dur] with per-pid monotone timestamps.  Returns the
+    number of events checked. *)
+
+val validate_file : string -> (int, string) result

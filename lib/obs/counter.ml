@@ -1,0 +1,150 @@
+(* Typed event counters.
+
+   Every layer of the stack counts through one preallocated int-array
+   set addressed by a closed variant — a counter bump is two array
+   ops on a constant index, where the old string-keyed hashtable paid
+   a hash + probe + deref per event on scheduler hot paths.  The
+   string names are kept (one per id) so rendering stays compatible
+   with the old [Stats.Counters.to_list] output. *)
+
+type id =
+  (* kernel / scheduler *)
+  | Context_switches
+  | Preemptions
+  | Ticks
+  | Spawns
+  | Thread_exits
+  | Lock_contended
+  (* hardware *)
+  | Irq_dispatches
+  | Ipi_sends
+  | Timer_fires
+  | Tlb_misses
+  | Page_faults
+  (* kernel services *)
+  | Fiber_switches
+  | Timing_checks
+  | Device_irqs
+  (* runtimes *)
+  | Promotions
+  | Steals
+  | Heartbeats
+  | Omp_regions
+  | Omp_chunks
+  | Guard_checks
+  | Guard_faults
+  | Virtine_spawns
+  | Virtine_pool_hits
+  (* coherence *)
+  | Dir_transitions
+
+let count = 24
+
+let index = function
+  | Context_switches -> 0
+  | Preemptions -> 1
+  | Ticks -> 2
+  | Spawns -> 3
+  | Thread_exits -> 4
+  | Lock_contended -> 5
+  | Irq_dispatches -> 6
+  | Ipi_sends -> 7
+  | Timer_fires -> 8
+  | Tlb_misses -> 9
+  | Page_faults -> 10
+  | Fiber_switches -> 11
+  | Timing_checks -> 12
+  | Device_irqs -> 13
+  | Promotions -> 14
+  | Steals -> 15
+  | Heartbeats -> 16
+  | Omp_regions -> 17
+  | Omp_chunks -> 18
+  | Guard_checks -> 19
+  | Guard_faults -> 20
+  | Virtine_spawns -> 21
+  | Virtine_pool_hits -> 22
+  | Dir_transitions -> 23
+
+(* Names match the strings the old hashtable counters used, so table
+   rendering is unchanged. *)
+let name = function
+  | Context_switches -> "context_switches"
+  | Preemptions -> "preemptions"
+  | Ticks -> "ticks"
+  | Spawns -> "spawns"
+  | Thread_exits -> "thread_exits"
+  | Lock_contended -> "lock_contended"
+  | Irq_dispatches -> "irq_dispatches"
+  | Ipi_sends -> "ipi_sends"
+  | Timer_fires -> "timer_fires"
+  | Tlb_misses -> "tlb_misses"
+  | Page_faults -> "page_faults"
+  | Fiber_switches -> "fiber_switches"
+  | Timing_checks -> "timing_checks"
+  | Device_irqs -> "device_irqs"
+  | Promotions -> "promotions"
+  | Steals -> "steals"
+  | Heartbeats -> "heartbeats"
+  | Omp_regions -> "omp_regions"
+  | Omp_chunks -> "omp_chunks"
+  | Guard_checks -> "guard_checks"
+  | Guard_faults -> "guard_faults"
+  | Virtine_spawns -> "virtine_spawns"
+  | Virtine_pool_hits -> "virtine_pool_hits"
+  | Dir_transitions -> "dir_transitions"
+
+let all =
+  [
+    Context_switches;
+    Preemptions;
+    Ticks;
+    Spawns;
+    Thread_exits;
+    Lock_contended;
+    Irq_dispatches;
+    Ipi_sends;
+    Timer_fires;
+    Tlb_misses;
+    Page_faults;
+    Fiber_switches;
+    Timing_checks;
+    Device_irqs;
+    Promotions;
+    Steals;
+    Heartbeats;
+    Omp_regions;
+    Omp_chunks;
+    Guard_checks;
+    Guard_faults;
+    Virtine_spawns;
+    Virtine_pool_hits;
+    Dir_transitions;
+  ]
+
+type set = int array
+
+let create () : set = Array.make count 0
+
+let incr (s : set) id =
+  let i = index id in
+  Array.unsafe_set s i (Array.unsafe_get s i + 1)
+
+let add (s : set) id k =
+  let i = index id in
+  Array.unsafe_set s i (Array.unsafe_get s i + k)
+
+let get (s : set) id = s.(index id)
+
+let reset (s : set) = Array.fill s 0 count 0
+
+(* Only counters that have fired, sorted by name — the exact shape
+   [Stats.Counters.to_list] produced (a hashtable only held touched
+   keys, and counters only ever increment). *)
+let to_list (s : set) =
+  List.filter_map
+    (fun id ->
+      let v = get s id in
+      if v <> 0 then Some (name id, v) else None)
+    all
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

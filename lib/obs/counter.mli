@@ -1,0 +1,58 @@
+(** Typed event counters shared by every layer of the stack.
+
+    A counter bump is two array operations on a constant index; the
+    closed [id] variant replaces the string-keyed hashtable the
+    scheduler hot paths used to hash through.  Rendering via
+    {!to_list} matches the old string-counter output byte for byte. *)
+
+type id =
+  | Context_switches
+  | Preemptions
+  | Ticks
+  | Spawns
+  | Thread_exits
+  | Lock_contended
+  | Irq_dispatches
+  | Ipi_sends
+  | Timer_fires
+  | Tlb_misses
+  | Page_faults
+  | Fiber_switches
+  | Timing_checks
+  | Device_irqs
+  | Promotions
+  | Steals
+  | Heartbeats
+  | Omp_regions
+  | Omp_chunks
+  | Guard_checks
+  | Guard_faults
+  | Virtine_spawns
+  | Virtine_pool_hits
+  | Dir_transitions
+
+val count : int
+(** Number of distinct counter ids. *)
+
+val index : id -> int
+(** Dense index in [0, count). *)
+
+val name : id -> string
+(** Stable snake_case name, identical to the old string keys. *)
+
+val all : id list
+(** Every id, in declaration order. *)
+
+type set = int array
+(** Preallocated cells; exposed concretely so a bump compiles to two
+    array operations with no call. *)
+
+val create : unit -> set
+val incr : set -> id -> unit
+val add : set -> id -> int -> unit
+val get : set -> id -> int
+val reset : set -> unit
+
+val to_list : set -> (string * int) list
+(** Counters that have fired, as [(name, value)] sorted by name —
+    the same rendering the string-keyed counters produced. *)

@@ -1,0 +1,32 @@
+(* The observability context threaded through every layer.
+
+   One [t] bundles the typed counter set and the trace bus; hw,
+   kernel, and runtime modules take it as an optional argument
+   defaulting to the domain-local ambient context.  The ambient
+   default is a null context (counters still count, tracing is off),
+   and [with_ambient] scopes a real one for the current domain only —
+   experiments running in sibling domains keep their own nulls, so
+   parallel runs never share or race on a trace. *)
+
+type t = { counters : Counter.set; trace : Trace.t }
+
+let create ?trace () =
+  let trace = match trace with Some tr -> tr | None -> Trace.null () in
+  { counters = Counter.create (); trace }
+
+let null () = create ()
+
+let key : t Domain.DLS.key = Domain.DLS.new_key (fun () -> null ())
+
+let ambient () = Domain.DLS.get key
+
+(* Fresh counters wired to the ambient trace: what a newly created
+   component wants by default — its counts stay its own (successive
+   kernels in one experiment must not share cells), while its probes
+   land in whatever trace the caller scoped with [with_ambient]. *)
+let inherit_trace () = { counters = Counter.create (); trace = (ambient ()).trace }
+
+let with_ambient obs f =
+  let prev = Domain.DLS.get key in
+  Domain.DLS.set key obs;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set key prev) f

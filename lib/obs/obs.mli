@@ -1,0 +1,24 @@
+(** The per-machine observability context: typed counters + trace bus.
+
+    Exposed concretely so hot paths bump counters and guard probes
+    without any indirection. *)
+
+type t = { counters : Counter.set; trace : Trace.t }
+
+val create : ?trace:Trace.t -> unit -> t
+(** Fresh counters; [trace] defaults to the null sink. *)
+
+val null : unit -> t
+
+val ambient : unit -> t
+(** The current domain's ambient context.  Each domain starts with its
+    own null context, so parallel experiment runs stay independent. *)
+
+val inherit_trace : unit -> t
+(** Fresh counters sharing the ambient context's trace — the default
+    for newly created components, so per-component counts stay
+    independent while probes land in the scoped trace. *)
+
+val with_ambient : t -> (unit -> 'a) -> 'a
+(** Run [f] with [obs] as this domain's ambient context, restoring the
+    previous one afterwards (also on exceptions). *)

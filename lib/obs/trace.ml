@@ -1,0 +1,71 @@
+(* The trace bus: spans and instants on virtual-cycle timestamps.
+
+   Probe sites all over the stack call {!span}/{!instant}
+   unconditionally; the [enabled] flag is checked first thing, so with
+   the null sink a probe is one load and one perfectly-predicted
+   branch — cheap enough to leave compiled into every hot path.  The
+   ring sink keeps the last [capacity] events (older ones are
+   overwritten and counted as dropped), which bounds memory no matter
+   how long a traced run is. *)
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_cpu : int;  (* simulated CPU = one Chrome "process"; -1 = machine *)
+  ev_ts : int;  (* virtual cycles *)
+  ev_dur : int;  (* 0 for instants *)
+}
+
+type t = {
+  mutable enabled : bool;
+  buf : event array;  (* [||] for the null sink *)
+  cap : int;
+  mutable pos : int;  (* next write slot *)
+  mutable emitted : int;  (* total events ever pushed *)
+}
+
+let null_event = { ev_name = ""; ev_cat = ""; ev_cpu = -1; ev_ts = 0; ev_dur = 0 }
+
+let null () = { enabled = false; buf = [||]; cap = 0; pos = 0; emitted = 0 }
+
+let ring ?(capacity = 262_144) () =
+  if capacity <= 0 then invalid_arg "Trace.ring: capacity <= 0";
+  {
+    enabled = true;
+    buf = Array.make capacity null_event;
+    cap = capacity;
+    pos = 0;
+    emitted = 0;
+  }
+
+let enabled t = t.enabled
+
+let push t ev =
+  t.buf.(t.pos) <- ev;
+  t.pos <- (if t.pos + 1 = t.cap then 0 else t.pos + 1);
+  t.emitted <- t.emitted + 1
+
+let span t ~name ?(cat = "stack") ~cpu ~ts ~dur () =
+  if t.enabled then
+    push t { ev_name = name; ev_cat = cat; ev_cpu = cpu; ev_ts = ts; ev_dur = dur }
+
+let instant t ~name ?(cat = "stack") ~cpu ~ts () =
+  if t.enabled then
+    push t { ev_name = name; ev_cat = cat; ev_cpu = cpu; ev_ts = ts; ev_dur = 0 }
+
+let emitted t = t.emitted
+
+let dropped t = max 0 (t.emitted - t.cap)
+
+let length t = min t.emitted t.cap
+
+(* Oldest-first contents of the ring. *)
+let events t =
+  if t.emitted <= t.cap then Array.to_list (Array.sub t.buf 0 t.emitted)
+  else
+    Array.to_list (Array.sub t.buf t.pos (t.cap - t.pos))
+    @ Array.to_list (Array.sub t.buf 0 t.pos)
+
+let clear t =
+  t.pos <- 0;
+  t.emitted <- 0

@@ -1,0 +1,50 @@
+(** Span/instant trace bus keyed on virtual cycles.
+
+    The record is exposed concretely so probe sites compile the
+    [enabled] guard down to a load and a branch — with the null sink a
+    probe costs nothing measurable, which is what lets us leave probes
+    in every hot path of the stack. *)
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_cpu : int;  (** simulated CPU = one Chrome "process"; -1 = machine-wide *)
+  ev_ts : int;  (** virtual cycles *)
+  ev_dur : int;  (** 0 for instants *)
+}
+
+type t = {
+  mutable enabled : bool;
+  buf : event array;
+  cap : int;
+  mutable pos : int;
+  mutable emitted : int;
+}
+
+val null : unit -> t
+(** Disabled sink: probes are a load + branch, nothing is stored. *)
+
+val ring : ?capacity:int -> unit -> t
+(** Enabled bounded ring sink (default capacity 262144 events);
+    oldest events are overwritten and counted as {!dropped}. *)
+
+val enabled : t -> bool
+
+val span : t -> name:string -> ?cat:string -> cpu:int -> ts:int -> dur:int -> unit -> unit
+(** Complete span: [ts .. ts + dur] on CPU [cpu]'s track. *)
+
+val instant : t -> name:string -> ?cat:string -> cpu:int -> ts:int -> unit -> unit
+
+val emitted : t -> int
+(** Total events ever pushed (including overwritten ones). *)
+
+val dropped : t -> int
+(** Events lost to ring overwrite. *)
+
+val length : t -> int
+(** Events currently held. *)
+
+val events : t -> event list
+(** Current contents, oldest first. *)
+
+val clear : t -> unit

@@ -160,8 +160,12 @@ let create k mode ~nthreads =
 let parallel_for t ?(schedule = Static) ~iters ~iter_cycles () =
   if iters < 0 then invalid_arg "Omp.parallel_for: negative iters";
   t.nregions <- t.nregions + 1;
+  let obs = Sched.obs t.k in
+  Iw_obs.Counter.incr obs.Iw_obs.Obs.counters Iw_obs.Counter.Omp_regions;
+  let chunks_before = t.nchunks in
+  let region_start = Sched.now t.k in
   let costs = (Sched.platform t.k).Iw_hw.Platform.costs in
-  match t.tasks with
+  (match t.tasks with
   | Some tf ->
       (* CCK: pragmas compiled straight to kernel tasks. *)
       let nchunks = max 1 (min iters (4 * t.nthreads)) in
@@ -205,7 +209,15 @@ let parallel_for t ?(schedule = Static) ~iters ~iter_cycles () =
         end
       in
       wait 0;
-      t.region <- None
+      t.region <- None);
+  Iw_obs.Counter.add obs.Iw_obs.Obs.counters Iw_obs.Counter.Omp_chunks
+    (t.nchunks - chunks_before);
+  let tr = obs.Iw_obs.Obs.trace in
+  if tr.Iw_obs.Trace.enabled then
+    Iw_obs.Trace.span tr ~name:"omp_region" ~cat:"omp" ~cpu:(-1)
+      ~ts:region_start
+      ~dur:(Sched.now t.k - region_start)
+      ()
 
 let serial_for ~iters ~iter_cycles =
   Coro.consume (sum_cycles iter_cycles 0 iters)

@@ -76,6 +76,7 @@ let spawn_latency_us ?jitter config =
 
 type t = {
   config : config;
+  obs : Iw_obs.Obs.t;
   rng : Rng.t;
   pool_size : int;
   mutable pool : int;  (* warm contexts available *)
@@ -83,9 +84,11 @@ type t = {
   mutable n_pool_hits : int;
 }
 
-let create ?(seed = 7) ?(pool_size = 16) config =
+let create ?obs ?(seed = 7) ?(pool_size = 16) config =
+  let obs = match obs with Some o -> o | None -> Iw_obs.Obs.inherit_trace () in
   {
     config;
+    obs;
     rng = Rng.create ~seed;
     pool_size;
     pool = (if config.pooled then pool_size else 0);
@@ -99,10 +102,13 @@ let teardown_us = 11.0
 let call t ~work_us =
   if work_us < 0.0 then invalid_arg "Wasp.call: negative work";
   t.n_spawned <- t.n_spawned + 1;
+  Iw_obs.Counter.incr t.obs.Iw_obs.Obs.counters Iw_obs.Counter.Virtine_spawns;
   let spawn =
     if t.config.pooled && t.pool > 0 then begin
       t.pool <- t.pool - 1;
       t.n_pool_hits <- t.n_pool_hits + 1;
+      Iw_obs.Counter.incr t.obs.Iw_obs.Obs.counters
+        Iw_obs.Counter.Virtine_pool_hits;
       (* Refill happens off the critical path. *)
       if t.pool < t.pool_size then t.pool <- t.pool + 1;
       spawn_latency_us ~jitter:t.rng t.config

@@ -49,7 +49,7 @@ val spawn_latency_us : ?jitter:Iw_engine.Rng.t -> config -> float
 type t
 (** A Wasp instance: owns the snapshot cache and context pool. *)
 
-val create : ?seed:int -> ?pool_size:int -> config -> t
+val create : ?obs:Iw_obs.Obs.t -> ?seed:int -> ?pool_size:int -> config -> t
 
 val call : t -> work_us:float -> float
 (** Invoke a virtine function whose body runs [work_us]: returns total

@@ -1,0 +1,282 @@
+(* Tests for the observability layer: typed counters, the trace bus,
+   the Chrome exporter, the ambient context, and the sweepable cost
+   model.  The pinned-scenario expectations below were captured from
+   the string-keyed counters before the typed refactor, so they verify
+   the two implementations agree event for event. *)
+
+open Iw_obs
+
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Counters *)
+
+let test_counter_index_bijection () =
+  check_int "count matches list" Counter.count (List.length Counter.all);
+  let seen = Hashtbl.create 32 in
+  List.iter
+    (fun id ->
+      let i = Counter.index id in
+      Alcotest.(check bool) "index in range" true (i >= 0 && i < Counter.count);
+      Alcotest.(check bool) "index unique" false (Hashtbl.mem seen i);
+      Hashtbl.replace seen i ())
+    Counter.all
+
+let test_counter_names_unique () =
+  let names = List.map Counter.name Counter.all in
+  check_int "no duplicate names"
+    (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_counter_basic_ops () =
+  let s = Counter.create () in
+  List.iter (fun id -> check_int "fresh is zero" 0 (Counter.get s id)) Counter.all;
+  Counter.incr s Counter.Ticks;
+  Counter.incr s Counter.Ticks;
+  Counter.add s Counter.Spawns 7;
+  check_int "incr twice" 2 (Counter.get s Counter.Ticks);
+  check_int "add" 7 (Counter.get s Counter.Spawns);
+  Counter.reset s;
+  check_int "reset" 0 (Counter.get s Counter.Ticks)
+
+let test_counter_to_list_rendering () =
+  (* Same contract as the old string-keyed counters: only nonzero
+     entries, sorted by name. *)
+  let s = Counter.create () in
+  Counter.add s Counter.Ticks 3;
+  Counter.add s Counter.Context_switches 9;
+  Counter.incr s Counter.Ipi_sends;
+  Alcotest.(check (list (pair string int)))
+    "nonzero sorted by name"
+    [ ("context_switches", 9); ("ipi_sends", 1); ("ticks", 3) ]
+    (Counter.to_list s)
+
+(* ------------------------------------------------------------------ *)
+(* Trace ring *)
+
+let test_trace_null_disabled () =
+  let tr = Trace.null () in
+  Alcotest.(check bool) "null disabled" false tr.Trace.enabled;
+  Trace.instant tr ~name:"x" ~cpu:0 ~ts:1 ();
+  check_int "null records nothing" 0 (Trace.length tr)
+
+let test_trace_ring_bounded () =
+  let tr = Trace.ring ~capacity:4 () in
+  for i = 1 to 10 do
+    Trace.instant tr ~name:(string_of_int i) ~cpu:0 ~ts:i ()
+  done;
+  check_int "length capped" 4 (Trace.length tr);
+  check_int "emitted counts all" 10 (Trace.emitted tr);
+  check_int "dropped is overflow" 6 (Trace.dropped tr);
+  Alcotest.(check (list string))
+    "oldest-first survivors" [ "7"; "8"; "9"; "10" ]
+    (List.map (fun e -> e.Trace.ev_name) (Trace.events tr))
+
+(* ------------------------------------------------------------------ *)
+(* Pinned scenario: typed counters vs the pre-refactor string counters *)
+
+let pinned_kernel () =
+  let plat = Iw_hw.Platform.small in
+  let k =
+    Iw_kernel.Sched.boot ~seed:11 ~quantum_us:100.0
+      ~personality:(Iw_kernel.Os.nautilus plat) plat
+  in
+  let m = Iw_kernel.Sched.mutex () in
+  for i = 0 to 3 do
+    ignore
+      (Iw_kernel.Sched.spawn k
+         ~spec:{ Iw_kernel.Sched.default_spec with sp_cpu = Some (i mod 2) }
+         (fun () ->
+           for _ = 1 to 5 do
+             Iw_kernel.Api.work 50_000;
+             Iw_kernel.Api.with_lock m (fun () -> Iw_kernel.Api.work 5_000)
+           done))
+  done;
+  Iw_kernel.Sched.run k;
+  k
+
+let test_typed_counters_match_pinned_baseline () =
+  let k = pinned_kernel () in
+  check_int "elapsed" 639_716 (Iw_kernel.Sched.now k);
+  check_int "work cycles" 1_100_000 (Iw_kernel.Sched.total_work_cycles k);
+  check_int "overhead cycles" 52_942 (Iw_kernel.Sched.total_overhead_cycles k);
+  let legacy =
+    [ "context_switches"; "lock_contended"; "preemptions"; "spawns";
+      "thread_exits"; "ticks" ]
+  in
+  let rendered = Counter.to_list (Iw_kernel.Sched.counters k) in
+  Alcotest.(check (list (pair string int)))
+    "legacy keys match string-keyed baseline"
+    [
+      ("context_switches", 25);
+      ("lock_contended", 16);
+      ("preemptions", 5);
+      ("spawns", 4);
+      ("thread_exits", 4);
+      ("ticks", 25);
+    ]
+    (List.filter (fun (n, _) -> List.mem n legacy) rendered);
+  (* The refactor added hardware-layer probes the string counters never
+     had: each scheduler tick is one timer fire delivered as one irq. *)
+  check_int "timer fires" 25
+    (Counter.get (Iw_kernel.Sched.counters k) Counter.Timer_fires);
+  check_int "irq dispatches" 25
+    (Counter.get (Iw_kernel.Sched.counters k) Counter.Irq_dispatches)
+
+(* ------------------------------------------------------------------ *)
+(* Tracing must not perturb simulated time or tables *)
+
+let test_trace_on_off_identical_tables () =
+  let e = Interweave.Experiments.find "E3" in
+  let off = Interweave.Experiments.run_to_string e in
+  let tr = Trace.ring () in
+  let obs = Obs.create ~trace:tr () in
+  let on =
+    Obs.with_ambient obs (fun () -> Interweave.Experiments.run_to_string e)
+  in
+  check_str "byte-identical output" off on;
+  Alcotest.(check bool) "trace captured events" true (Trace.length tr > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome export *)
+
+let traced_pinned_run () =
+  let tr = Trace.ring () in
+  let obs = Obs.create ~trace:tr () in
+  Obs.with_ambient obs (fun () -> ignore (pinned_kernel ()));
+  tr
+
+let test_chrome_json_validates () =
+  let tr = traced_pinned_run () in
+  Alcotest.(check bool) "events recorded" true (Trace.length tr > 0);
+  let path = Filename.temp_file "iw_trace" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Chrome.write_file tr path;
+      match Chrome.validate_file path with
+      | Ok n ->
+          Alcotest.(check bool)
+            "validated every recorded event" true
+            (n >= Trace.length tr)
+      | Error msg -> Alcotest.fail ("trace failed validation: " ^ msg))
+
+let test_chrome_rejects_garbage () =
+  (match Chrome.validate "not json at all" with
+  | Ok _ -> Alcotest.fail "garbage accepted"
+  | Error _ -> ());
+  match Chrome.validate "{\"traceEvents\": 42}" with
+  | Ok _ -> Alcotest.fail "non-array traceEvents accepted"
+  | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Stats.percentile regression (Float.compare, single sort) *)
+
+let test_percentile_negative_samples () =
+  let t = Iw_engine.Stats.create () in
+  List.iter (Iw_engine.Stats.add t) [ 3.0; 1.0; 2.0; -5.0; 10.0 ];
+  Alcotest.(check (float 1e-9)) "p50" 2.0 (Iw_engine.Stats.percentile t 50.0);
+  Alcotest.(check (float 1e-9)) "p90" 10.0 (Iw_engine.Stats.percentile t 90.0);
+  Alcotest.(check (float 1e-9)) "p0 is min" (-5.0)
+    (Iw_engine.Stats.percentile t 0.0);
+  let s = Iw_engine.Stats.summary t in
+  Alcotest.(check (float 1e-9)) "summary p50 agrees" 2.0 s.Iw_engine.Stats.p50;
+  Alcotest.(check (float 1e-9)) "summary p99 agrees" 10.0 s.Iw_engine.Stats.p99
+
+(* ------------------------------------------------------------------ *)
+(* Sweepable cost model *)
+
+let test_sweep_registry_complete () =
+  let module Sweep = Interweave.Machine.Sweep in
+  Alcotest.(check bool)
+    "covers the whole cost model" true
+    (List.length Sweep.fields >= 30);
+  check_int "names unique"
+    (List.length Sweep.names)
+    (List.length (List.sort_uniq compare Sweep.names));
+  let plat = Iw_hw.Platform.small in
+  match Sweep.find "tick_update" with
+  | None -> Alcotest.fail "tick_update not registered"
+  | Some fd ->
+      check_int "preset value" 120 (fd.Sweep.get plat.Iw_hw.Platform.costs);
+      let plat' = Sweep.with_value plat fd 999 in
+      check_int "with_value roundtrip" 999
+        (fd.Sweep.get plat'.Iw_hw.Platform.costs);
+      check_int "original untouched" 120 (fd.Sweep.get plat.Iw_hw.Platform.costs)
+
+let test_sweep_sensitivity_table () =
+  let module Sweep = Interweave.Machine.Sweep in
+  match Sweep.find "timer_path_softirq" with
+  | None -> Alcotest.fail "timer_path_softirq not registered"
+  | Some fd ->
+      let tbl = Sweep.sensitivity fd [ 0; 1_200 ] in
+      check_int "one row per value" 2 (List.length tbl.Interweave.Table.rows)
+
+(* ------------------------------------------------------------------ *)
+(* Machine context *)
+
+let test_machine_boot_wiring () =
+  let plat = Iw_hw.Platform.small in
+  let tr = Trace.ring () in
+  let m = Interweave.Machine.boot ~trace:tr (Interweave.Stack.commodity plat) in
+  Alcotest.(check bool)
+    "kernel shares the machine trace" true
+    ((Iw_kernel.Sched.obs (Interweave.Machine.kernel m)).Obs.trace == tr);
+  ignore
+    (Iw_kernel.Sched.spawn (Interweave.Machine.kernel m) (fun () ->
+         Iw_kernel.Api.work 10_000));
+  Interweave.Machine.run m;
+  Alcotest.(check bool)
+    "counters fired" true
+    (Counter.get (Interweave.Machine.counters m) Counter.Context_switches > 0);
+  let tbl = Interweave.Machine.counter_table m in
+  Alcotest.(check (list string))
+    "table headers" [ "counter"; "events" ] tbl.Interweave.Table.headers
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "counters",
+        [
+          Alcotest.test_case "index bijection" `Quick
+            test_counter_index_bijection;
+          Alcotest.test_case "names unique" `Quick test_counter_names_unique;
+          Alcotest.test_case "basic ops" `Quick test_counter_basic_ops;
+          Alcotest.test_case "to_list rendering" `Quick
+            test_counter_to_list_rendering;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "null disabled" `Quick test_trace_null_disabled;
+          Alcotest.test_case "ring bounded" `Quick test_trace_ring_bounded;
+          Alcotest.test_case "on/off identical tables" `Quick
+            test_trace_on_off_identical_tables;
+        ] );
+      ( "chrome",
+        [
+          Alcotest.test_case "export validates" `Quick test_chrome_json_validates;
+          Alcotest.test_case "rejects garbage" `Quick test_chrome_rejects_garbage;
+        ] );
+      ( "pinned",
+        [
+          Alcotest.test_case "typed counters match baseline" `Quick
+            test_typed_counters_match_pinned_baseline;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "percentile negatives" `Quick
+            test_percentile_negative_samples;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "registry complete" `Quick
+            test_sweep_registry_complete;
+          Alcotest.test_case "sensitivity table" `Quick
+            test_sweep_sensitivity_table;
+        ] );
+      ( "machine",
+        [
+          Alcotest.test_case "boot wiring" `Quick test_machine_boot_wiring;
+        ] );
+    ]

@@ -1,4 +1,5 @@
-.PHONY: all build test bench bench-json check trace-smoke sweep-smoke examples csv clean
+.PHONY: all build test bench bench-json check trace-smoke sweep-smoke \
+        profile-smoke golden-check golden-update examples csv clean
 
 all: build
 
@@ -13,25 +14,46 @@ bench:
 
 # Machine-readable perf report, tracked across PRs.
 bench-json:
-	dune exec bench/main.exe -- --json BENCH_2.json
+	dune exec bench/main.exe -- --json BENCH_3.json
 
 # Run one experiment with the trace bus on, export Chrome trace-event
 # JSON, and validate it (Perfetto-loadable or the target fails).
 trace-smoke:
 	dune exec bin/main.exe -- trace E3 --out /tmp/trace_smoke.json --check
 
+# Reconstruct span stacks from the ring, export a folded flamegraph
+# and a speedscope profile, and verify the self-cycle invariant
+# (folded self counts must sum to the total traced cycles).
+profile-smoke:
+	dune exec bin/main.exe -- profile E3 \
+	  --folded /tmp/profile_smoke.folded \
+	  --speedscope /tmp/profile_smoke.speedscope.json
+
+# Re-run every experiment under a counting context and gate against
+# the committed golden/ counter snapshots.  Fails (non-zero) naming
+# the drifted counter when the cost model or scheduling changes.
+golden-check:
+	dune exec bin/main.exe -- golden --check
+
+# Refresh the snapshots after an intentional behavior change.
+golden-update:
+	dune exec bin/main.exe -- golden --update
+
 # Exercise the cost-model sweep end to end on one hoisted field.
 sweep-smoke:
 	dune exec bin/main.exe -- sweep tick_update
 
-# Everything CI needs: full build, tests, and a smoke run of the
-# harness itself (including the JSON emitter and the trace exporter).
+# Everything CI needs: full build, tests, smoke runs of the harness
+# (JSON emitter, trace exporter, profiler), and the golden-counter
+# regression gate.
 check:
 	dune build @all
 	dune runtest
 	dune exec bench/main.exe -- --json /tmp/bench.json
 	$(MAKE) trace-smoke
+	$(MAKE) profile-smoke
 	$(MAKE) sweep-smoke
+	$(MAKE) golden-check
 
 examples:
 	@for e in quickstart heartbeat_spmv omp_nas carat_defrag \

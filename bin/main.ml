@@ -140,14 +140,20 @@ let trace_cmd =
   in
   let capacity =
     Arg.(
-      value & opt int 262_144
-      & info [ "capacity" ] ~docv:"N"
+      value
+      & opt int 262_144
+      & info
+          [ "capacity"; "ring-capacity" ]
+          ~docv:"N"
           ~doc:"Ring-buffer capacity in events; oldest events drop beyond it")
   in
   let check =
     Arg.(
       value & flag
-      & info [ "check" ] ~doc:"Validate the written JSON and fail if malformed")
+      & info [ "check" ]
+          ~doc:
+            "Validate the written JSON and fail if malformed or if the ring \
+             dropped events (a truncated ring corrupts the export)")
   in
   let run id out capacity check =
     let e =
@@ -166,14 +172,23 @@ let trace_cmd =
     in
     print_string text;
     Iw_obs.Chrome.write_file tr out;
+    let dropped = Iw_obs.Trace.dropped tr in
     Printf.printf "wrote %s: %d events (%d dropped)\n" out
-      (Iw_obs.Trace.length tr) (Iw_obs.Trace.dropped tr);
-    if check then
-      match Iw_obs.Chrome.validate_file out with
+      (Iw_obs.Trace.length tr) dropped;
+    if check then begin
+      (match Iw_obs.Chrome.validate_file out with
       | Ok n -> Printf.printf "validated: %d events ok\n" n
       | Error msg ->
           Printf.eprintf "invalid trace: %s\n" msg;
-          exit 1
+          exit 1);
+      if dropped > 0 then begin
+        Printf.eprintf
+          "trace ring dropped %d events; rerun with --ring-capacity %d or more\n"
+          dropped
+          (Iw_obs.Trace.emitted tr);
+        exit 1
+      end
+    end
   in
   Cmd.v
     (Cmd.info "trace"
@@ -182,13 +197,204 @@ let trace_cmd =
           Perfetto-loadable Chrome trace-event JSON file")
     Term.(const run $ id $ out $ capacity $ check)
 
+let profile_cmd =
+  let id =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ID" ~doc:"Experiment id to profile (e.g. E1)")
+  in
+  let folded_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "folded" ] ~docv:"PATH"
+          ~doc:"Write folded-stack lines for flamegraph.pl / speedscope")
+  in
+  let speedscope_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "speedscope" ] ~docv:"PATH"
+          ~doc:"Write a speedscope JSON profile (one track per CPU)")
+  in
+  let top =
+    Arg.(
+      value & opt int 20
+      & info [ "top" ] ~docv:"N" ~doc:"Rows in the printed profile table")
+  in
+  let capacity =
+    Arg.(
+      value
+      & opt int 1_048_576
+      & info [ "ring-capacity" ] ~docv:"N"
+          ~doc:"Trace ring capacity; raise it if events are dropped")
+  in
+  let run id folded_out speedscope_out top capacity =
+    let e =
+      try Interweave.Experiments.find id
+      with Not_found ->
+        Printf.eprintf "unknown experiment %s (try 'interweave list')\n" id;
+        exit 1
+    in
+    let tr = Iw_obs.Trace.ring ~capacity () in
+    let obs = Iw_obs.Obs.create ~trace:tr () in
+    ignore
+      (Iw_obs.Obs.with_ambient obs (fun () ->
+           Interweave.Experiments.run_to_string e));
+    let p = Iw_obs.Profile.of_trace tr in
+    print_string (Iw_obs.Profile.render_top ~top p);
+    if p.Iw_obs.Profile.dropped > 0 then
+      Printf.eprintf
+        "warning: ring dropped %d events — the profile is truncated; rerun \
+         with --ring-capacity %d or more\n"
+        p.Iw_obs.Profile.dropped
+        (Iw_obs.Trace.emitted tr);
+    (match folded_out with
+    | None -> ()
+    | Some path -> (
+        Iw_obs.Folded.write_file p path;
+        match
+          Iw_obs.Folded.check_file path ~total:(Iw_obs.Profile.total_cycles p)
+        with
+        | Ok n -> Printf.printf "wrote %s: %d stacks (self sum = total)\n" path n
+        | Error msg ->
+            Printf.eprintf "folded check failed for %s: %s\n" path msg;
+            exit 1));
+    match speedscope_out with
+    | None -> ()
+    | Some path -> (
+        Iw_obs.Speedscope.write_file ~name:(id ^ " profile") p path;
+        match Iw_obs.Speedscope.validate_file path with
+        | Ok n -> Printf.printf "wrote %s: %d events ok\n" path n
+        | Error msg ->
+            Printf.eprintf "invalid speedscope file %s: %s\n" path msg;
+            exit 1)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run one experiment under tracing, reconstruct per-CPU span stacks, \
+          and print a self/total cycle profile (optionally exporting \
+          flamegraph.pl folded stacks and speedscope JSON)")
+    Term.(const run $ id $ folded_out $ speedscope_out $ top $ capacity)
+
+let golden_cmd =
+  let ids =
+    Arg.(
+      value
+      & pos_all string []
+      & info [] ~docv:"ID" ~doc:"Experiment ids (default: every experiment)")
+  in
+  let update =
+    Arg.(
+      value & flag
+      & info [ "update" ] ~doc:"Regenerate snapshots instead of checking")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ] ~doc:"Check counters against snapshots (the default)")
+  in
+  let dir =
+    Arg.(
+      value & opt string "golden"
+      & info [ "dir" ] ~docv:"DIR" ~doc:"Snapshot directory")
+  in
+  let run ids update check dir jobs =
+    if update && check then begin
+      Printf.eprintf "golden: pass at most one of --check / --update\n";
+      exit 1
+    end;
+    let targets =
+      match ids with
+      | [] -> Interweave.Experiments.all ()
+      | ids ->
+          List.map
+            (fun id ->
+              try Interweave.Experiments.find id
+              with Not_found ->
+                Printf.eprintf "unknown experiment %s (try 'interweave list')\n"
+                  id;
+                exit 1)
+            ids
+    in
+    let path_of (e : Interweave.Experiments.experiment) =
+      Filename.concat dir (e.id ^ ".txt")
+    in
+    (* Each worker runs its experiment under its own collecting ambient
+       context (ambient state is domain-local), so the parallel fan-out
+       cannot mix counters across experiments. *)
+    let results =
+      Interweave.Driver.parallel_map ~jobs
+        (fun (e : Interweave.Experiments.experiment) ->
+          let _, counters = Interweave.Experiments.run_with_counters e in
+          (e, counters))
+        targets
+    in
+    if update then begin
+      (try Unix.mkdir dir 0o755
+       with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      List.iter
+        (fun ((e : Interweave.Experiments.experiment), counters) ->
+          let path = path_of e in
+          Iw_obs.Golden.write_file
+            ~header:
+              [
+                Printf.sprintf "golden counters for %s (%s)" e.id e.title;
+                "regenerate with: interweave golden --update " ^ e.id;
+              ]
+            counters path;
+          Printf.printf "wrote %s (%d counters)\n" path (List.length counters))
+        results
+    end
+    else begin
+      let failures = ref 0 in
+      List.iter
+        (fun ((e : Interweave.Experiments.experiment), counters) ->
+          let path = path_of e in
+          match Iw_obs.Golden.read_file path with
+          | exception Sys_error _ ->
+              incr failures;
+              Printf.printf "%-4s MISSING %s (run 'golden --update %s')\n" e.id
+                path e.id
+          | exception Invalid_argument msg ->
+              incr failures;
+              Printf.printf "%-4s UNREADABLE %s: %s\n" e.id path msg
+          | expected -> (
+              match Iw_obs.Golden.compare_counters ~expected counters with
+              | [] -> Printf.printf "%-4s ok (%d counters)\n" e.id (List.length expected)
+              | drifts ->
+                  incr failures;
+                  Printf.printf "%-4s DRIFT\n" e.id;
+                  List.iter
+                    (fun d ->
+                      Printf.printf "     %s\n" (Iw_obs.Golden.render_drift d))
+                    drifts))
+        results;
+      if !failures > 0 then begin
+        Printf.eprintf "golden: %d experiment(s) drifted\n" !failures;
+        exit 1
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "golden"
+       ~doc:
+         "Re-run experiments and compare their machine-wide counter totals \
+          against committed golden snapshots (or --update to regenerate); \
+          drift beyond per-counter tolerance fails the command")
+    Term.(const run $ ids $ update $ check $ dir $ jobs_arg)
+
 let sweep_cmd =
   let field =
     Arg.(
       value
       & pos 0 (some string) None
       & info [] ~docv:"FIELD"
-          ~doc:"Cost-model field to sweep (default tick_update)")
+          ~doc:
+            "Cost-model field to sweep (default tick_update), or \
+             $(i,FIELD1,FIELD2) for a 2-D grid")
   in
   let values =
     Arg.(
@@ -197,11 +403,32 @@ let sweep_cmd =
       & info [ "values" ] ~docv:"V1,V2,..."
           ~doc:"Explicit values; default 0,v/4,v/2,v,2v,4v around the preset")
   in
+  let values2 =
+    Arg.(
+      value
+      & opt (some (list int)) None
+      & info [ "values2" ] ~docv:"V1,V2,..."
+          ~doc:"Values for the second field of a 2-D grid (columns)")
+  in
+  let os =
+    Arg.(
+      value
+      & opt (enum [ ("nk", `Nk); ("linux", `Linux) ]) `Nk
+      & info [ "os" ] ~docv:"OS" ~doc:"Personality for the 2-D grid probe")
+  in
   let list_fields =
     Arg.(value & flag & info [ "list" ] ~doc:"List sweepable cost fields")
   in
-  let run field values list_fields =
+  let run field values values2 os list_fields =
     let module Sweep = Interweave.Machine.Sweep in
+    let plat = Iw_hw.Platform.small in
+    let resolve fname =
+      match Sweep.find fname with
+      | Some fd -> fd
+      | None ->
+          Printf.eprintf "unknown cost field %s (try 'sweep --list')\n" fname;
+          exit 1
+    in
     if list_fields then
       List.iter
         (fun (fd : Sweep.field) ->
@@ -210,25 +437,40 @@ let sweep_cmd =
         Sweep.fields
     else
       let fname = Option.value field ~default:"tick_update" in
-      match Sweep.find fname with
-      | None ->
-          Printf.eprintf "unknown cost field %s (try 'sweep --list')\n" fname;
-          exit 1
-      | Some fd ->
-          let plat = Iw_hw.Platform.small in
+      match String.split_on_char ',' fname with
+      | [ f1; f2 ] ->
+          let fd1 = resolve f1 and fd2 = resolve f2 in
+          let vs1 =
+            match values with
+            | Some vs -> vs
+            | None -> Sweep.default_values plat fd1
+          in
+          let vs2 =
+            match values2 with
+            | Some vs -> vs
+            | None -> Sweep.default_values plat fd2
+          in
+          print_string
+            (Interweave.Table.render (Sweep.grid ~plat ~os fd1 fd2 vs1 vs2))
+      | [ _ ] ->
+          let fd = resolve fname in
           let values =
             match values with
             | Some vs -> vs
             | None -> Sweep.default_values plat fd
           in
           print_string (Interweave.Table.render (Sweep.sensitivity fd values))
+      | _ ->
+          Printf.eprintf "sweep: give FIELD or FIELD1,FIELD2\n";
+          exit 1
   in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:
          "Vary one hoisted cost-model field across a range and print a \
-          sensitivity table for the pinned probe workload")
-    Term.(const run $ field $ values $ list_fields)
+          sensitivity table for the pinned probe workload, or a 2-D \
+          FIELD1,FIELD2 grid of elapsed cycles")
+    Term.(const run $ field $ values $ values2 $ os $ list_fields)
 
 let () =
   let doc =
@@ -239,4 +481,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; csv_cmd; stacks_cmd; trace_cmd; sweep_cmd ]))
+          [
+            list_cmd;
+            run_cmd;
+            csv_cmd;
+            stacks_cmd;
+            trace_cmd;
+            profile_cmd;
+            golden_cmd;
+            sweep_cmd;
+          ]))

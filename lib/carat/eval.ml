@@ -12,13 +12,17 @@ type row = {
   dyn_guards_opt : int;
 }
 
-let run_config (p : Programs.program) config =
+let run_config ?(label = "baseline") (p : Programs.program) config =
   let m = p.build () in
   (match config with
   | Some c -> Iw_passes.Carat_pass.instrument ~config:c m
   | None -> ());
   let rt = Runtime.create () in
-  let result = Interp.run ~hooks:(Runtime.hooks rt) m p.entry p.args in
+  let result =
+    Runtime.traced_run rt
+      ~name:(p.name ^ ":" ^ label)
+      (fun () -> Interp.run ~hooks:(Runtime.hooks rt) m p.entry p.args)
+  in
   let stats = Iw_passes.Carat_pass.guard_stats m in
   (result, stats)
 
@@ -33,9 +37,13 @@ let check_result (p : Programs.program) label (r : Interp.result) =
 let run_program (p : Programs.program) =
   let base, _ = run_config p None in
   check_result p "baseline" base;
-  let naive, naive_stats = run_config p (Some Iw_passes.Carat_pass.naive) in
+  let naive, naive_stats =
+    run_config ~label:"naive" p (Some Iw_passes.Carat_pass.naive)
+  in
   check_result p "naive" naive;
-  let opt, opt_stats = run_config p (Some Iw_passes.Carat_pass.optimized) in
+  let opt, opt_stats =
+    run_config ~label:"optimized" p (Some Iw_passes.Carat_pass.optimized)
+  in
   check_result p "optimized" opt;
   let pct a b = 100.0 *. (float_of_int (a - b) /. float_of_int b) in
   {

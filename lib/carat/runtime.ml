@@ -18,6 +18,7 @@ type t = {
   mutable faults : int;
   mutable n_moves : int;
   mutable n_moved_words : int;
+  mutable vclock : int;  (* span clock; words moved stand in for cycles *)
 }
 
 let create ?obs ?(heap_size = 1 lsl 22) () =
@@ -35,6 +36,7 @@ let create ?obs ?(heap_size = 1 lsl 22) () =
     faults = 0;
     n_moves = 0;
     n_moved_words = 0;
+    vclock = 0;
   }
 
 let region_containing t addr =
@@ -90,6 +92,8 @@ let guard t ~base ~offset ~length =
   | None ->
       t.faults <- t.faults + 1;
       Iw_obs.Counter.incr t.obs.Iw_obs.Obs.counters Iw_obs.Counter.Guard_faults;
+      Iw_obs.Trace.instant t.obs.Iw_obs.Obs.trace ~name:"guard_fault"
+        ~cat:"carat" ~cpu:(-1) ~ts:t.vclock ();
       raise
         (Interp.Fault
            (Printf.sprintf "carat: protection fault at %#x" target))
@@ -128,10 +132,20 @@ let move_region t ~base =
           Iw_mem.Buddy.free t.heap r.phys;
           t.n_moves <- t.n_moves + 1;
           t.n_moved_words <- t.n_moved_words + r.size;
+          (* One span per copy; the words moved stand in for cycles on
+             the runtime's private span clock. *)
+          (let tr = t.obs.Iw_obs.Obs.trace in
+           if tr.Iw_obs.Trace.enabled then begin
+             Iw_obs.Trace.span tr ~name:"carat_move" ~cat:"carat" ~cpu:(-1)
+               ~ts:t.vclock ~dur:(max 1 r.size) ();
+             t.vclock <- t.vclock + max 1 r.size
+           end);
           r.phys <- new_phys;
           Some new_phys)
 
 let defragment t =
+  let tr = t.obs.Iw_obs.Obs.trace in
+  let pass_start = t.vclock in
   (* Ascending physical order; the buddy hands out the lowest free
      block, so each move either compacts or is undone. *)
   let by_phys =
@@ -153,4 +167,30 @@ let defragment t =
           | _ -> ())
       | None -> ())
     by_phys;
+  (* Parent span over the whole pass, emitted after its move spans
+     (emit order at completion is what the profiler's tie-break
+     expects). *)
+  if tr.Iw_obs.Trace.enabled then begin
+    Iw_obs.Trace.span tr ~name:"carat_defrag" ~cat:"carat" ~cpu:(-1)
+      ~ts:pass_start
+      ~dur:(max 1 (t.vclock - pass_start))
+      ();
+    t.vclock <- max t.vclock (pass_start + 1)
+  end;
   !moved
+
+(* Wrap a guarded program run in an enclosing span on the runtime's
+   span clock: the span starts at the clock's position before the run
+   (so any moves/faults the run triggers nest inside) and lasts at
+   least the interpreter's reported cycles. *)
+let traced_run t ~name f =
+  let tr = t.obs.Iw_obs.Obs.trace in
+  if not tr.Iw_obs.Trace.enabled then f ()
+  else begin
+    let start = t.vclock in
+    let result : Interp.result = f () in
+    let dur = max 1 (max result.Interp.cycles (t.vclock - start)) in
+    Iw_obs.Trace.span tr ~name ~cat:"carat" ~cpu:(-1) ~ts:start ~dur ();
+    t.vclock <- start + dur;
+    result
+  end

@@ -54,3 +54,12 @@ val fragmentation : t -> float
 
 val moves : t -> int
 val moved_words : t -> int
+
+(** {1 Tracing} *)
+
+val traced_run : t -> name:string -> (unit -> Interp.result) -> Interp.result
+(** Run a guarded program under an enclosing ["carat"] span on the
+    runtime's span clock: move spans and guard-fault instants the run
+    triggers nest inside it, and the span lasts at least the
+    interpreter's reported cycles.  With tracing off this is just
+    [f ()]. *)

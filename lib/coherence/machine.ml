@@ -339,6 +339,14 @@ let core_cycles t core = t.cycles.(core)
 
 let makespan t = Array.fold_left max 0 t.cycles
 
+(* Epoch boundary: an instant on the machine track at the current
+   makespan — workload drivers call this at round/phase boundaries so
+   a trace shows where the protocol's time went between epochs. *)
+let epoch t ~name =
+  let tr = t.obs.Iw_obs.Obs.trace in
+  if tr.Iw_obs.Trace.enabled then
+    Iw_obs.Trace.instant tr ~name ~cat:"coherence" ~cpu:(-1) ~ts:(makespan t) ()
+
 let counters t =
   {
     accesses = t.c_accesses;

@@ -54,6 +54,10 @@ val core_cycles : t -> int -> int
 val makespan : t -> int
 (** Max per-core cycle total: the simulated execution time. *)
 
+val epoch : t -> name:string -> unit
+(** Emit an epoch-boundary instant (cat ["coherence"], machine track)
+    at the current makespan; free when tracing is off. *)
+
 val counters : t -> counters
 val interconnect_energy : t -> float
 

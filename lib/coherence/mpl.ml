@@ -182,7 +182,9 @@ let run ?(strict = false) ~machine f =
     }
   in
   let root = { tid = 0; parent = None; core = 0; live = true; allocs = [] } in
+  Machine.epoch machine ~name:"mpl:start";
   let v = f { task = root; st } in
+  Machine.epoch machine ~name:"mpl:done";
   ( v,
     {
       accesses = st.s_accesses;

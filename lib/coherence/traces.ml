@@ -160,13 +160,18 @@ let run_bench ?(seed = 42) ~params deact bench =
   let rngs =
     Array.init cores (fun c -> Rng.create ~seed:(seed + (1000 * c) + Hashtbl.hash bench.bench_name))
   in
-  (* Interleave cores round-robin so contention patterns overlap. *)
-  for _ = 1 to bench.accesses_per_core do
+  (* Interleave cores round-robin so contention patterns overlap.
+     Every 4096 rounds is one "epoch": an instant on the machine track
+     marks the boundary so traces show where protocol time went. *)
+  for round = 1 to bench.accesses_per_core do
     for core = 0 to cores - 1 do
       let addr, write, hint = gen_access bench.mix rngs.(core) ~core in
       Machine.access m ~core ~addr ~write ~hint
-    done
+    done;
+    if round land 4095 = 0 then
+      Machine.epoch m ~name:(Printf.sprintf "%s:epoch %d" bench.bench_name (round lsr 12))
   done;
+  Machine.epoch m ~name:(bench.bench_name ^ ":done");
   m
 
 type row = {

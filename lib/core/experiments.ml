@@ -1148,3 +1148,14 @@ let run_to_string e =
     (fun t -> Buffer.add_string buf (Table.render t ^ "\n"))
     (e.tables ());
   Buffer.contents buf
+
+(* Run one experiment under a collecting ambient context and return
+   its rendered output plus the machine-wide counter totals: every
+   component the run creates inherits the scoped trace and registers
+   its fresh counter set, so the totals cover all kernels/runtimes the
+   experiment booted.  [trace] defaults to the null sink (counters
+   still count), so this is also how golden snapshots are captured. *)
+let run_with_counters ?trace e =
+  let obs = Iw_obs.Obs.create ?trace ~collect:true () in
+  let out = Iw_obs.Obs.with_ambient obs (fun () -> run_to_string e) in
+  (out, Iw_obs.Counter.to_list (Iw_obs.Obs.total_counters obs))

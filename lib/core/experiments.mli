@@ -21,3 +21,11 @@ val find : string -> experiment
 
 val run_to_string : experiment -> string
 (** Header + every table, rendered. *)
+
+val run_with_counters :
+  ?trace:Iw_obs.Trace.t -> experiment -> string * (string * int) list
+(** {!run_to_string} under a collecting ambient context: the rendered
+    output plus machine-wide counter totals summed over every
+    component the run created.  [trace] defaults to the null sink, so
+    counters are gathered with zero tracing cost unless a ring is
+    passed. *)

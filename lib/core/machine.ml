@@ -255,4 +255,30 @@ module Sweep = struct
   let default_values plat fd =
     let v = fd.get plat.Platform.costs in
     List.sort_uniq compare [ 0; v / 4; v / 2; v; v * 2; v * 4 ]
+
+  (* 2-D grid: vary two cost fields together and render the probe's
+     elapsed cycles as a matrix (rows = [fd1] values, columns = [fd2]
+     values) — the cross-layer interaction view the 1-D sensitivity
+     table can't show (e.g. ipi_latency x timer_path_softirq). *)
+  let grid ?(plat = Platform.small) ?(os = `Nk) fd1 fd2 values1 values2 =
+    let os_name = match os with `Nk -> "nk" | `Linux -> "linux" in
+    let rows =
+      List.map
+        (fun v1 ->
+          string_of_int v1
+          :: List.map
+               (fun v2 ->
+                 let plat' = with_value (with_value plat fd1 v1) fd2 v2 in
+                 let elapsed, _ = probe plat' os in
+                 string_of_int elapsed)
+               values2)
+        values1
+    in
+    Table.make
+      ~title:
+        (Printf.sprintf "grid: elapsed cycles (%s), %s (rows) x %s (cols)"
+           os_name fd1.f_name fd2.f_name)
+      ~headers:(Printf.sprintf "%s\\%s" fd1.f_name fd2.f_name
+                :: List.map string_of_int values2)
+      rows
 end

@@ -58,4 +58,15 @@ module Sweep : sig
       mix under the Nautilus and Linux personalities) at each value of
       the field and tabulate elapsed cycles, overhead share, and delta
       vs the platform default. *)
+
+  val grid :
+    ?plat:Iw_hw.Platform.t ->
+    ?os:[ `Nk | `Linux ] ->
+    field ->
+    field ->
+    int list ->
+    int list ->
+    Table.t
+  (** 2-D sweep: probe elapsed cycles as a matrix over the cross
+      product of two fields' values (first field = rows). *)
 end

@@ -138,6 +138,16 @@ let get (s : set) id = s.(index id)
 
 let reset (s : set) = Array.fill s 0 count 0
 
+let merge_into ~(dst : set) (src : set) =
+  for i = 0 to count - 1 do
+    dst.(i) <- dst.(i) + src.(i)
+  done
+
+let sum (sets : set list) : set =
+  let dst = create () in
+  List.iter (fun s -> merge_into ~dst s) sets;
+  dst
+
 (* Only counters that have fired, sorted by name — the exact shape
    [Stats.Counters.to_list] produced (a hashtable only held touched
    keys, and counters only ever increment). *)

@@ -53,6 +53,12 @@ val add : set -> id -> int -> unit
 val get : set -> id -> int
 val reset : set -> unit
 
+val merge_into : dst:set -> set -> unit
+(** Add every cell of [src] into [dst]. *)
+
+val sum : set list -> set
+(** Fresh set holding the cell-wise sum of [sets]. *)
+
 val to_list : set -> (string * int) list
 (** Counters that have fired, as [(name, value)] sorted by name —
     the same rendering the string-keyed counters produced. *)

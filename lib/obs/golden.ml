@@ -1,0 +1,97 @@
+(* Golden counter snapshots: cheap cross-PR regression gating.
+
+   A snapshot is a text file of "counter value" lines (plus '#'
+   comments), one per experiment, committed under golden/.  The check
+   re-runs the experiment with a collecting ambient context and
+   compares the machine-wide counter totals against the snapshot:
+   exact by default, with per-counter percentage tolerances for the
+   scheduling-noise counters whose exact values encode timing rather
+   than behaviour.  Either way a real behaviour drift — a lost IPI, a
+   doubled guard check, a vanished promotion — fails the gate and
+   names the counter, without byte-diffing every rendered table. *)
+
+type tolerance = Exact | Pct of float
+
+(* Counters whose values are timing-derived (tick trains, timer and
+   preemption interleavings) rather than direct behaviour counts.
+   Experiments are deterministic, so even these match exactly today;
+   the slack only says how much timing drift a PR may introduce
+   without failing the gate. *)
+let default_tolerances =
+  [
+    ("ticks", Pct 2.0);
+    ("timer_fires", Pct 2.0);
+    ("irq_dispatches", Pct 2.0);
+    ("preemptions", Pct 5.0);
+    ("context_switches", Pct 2.0);
+    ("lock_contended", Pct 10.0);
+  ]
+
+let allowance tol expected =
+  match tol with
+  | Exact -> 0
+  | Pct p -> int_of_float (ceil (p /. 100.0 *. float (max 1 (abs expected))))
+
+type drift = {
+  d_counter : string;
+  d_expected : int;
+  d_actual : int;
+  d_allowed : int;
+}
+
+let render_drift d =
+  Printf.sprintf "%s: expected %d, got %d (allowed drift %d)" d.d_counter
+    d.d_expected d.d_actual d.d_allowed
+
+let render ?(header = []) (counters : (string * int) list) =
+  let b = Buffer.create 256 in
+  List.iter (fun line -> Buffer.add_string b (Printf.sprintf "# %s\n" line)) header;
+  List.iter
+    (fun (name, v) -> Buffer.add_string b (Printf.sprintf "%s %d\n" name v))
+    (List.sort (fun (a, _) (b, _) -> compare a b) counters);
+  Buffer.contents b
+
+let parse (s : string) : (string * int) list =
+  String.split_on_char '\n' s
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = '#' then None
+         else
+           match String.index_opt line ' ' with
+           | None -> invalid_arg ("Golden.parse: malformed line: " ^ line)
+           | Some i -> (
+               let name = String.sub line 0 i in
+               let v = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+               match int_of_string_opt v with
+               | Some v -> Some (name, v)
+               | None -> invalid_arg ("Golden.parse: bad value on line: " ^ line)))
+
+(* Compare actual counters against a snapshot over the union of names
+   (a counter missing on either side reads as 0, so both newly fired
+   and newly silent counters are drifts).  Returns the out-of-tolerance
+   drifts sorted by counter name. *)
+let compare_counters ?(tolerances = default_tolerances)
+    ~(expected : (string * int) list) (actual : (string * int) list) : drift list =
+  let names =
+    List.sort_uniq compare (List.map fst expected @ List.map fst actual)
+  in
+  List.filter_map
+    (fun name ->
+      let get l = match List.assoc_opt name l with Some v -> v | None -> 0 in
+      let e = get expected and a = get actual in
+      let tol =
+        match List.assoc_opt name tolerances with Some t -> t | None -> Exact
+      in
+      let allowed = allowance tol e in
+      if abs (a - e) > allowed then
+        Some { d_counter = name; d_expected = e; d_actual = a; d_allowed = allowed }
+      else None)
+    names
+
+let write_file ?header counters path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (render ?header counters))
+
+let read_file path = parse (Json.read_file path)

@@ -1,0 +1,41 @@
+(** Golden counter snapshots: per-experiment "counter value" text
+    files committed under golden/, compared with per-counter
+    tolerances to gate silent behaviour drift in CI. *)
+
+type tolerance = Exact | Pct of float
+
+val default_tolerances : (string * tolerance) list
+(** Percentage slack for the timing-derived scheduling-noise counters
+    (ticks, timer fires, preemptions, ...); everything else is exact. *)
+
+val allowance : tolerance -> int -> int
+(** Absolute drift allowed for an expected value: 0 for {!Exact},
+    [ceil (p% of max 1 |expected|)] for [Pct p]. *)
+
+type drift = {
+  d_counter : string;
+  d_expected : int;
+  d_actual : int;
+  d_allowed : int;
+}
+
+val render_drift : drift -> string
+
+val render : ?header:string list -> (string * int) list -> string
+(** Snapshot text: ['# '] header lines, then "name value" lines
+    sorted by name. *)
+
+val parse : string -> (string * int) list
+(** Read a snapshot back (comments and blanks skipped); raises
+    [Invalid_argument] on malformed lines. *)
+
+val compare_counters :
+  ?tolerances:(string * tolerance) list ->
+  expected:(string * int) list ->
+  (string * int) list ->
+  drift list
+(** Drifts beyond tolerance over the *union* of counter names (absent
+    = 0 on either side), sorted by name; empty means the gate passes. *)
+
+val write_file : ?header:string list -> (string * int) list -> string -> unit
+val read_file : string -> (string * int) list

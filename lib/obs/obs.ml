@@ -8,11 +8,16 @@
    experiments running in sibling domains keep their own nulls, so
    parallel runs never share or race on a trace. *)
 
-type t = { counters : Counter.set; trace : Trace.t }
+type t = {
+  counters : Counter.set;
+  trace : Trace.t;
+  collect : bool;  (* register child counter sets for aggregation *)
+  mutable children : Counter.set list;  (* newest first; only when collect *)
+}
 
-let create ?trace () =
+let create ?trace ?(collect = false) () =
   let trace = match trace with Some tr -> tr | None -> Trace.null () in
-  { counters = Counter.create (); trace }
+  { counters = Counter.create (); trace; collect; children = [] }
 
 let null () = create ()
 
@@ -23,8 +28,20 @@ let ambient () = Domain.DLS.get key
 (* Fresh counters wired to the ambient trace: what a newly created
    component wants by default — its counts stay its own (successive
    kernels in one experiment must not share cells), while its probes
-   land in whatever trace the caller scoped with [with_ambient]. *)
-let inherit_trace () = { counters = Counter.create (); trace = (ambient ()).trace }
+   land in whatever trace the caller scoped with [with_ambient].  A
+   collecting ambient additionally remembers the fresh set, so
+   machine-wide totals can be summed afterwards; the default null
+   ambient never collects, so unscoped component churn (e.g. bench
+   loops) cannot grow an unbounded child list. *)
+let inherit_trace () =
+  let amb = ambient () in
+  let counters = Counter.create () in
+  if amb.collect then amb.children <- counters :: amb.children;
+  { counters; trace = amb.trace; collect = false; children = [] }
+
+(* Machine-wide totals: the context's own counters plus every child
+   set registered through [inherit_trace] while collecting. *)
+let total_counters t = Counter.sum (t.counters :: List.rev t.children)
 
 let with_ambient obs f =
   let prev = Domain.DLS.get key in

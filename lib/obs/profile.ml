@@ -1,0 +1,211 @@
+(* Per-CPU span-stack reconstruction and self/total aggregation.
+
+   The trace bus records *complete* spans — a probe site emits
+   [(ts, dur)] once the work is done — so the ring holds intervals in
+   completion order, not a begin/end event stream.  The profiler
+   rebuilds the call-tree shape per CPU from interval containment:
+   sort each CPU's spans by start ascending, duration descending, and
+   emit index *descending* (a parent completes after — hence is
+   emitted after — its children, so on identical intervals the later
+   emit is the outer frame), then run a stack machine that pops every
+   open span ending at or before the next span's start.  A span whose
+   interval leaks past its parent's end is clipped to the parent (the
+   effective intervals of a node's direct children are then pairwise
+   disjoint), which makes the accounting exact: every span's self
+   cycles are its effective duration minus its direct children's, and
+   the selfs sum to the total traced cycles (= the sum of root span
+   durations) with no clamping. *)
+
+type frame = { f_cpu : int; f_cat : string; f_name : string }
+
+type row = {
+  r_frame : frame;
+  r_count : int;  (* spans aggregated into this frame *)
+  r_self : int;  (* cycles in this frame minus nested spans *)
+  r_total : int;  (* cycles with nested spans included *)
+}
+
+type stream_ev = { s_open : bool; s_frame : string; s_at : int }
+
+type t = {
+  rows : row list;  (* self desc, then (cpu, cat, name) asc *)
+  folded : (string * int) list;  (* "cpu 0;hw:work;..." -> self, path asc *)
+  streams : (int * stream_ev list) list;  (* per CPU, time order *)
+  total_cycles : int;
+  span_count : int;
+  instant_count : int;
+  dropped : int;
+}
+
+let frame_label f = f.f_cat ^ ":" ^ f.f_name
+let cpu_label cpu = if cpu < 0 then "machine" else Printf.sprintf "cpu %d" cpu
+
+(* One open span on the reconstruction stack. *)
+type open_span = {
+  o_frame : frame;
+  o_ts : int;
+  o_end : int;  (* effective end: clipped to the parent's *)
+  o_dur : int;  (* effective duration *)
+  o_path : string;  (* folded path down to and including this frame *)
+  mutable o_child : int;  (* cycles covered by direct children *)
+}
+
+let of_events ?(dropped = 0) (evs : Trace.event list) =
+  let spans = ref [] and span_count = ref 0 and instant_count = ref 0 in
+  List.iteri
+    (fun idx (e : Trace.event) ->
+      if e.ev_dur > 0 then (
+        incr span_count;
+        spans := (e, idx) :: !spans)
+      else incr instant_count)
+    evs;
+  let by_cpu : (int, (Trace.event * int) list ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun ((e : Trace.event), _ as se) ->
+      match Hashtbl.find_opt by_cpu e.ev_cpu with
+      | Some l -> l := se :: !l
+      | None -> Hashtbl.add by_cpu e.ev_cpu (ref [ se ]))
+    !spans;
+  let cpus =
+    Hashtbl.fold (fun cpu _ acc -> cpu :: acc) by_cpu [] |> List.sort compare
+  in
+  let aggs : (frame, int ref * int ref * int ref) Hashtbl.t = Hashtbl.create 64 in
+  let folded : (string, int ref) Hashtbl.t = Hashtbl.create 64 in
+  let total_cycles = ref 0 in
+  let streams =
+    List.map
+      (fun cpu ->
+        let sorted =
+          List.sort
+            (fun ((a : Trace.event), ai) ((b : Trace.event), bi) ->
+              if a.ev_ts <> b.ev_ts then compare a.ev_ts b.ev_ts
+              else if a.ev_dur <> b.ev_dur then compare b.ev_dur a.ev_dur
+              else compare bi ai)
+            !(Hashtbl.find by_cpu cpu)
+        in
+        let evs_out = ref [] in
+        let emit ev = evs_out := ev :: !evs_out in
+        let stack = ref [] in
+        let close (o : open_span) =
+          let self = o.o_dur - o.o_child in
+          (let c, s, t =
+             match Hashtbl.find_opt aggs o.o_frame with
+             | Some cells -> cells
+             | None ->
+                 let cells = (ref 0, ref 0, ref 0) in
+                 Hashtbl.add aggs o.o_frame cells;
+                 cells
+           in
+           incr c;
+           s := !s + self;
+           t := !t + o.o_dur);
+          (if self > 0 then
+             match Hashtbl.find_opt folded o.o_path with
+             | Some r -> r := !r + self
+             | None -> Hashtbl.add folded o.o_path (ref self));
+          emit { s_open = false; s_frame = frame_label o.o_frame; s_at = o.o_end };
+          match !stack with
+          | parent :: _ -> parent.o_child <- parent.o_child + o.o_dur
+          | [] -> total_cycles := !total_cycles + o.o_dur
+        in
+        let rec pop_until ts =
+          match !stack with
+          | top :: rest when top.o_end <= ts ->
+              stack := rest;
+              close top;
+              pop_until ts
+          | _ -> ()
+        in
+        List.iter
+          (fun ((e : Trace.event), _) ->
+            pop_until e.ev_ts;
+            let frame = { f_cpu = cpu; f_cat = e.ev_cat; f_name = e.ev_name } in
+            let parent_end, parent_path =
+              match !stack with
+              | top :: _ -> (top.o_end, top.o_path)
+              | [] -> (max_int, cpu_label cpu)
+            in
+            let o_end = min (e.ev_ts + e.ev_dur) parent_end in
+            let o =
+              {
+                o_frame = frame;
+                o_ts = e.ev_ts;
+                o_end;
+                o_dur = max 0 (o_end - e.ev_ts);
+                o_path = parent_path ^ ";" ^ frame_label frame;
+                o_child = 0;
+              }
+            in
+            emit { s_open = true; s_frame = frame_label frame; s_at = o.o_ts };
+            stack := o :: !stack)
+          sorted;
+        pop_until max_int;
+        (cpu, List.rev !evs_out))
+      cpus
+  in
+  let rows =
+    Hashtbl.fold
+      (fun f (c, s, t) acc ->
+        { r_frame = f; r_count = !c; r_self = !s; r_total = !t } :: acc)
+      aggs []
+    |> List.sort (fun a b ->
+           if a.r_self <> b.r_self then compare b.r_self a.r_self
+           else
+             compare
+               (a.r_frame.f_cpu, a.r_frame.f_cat, a.r_frame.f_name)
+               (b.r_frame.f_cpu, b.r_frame.f_cat, b.r_frame.f_name))
+  in
+  let folded =
+    Hashtbl.fold (fun path r acc -> (path, !r) :: acc) folded []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  {
+    rows;
+    folded;
+    streams;
+    total_cycles = !total_cycles;
+    span_count = !span_count;
+    instant_count = !instant_count;
+    dropped;
+  }
+
+let of_trace (tr : Trace.t) =
+  of_events ~dropped:(Trace.dropped tr) (Trace.events tr)
+
+let total_cycles t = t.total_cycles
+
+(* Plain-text top-N table, widest-self first. *)
+let render_top ?(top = 20) t =
+  let rows = List.filteri (fun i _ -> i < top) t.rows in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "profile: %d spans, %d instants, %d dropped, %d total cycles\n"
+       t.span_count t.instant_count t.dropped t.total_cycles);
+  let header = ("track", "cat", "name", "count", "self", "total", "self%") in
+  let render_row r =
+    ( cpu_label r.r_frame.f_cpu,
+      r.r_frame.f_cat,
+      r.r_frame.f_name,
+      string_of_int r.r_count,
+      string_of_int r.r_self,
+      string_of_int r.r_total,
+      if t.total_cycles = 0 then "0.0"
+      else Printf.sprintf "%.1f" (100.0 *. float r.r_self /. float t.total_cycles)
+    )
+  in
+  let cells = header :: List.map render_row rows in
+  let w f = List.fold_left (fun acc c -> max acc (String.length (f c))) 0 cells in
+  let w1 = w (fun (a, _, _, _, _, _, _) -> a)
+  and w2 = w (fun (_, a, _, _, _, _, _) -> a)
+  and w3 = w (fun (_, _, a, _, _, _, _) -> a)
+  and w4 = w (fun (_, _, _, a, _, _, _) -> a)
+  and w5 = w (fun (_, _, _, _, a, _, _) -> a)
+  and w6 = w (fun (_, _, _, _, _, a, _) -> a)
+  and w7 = w (fun (_, _, _, _, _, _, a) -> a) in
+  List.iter
+    (fun (a, b', c, d, e, f, g) ->
+      Buffer.add_string b
+        (Printf.sprintf "%-*s  %-*s  %-*s  %*s  %*s  %*s  %*s\n" w1 a w2 b' w3 c
+           w4 d w5 e w6 f w7 g))
+    cells;
+  Buffer.contents b

@@ -1,0 +1,193 @@
+(* speedscope (https://www.speedscope.app) file export + validation.
+
+   Hand-rolled like chrome.ml — no JSON library in the container.  We
+   emit the "evented" profile type: one profile per simulated CPU
+   track, a shared frame table, and balanced O/C (open/close) events
+   at non-decreasing virtual-cycle offsets, straight from the
+   profiler's per-CPU streams.  The validator re-reads all of that
+   and is what `profile --speedscope` and the tests run. *)
+
+let schema_url = "https://www.speedscope.app/file-format-schema.json"
+
+let to_json ?(name = "interweave trace") (p : Profile.t) =
+  (* Shared frame table: every label appearing in any stream. *)
+  let frame_ids : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let frames = ref [] in
+  let id_of label =
+    match Hashtbl.find_opt frame_ids label with
+    | Some i -> i
+    | None ->
+        let i = Hashtbl.length frame_ids in
+        Hashtbl.add frame_ids label i;
+        frames := label :: !frames;
+        i
+  in
+  List.iter
+    (fun (_, evs) ->
+      List.iter (fun (e : Profile.stream_ev) -> ignore (id_of e.s_frame)) evs)
+    p.Profile.streams;
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"$schema\":\"";
+  Buffer.add_string b schema_url;
+  Buffer.add_string b "\",\n\"shared\":{\"frames\":[";
+  List.iteri
+    (fun i label ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b "\n {\"name\":\"";
+      Json.escape b label;
+      Buffer.add_string b "\"}")
+    (List.rev !frames);
+  Buffer.add_string b "]},\n\"profiles\":[";
+  List.iteri
+    (fun i (cpu, evs) ->
+      if i > 0 then Buffer.add_char b ',';
+      let start_v =
+        match evs with (e : Profile.stream_ev) :: _ -> e.s_at | [] -> 0
+      in
+      let end_v =
+        List.fold_left
+          (fun acc (e : Profile.stream_ev) -> max acc e.s_at)
+          start_v evs
+      in
+      Buffer.add_string b
+        (Printf.sprintf
+           "\n {\"type\":\"evented\",\"name\":\"%s\",\"unit\":\"none\",\
+            \"startValue\":%d,\"endValue\":%d,\"events\":["
+           (Profile.cpu_label cpu) start_v end_v);
+      List.iteri
+        (fun j (e : Profile.stream_ev) ->
+          if j > 0 then Buffer.add_char b ',';
+          Buffer.add_string b
+            (Printf.sprintf "\n  {\"type\":\"%s\",\"frame\":%d,\"at\":%d}"
+               (if e.s_open then "O" else "C")
+               (Hashtbl.find frame_ids e.s_frame)
+               e.s_at))
+        evs;
+      Buffer.add_string b "]}")
+    p.Profile.streams;
+  Buffer.add_string b "],\n\"name\":\"";
+  Json.escape b name;
+  Buffer.add_string b "\",\"activeProfileIndex\":0,\"exporter\":\"interweave\"}\n";
+  Buffer.contents b
+
+let write_file ?name (p : Profile.t) path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_json ?name p))
+
+(* Validate an exported file: parses; has a shared frame table of
+   named frames; every profile is evented with in-range frame indices,
+   non-decreasing [at], a balanced O/C stack (each close matches the
+   open on top), and start/end values bracketing the events.  Returns
+   the number of O/C events checked. *)
+let validate (s : string) : (int, string) result =
+  let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
+  match Json.parse s with
+  | exception Json.Bad msg -> Error ("JSON parse error: " ^ msg)
+  | json ->
+      let* nframes =
+        match Json.member "shared" json with
+        | Some shared -> (
+            match Json.member "frames" shared with
+            | Some (Arr frames) ->
+                let ok =
+                  List.for_all
+                    (fun f ->
+                      match Json.member "name" f with
+                      | Some (Str _) -> true
+                      | _ -> false)
+                    frames
+                in
+                if ok then Ok (List.length frames)
+                else Error "frame without a string name"
+            | _ -> Error "missing shared.frames array")
+        | None -> Error "missing shared object"
+      in
+      let* profiles =
+        match Json.member "profiles" json with
+        | Some (Arr ps) -> Ok ps
+        | _ -> Error "missing profiles array"
+      in
+      let checked = ref 0 in
+      let check_profile prof =
+        let* () =
+          match Json.member "type" prof with
+          | Some (Str "evented") -> Ok ()
+          | _ -> Error "profile type is not evented"
+        in
+        let num k =
+          match Json.member k prof with
+          | Some (Num f) -> Ok f
+          | _ -> Error ("profile missing numeric " ^ k)
+        in
+        let* start_v = num "startValue" in
+        let* end_v = num "endValue" in
+        let* evs =
+          match Json.member "events" prof with
+          | Some (Arr evs) -> Ok evs
+          | _ -> Error "profile missing events array"
+        in
+        let stack = ref [] in
+        let last_at = ref start_v in
+        let step ev =
+          incr checked;
+          let* frame =
+            match Json.member "frame" ev with
+            | Some (Num f) when Float.rem f 1.0 = 0.0 -> Ok (int_of_float f)
+            | _ -> Error "event missing integral frame"
+          in
+          let* () =
+            if frame >= 0 && frame < nframes then Ok ()
+            else Error (Printf.sprintf "frame index %d out of range" frame)
+          in
+          let* at =
+            match Json.member "at" ev with
+            | Some (Num f) -> Ok f
+            | _ -> Error "event missing numeric at"
+          in
+          let* () =
+            if at >= !last_at then (
+              last_at := at;
+              Ok ())
+            else Error "event offsets not monotone"
+          in
+          match Json.member "type" ev with
+          | Some (Str "O") ->
+              stack := frame :: !stack;
+              Ok ()
+          | Some (Str "C") -> (
+              match !stack with
+              | top :: rest when top = frame ->
+                  stack := rest;
+                  Ok ()
+              | top :: _ ->
+                  Error
+                    (Printf.sprintf "close of frame %d but frame %d is open"
+                       frame top)
+              | [] -> Error "close with empty stack")
+          | _ -> Error "event type is not O or C"
+        in
+        let* () =
+          List.fold_left
+            (fun acc ev ->
+              let* () = acc in
+              step ev)
+            (Ok ()) evs
+        in
+        let* () =
+          if !stack = [] then Ok () else Error "unbalanced: spans left open"
+        in
+        if !last_at <= end_v then Ok ()
+        else Error "event past the profile endValue"
+      in
+      let* () =
+        List.fold_left
+          (fun acc prof ->
+            let* () = acc in
+            check_profile prof)
+          (Ok ()) profiles
+      in
+      Ok !checked
+
+let validate_file path : (int, string) result = validate (Json.read_file path)

@@ -1,0 +1,14 @@
+(** speedscope "evented" file export + validation (hand-rolled JSON,
+    one profile per simulated CPU, offsets in virtual cycles). *)
+
+val to_json : ?name:string -> Profile.t -> string
+
+val write_file : ?name:string -> Profile.t -> string -> unit
+
+val validate : string -> (int, string) result
+(** Check a speedscope document: shared frame table with named frames,
+    evented profiles with in-range frame indices, non-decreasing [at]
+    offsets, balanced open/close stacks, and start/end values
+    bracketing the events.  Returns the number of events checked. *)
+
+val validate_file : string -> (int, string) result

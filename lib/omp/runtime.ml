@@ -54,20 +54,40 @@ let sum_cycles f lo hi =
   done;
   !acc
 
+(* Run one chunk's iterations, wrapped in an "omp_chunk" span on the
+   running CPU's track when tracing is on.  The R_now/R_cpu scheduler
+   requests are pure queries (the thread continues immediately, no
+   cost is charged), so the traced and untraced runs stay
+   cycle-identical — and with tracing off this is just the consume. *)
+let consume_chunk tr cycles =
+  if tr.Iw_obs.Trace.enabled then begin
+    let cpu = Api.cpu_id () in
+    let start = Api.now () in
+    Coro.consume cycles;
+    Iw_obs.Trace.span tr ~name:"omp_chunk" ~cat:"omp" ~cpu ~ts:start
+      ~dur:(Api.now () - start)
+      ()
+  end
+  else Coro.consume cycles
+
 let run_share t (r : region) wid =
   let plat = Sched.platform t.k in
   let costs = plat.Iw_hw.Platform.costs in
+  let tr = (Sched.obs t.k).Iw_obs.Obs.trace in
+  let tron = tr.Iw_obs.Trace.enabled in
+  let share_cpu = if tron then Api.cpu_id () else -1 in
+  let share_start = if tron then Api.now () else 0 in
   if t.mode = Pik then Api.overhead pik_shim;
   let fetch_cost =
     costs.atomic_rmw + if t.nthreads > 1 then costs.cache_line_remote else 0
   in
-  match r.r_sched with
+  (match r.r_sched with
   | Static ->
       let lo = wid * r.r_iters / t.nthreads in
       let hi = (wid + 1) * r.r_iters / t.nthreads in
       if hi > lo then begin
         t.nchunks <- t.nchunks + 1;
-        Coro.consume (sum_cycles r.r_cycles lo hi)
+        consume_chunk tr (sum_cycles r.r_cycles lo hi)
       end
   | Dynamic chunk ->
       let chunk = max 1 chunk in
@@ -78,7 +98,7 @@ let run_share t (r : region) wid =
           let hi = min r.r_iters (lo + chunk) in
           r.r_next <- hi;
           t.nchunks <- t.nchunks + 1;
-          Coro.consume (sum_cycles r.r_cycles lo hi);
+          consume_chunk tr (sum_cycles r.r_cycles lo hi);
           grab ()
         end
       in
@@ -94,11 +114,19 @@ let run_share t (r : region) wid =
           let hi = min r.r_iters (lo + chunk) in
           r.r_next <- hi;
           t.nchunks <- t.nchunks + 1;
-          Coro.consume (sum_cycles r.r_cycles lo hi);
+          consume_chunk tr (sum_cycles r.r_cycles lo hi);
           grab ()
         end
       in
-      grab ()
+      grab ());
+  (* The worker's whole share of the region, enclosing its chunk
+     spans (and the hw grant spans inside them) on this CPU's track;
+     emitted after the chunks, as the profiler's tie-break expects. *)
+  if tron then
+    Iw_obs.Trace.span tr ~name:"omp_share" ~cat:"omp" ~cpu:share_cpu
+      ~ts:share_start
+      ~dur:(Api.now () - share_start)
+      ()
 
 let arrive t =
   let costs = (Sched.platform t.k).Iw_hw.Platform.costs in
@@ -177,7 +205,7 @@ let parallel_for t ?(schedule = Static) ~iters ~iter_cycles () =
           t.nchunks <- t.nchunks + 1;
           let h =
             Task.submit ~cpu:(c mod t.nthreads) ~size_hint:cost tf (fun () ->
-                Coro.consume cost)
+                consume_chunk obs.Iw_obs.Obs.trace cost)
           in
           handles := h :: !handles
         end

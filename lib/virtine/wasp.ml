@@ -82,6 +82,7 @@ type t = {
   mutable pool : int;  (* warm contexts available *)
   mutable n_spawned : int;
   mutable n_pool_hits : int;
+  mutable vclock : int;  (* span clock in virtual cycles; see below *)
 }
 
 let create ?obs ?(seed = 7) ?(pool_size = 16) config =
@@ -94,10 +95,43 @@ let create ?obs ?(seed = 7) ?(pool_size = 16) config =
     pool = (if config.pooled then pool_size else 0);
     n_spawned = 0;
     n_pool_hits = 0;
+    vclock = 0;
   }
 
 let marshal_us = 2.0
 let teardown_us = 11.0
+
+(* Wasp accounts in float microseconds, not simulator cycles; for the
+   trace we render spans on a private per-instance clock at a nominal
+   1 GHz (1 cycle = 1 ns), using the *unjittered* stage costs so
+   tracing never consumes an extra RNG draw — experiment tables stay
+   byte-identical with tracing on. *)
+let span_cycles_of_us us = max 1 (int_of_float (us *. 1000.0))
+
+(* One "virtine_spawn" parent span containing one child span per
+   non-elided boot stage, in stage order.  Children are emitted
+   before the parent (spans are emitted at completion, and the
+   profiler breaks identical-interval ties by emit order). *)
+let trace_spawn t cfg =
+  let tr = t.obs.Iw_obs.Obs.trace in
+  if tr.Iw_obs.Trace.enabled then begin
+    let start = t.vclock in
+    let off = ref start in
+    List.iter
+      (fun s ->
+        if not s.elided then begin
+          let d = span_cycles_of_us s.stage_us in
+          Iw_obs.Trace.span tr ~name:s.stage_name ~cat:"virtine" ~cpu:(-1)
+            ~ts:!off ~dur:d ();
+          off := !off + d
+        end)
+      (stages cfg);
+    Iw_obs.Trace.span tr ~name:"virtine_spawn" ~cat:"virtine" ~cpu:(-1)
+      ~ts:start
+      ~dur:(max 1 (!off - start))
+      ();
+    t.vclock <- max (!off) (start + 1)
+  end
 
 let call t ~work_us =
   if work_us < 0.0 then invalid_arg "Wasp.call: negative work";
@@ -111,10 +145,14 @@ let call t ~work_us =
         Iw_obs.Counter.Virtine_pool_hits;
       (* Refill happens off the critical path. *)
       if t.pool < t.pool_size then t.pool <- t.pool + 1;
+      trace_spawn t t.config;
       spawn_latency_us ~jitter:t.rng t.config
     end
-    else
-      spawn_latency_us ~jitter:t.rng { t.config with pooled = false }
+    else begin
+      let cfg = { t.config with pooled = false } in
+      trace_spawn t cfg;
+      spawn_latency_us ~jitter:t.rng cfg
+    end
   in
   spawn +. marshal_us +. work_us +. teardown_us
 

@@ -234,6 +234,153 @@ let test_machine_boot_wiring () =
   Alcotest.(check (list string))
     "table headers" [ "counter"; "events" ] tbl.Interweave.Table.headers
 
+(* ------------------------------------------------------------------ *)
+(* Profile: span-stack reconstruction *)
+
+(* Spans arrive emit-order = completion order, so children precede
+   their parents; the profiler must invert that into containment. *)
+let sp ?(cat = "k") ?(cpu = 0) name ts dur : Trace.event =
+  { Trace.ev_name = name; ev_cat = cat; ev_cpu = cpu; ev_ts = ts; ev_dur = dur }
+
+let find_row (p : Profile.t) name =
+  match
+    List.find_opt (fun r -> r.Profile.r_frame.Profile.f_name = name) p.rows
+  with
+  | Some r -> r
+  | None -> Alcotest.fail ("no profile row for " ^ name)
+
+let test_profile_nested_spans () =
+  let p =
+    Profile.of_events [ sp "child" 10 5; sp "parent" 0 100 ]
+  in
+  check_int "total = root dur" 100 (Profile.total_cycles p);
+  check_int "span count" 2 p.Profile.span_count;
+  let parent = find_row p "parent" and child = find_row p "child" in
+  check_int "parent total" 100 parent.Profile.r_total;
+  check_int "parent self" 95 parent.Profile.r_self;
+  check_int "child self" 5 child.Profile.r_self;
+  Alcotest.(check (list (pair string int)))
+    "folded paths"
+    [ ("cpu 0;k:parent", 95); ("cpu 0;k:parent;k:child", 5) ]
+    p.Profile.folded
+
+let test_profile_sibling_spans () =
+  let p =
+    Profile.of_events
+      [ sp "a" 0 10; sp "b" 20 30; sp "parent" 0 60; sp "root2" 100 40 ]
+  in
+  check_int "total = sum of roots" 100 (Profile.total_cycles p);
+  check_int "parent self excludes both siblings" 20
+    (find_row p "parent").Profile.r_self;
+  check_int "second root untouched" 40 (find_row p "root2").Profile.r_self;
+  let self_sum = List.fold_left (fun a r -> a + r.Profile.r_self) 0 p.rows in
+  check_int "selfs sum to total" (Profile.total_cycles p) self_sum
+
+let test_profile_identical_interval_tie () =
+  (* Equal (ts, dur): the later emit is the parent (emitted at
+     completion, outer frames complete last). *)
+  let p = Profile.of_events [ sp "inner" 0 50; sp "outer" 0 50 ] in
+  check_int "one root only" 50 (Profile.total_cycles p);
+  check_int "outer self zero" 0 (find_row p "outer").Profile.r_self;
+  check_int "inner gets the cycles" 50 (find_row p "inner").Profile.r_self;
+  Alcotest.(check (list (pair string int)))
+    "outer encloses inner"
+    [ ("cpu 0;k:outer;k:inner", 50) ]
+    p.Profile.folded
+
+let test_profile_ring_wrapped () =
+  (* A child overwritten by ring wrap must not break the accounting:
+     the survivors still form a valid forest and selfs sum to total. *)
+  let tr = Trace.ring ~capacity:2 () in
+  Trace.span tr ~name:"lost" ~cat:"k" ~cpu:0 ~ts:0 ~dur:5 ();
+  Trace.span tr ~name:"kept" ~cat:"k" ~cpu:0 ~ts:10 ~dur:20 ();
+  Trace.span tr ~name:"parent" ~cat:"k" ~cpu:0 ~ts:0 ~dur:100 ();
+  let p = Profile.of_trace tr in
+  check_int "dropped surfaced" 1 p.Profile.dropped;
+  check_int "total from surviving root" 100 (Profile.total_cycles p);
+  check_int "parent self = total minus kept child" 80
+    (find_row p "parent").Profile.r_self;
+  let self_sum = List.fold_left (fun a r -> a + r.Profile.r_self) 0 p.rows in
+  check_int "selfs still sum to total" 100 self_sum
+
+(* ------------------------------------------------------------------ *)
+(* Folded + speedscope exports *)
+
+let profile_of_pinned_run () = Profile.of_trace (traced_pinned_run ())
+
+let test_folded_deterministic_and_checked () =
+  let p1 = profile_of_pinned_run () and p2 = profile_of_pinned_run () in
+  let s1 = Folded.to_string p1 and s2 = Folded.to_string p2 in
+  check_str "same run, same folded bytes" s1 s2;
+  Alcotest.(check bool) "nonempty" true (String.length s1 > 0);
+  (match Folded.check s1 ~total:(Profile.total_cycles p1) with
+  | Ok n -> Alcotest.(check bool) "has stacks" true (n > 0)
+  | Error msg -> Alcotest.fail ("folded check: " ^ msg));
+  match Folded.check s1 ~total:(Profile.total_cycles p1 + 1) with
+  | Ok _ -> Alcotest.fail "wrong total accepted"
+  | Error _ -> ()
+
+let test_speedscope_round_trip () =
+  let p = profile_of_pinned_run () in
+  let doc = Speedscope.to_json ~name:"pinned" p in
+  (match Speedscope.validate doc with
+  | Ok n ->
+      let stream_events =
+        List.fold_left (fun a (_, evs) -> a + List.length evs) 0 p.streams
+      in
+      check_int "every open/close validated" stream_events n
+  | Error msg -> Alcotest.fail ("speedscope: " ^ msg));
+  match Speedscope.validate "{\"frames\": []}" with
+  | Ok _ -> Alcotest.fail "garbage accepted"
+  | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Golden counter gating *)
+
+let test_golden_exact_pass () =
+  let counters = [ ("spawns", 4); ("ticks", 100) ] in
+  Alcotest.(check (list (pair string int)))
+    "identical snapshots do not drift" []
+    (List.map
+       (fun d -> (d.Golden.d_counter, d.Golden.d_actual))
+       (Golden.compare_counters ~expected:counters counters))
+
+let test_golden_within_tolerance_pass () =
+  (* ticks carries a 2% default tolerance: 102 vs 100 is allowed. *)
+  let expected = [ ("spawns", 4); ("ticks", 100) ] in
+  let actual = [ ("spawns", 4); ("ticks", 102) ] in
+  check_int "scheduling noise tolerated" 0
+    (List.length (Golden.compare_counters ~expected actual))
+
+let test_golden_drift_fails () =
+  let expected = [ ("spawns", 4); ("ticks", 100) ] in
+  (* 103 vs 100 exceeds the 2% allowance of 2. *)
+  (match Golden.compare_counters ~expected [ ("spawns", 4); ("ticks", 103) ] with
+  | [ d ] ->
+      check_str "names the counter" "ticks" d.Golden.d_counter;
+      check_int "expected" 100 d.Golden.d_expected;
+      check_int "actual" 103 d.Golden.d_actual;
+      check_int "allowance" 2 d.Golden.d_allowed
+  | ds -> Alcotest.failf "expected one drift, got %d" (List.length ds));
+  (* spawns is exact: off by one fails. *)
+  (match Golden.compare_counters ~expected [ ("spawns", 5); ("ticks", 100) ] with
+  | [ d ] ->
+      check_str "exact counter drifts" "spawns" d.Golden.d_counter;
+      check_int "zero allowance" 0 d.Golden.d_allowed
+  | ds -> Alcotest.failf "expected one drift, got %d" (List.length ds));
+  (* union of keys: a newly-firing counter drifts against implicit 0. *)
+  match Golden.compare_counters ~expected:[] [ ("steals", 7) ] with
+  | [ d ] -> check_str "new counter gated" "steals" d.Golden.d_counter
+  | ds -> Alcotest.failf "expected one drift, got %d" (List.length ds)
+
+let test_golden_render_parse_round_trip () =
+  let counters = [ ("spawns", 4); ("ticks", 100); ("steals", 0) ] in
+  let text = Golden.render ~header:[ "E99"; "pinned" ] counters in
+  Alcotest.(check (list (pair string int)))
+    "sorted round trip"
+    [ ("spawns", 4); ("steals", 0); ("ticks", 100) ]
+    (Golden.parse text)
+
 let () =
   Alcotest.run "obs"
     [
@@ -278,5 +425,30 @@ let () =
       ( "machine",
         [
           Alcotest.test_case "boot wiring" `Quick test_machine_boot_wiring;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "nested spans" `Quick test_profile_nested_spans;
+          Alcotest.test_case "sibling spans" `Quick test_profile_sibling_spans;
+          Alcotest.test_case "identical-interval tie" `Quick
+            test_profile_identical_interval_tie;
+          Alcotest.test_case "ring-wrapped spans" `Quick
+            test_profile_ring_wrapped;
+        ] );
+      ( "exports",
+        [
+          Alcotest.test_case "folded deterministic + checked" `Quick
+            test_folded_deterministic_and_checked;
+          Alcotest.test_case "speedscope round trip" `Quick
+            test_speedscope_round_trip;
+        ] );
+      ( "golden",
+        [
+          Alcotest.test_case "exact pass" `Quick test_golden_exact_pass;
+          Alcotest.test_case "within tolerance" `Quick
+            test_golden_within_tolerance_pass;
+          Alcotest.test_case "drift fails" `Quick test_golden_drift_fails;
+          Alcotest.test_case "render/parse round trip" `Quick
+            test_golden_render_parse_round_trip;
         ] );
     ]

@@ -1,5 +1,6 @@
 .PHONY: all build test bench bench-json check trace-smoke sweep-smoke \
-        profile-smoke golden-check golden-update examples csv clean
+        profile-smoke faults-smoke golden-check golden-update examples csv \
+        clean
 
 all: build
 
@@ -14,7 +15,7 @@ bench:
 
 # Machine-readable perf report, tracked across PRs.
 bench-json:
-	dune exec bench/main.exe -- --json BENCH_3.json
+	dune exec bench/main.exe -- --json BENCH_4.json
 
 # Run one experiment with the trace bus on, export Chrome trace-event
 # JSON, and validate it (Perfetto-loadable or the target fails).
@@ -43,6 +44,11 @@ golden-update:
 sweep-smoke:
 	dune exec bin/main.exe -- sweep tick_update
 
+# One cheap fault-injection run with --check: fails unless faults were
+# actually injected and the experiment still completed.
+faults-smoke:
+	dune exec bin/main.exe -- faults R2 --rate 1e-2 --check
+
 # Everything CI needs: full build, tests, smoke runs of the harness
 # (JSON emitter, trace exporter, profiler), and the golden-counter
 # regression gate.
@@ -53,6 +59,7 @@ check:
 	$(MAKE) trace-smoke
 	$(MAKE) profile-smoke
 	$(MAKE) sweep-smoke
+	$(MAKE) faults-smoke
 	$(MAKE) golden-check
 
 examples:

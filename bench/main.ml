@@ -204,13 +204,14 @@ let json_escape s =
 
 let json_float f = if Float.is_nan f then "null" else Printf.sprintf "%.6g" f
 
-let write_json path ~jobs ~part1 ~part1_wall ~bechamel ~total =
+let write_json path ~jobs ~seed ~part1 ~part1_wall ~bechamel ~total =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   let n1 = List.length part1 and n2 = List.length bechamel in
   out "{\n";
-  out "  \"schema\": 2,\n";
+  out "  \"schema\": 3,\n";
   out "  \"jobs\": %d,\n" jobs;
+  out "  \"seed\": %d,\n" seed;
   out "  \"part1\": {\n";
   out "    \"wall_s\": %s,\n" (json_float part1_wall);
   out "    \"experiments\": [\n";
@@ -246,6 +247,7 @@ let write_json path ~jobs ~part1 ~part1_wall ~bechamel ~total =
 
 let () =
   let jobs = ref (Interweave.Driver.default_jobs ()) in
+  let seed = ref 0 in
   let json_path = ref None in
   let rec parse = function
     | [] -> ()
@@ -254,6 +256,13 @@ let () =
         | Some j when j > 0 -> jobs := j
         | _ ->
             prerr_endline "bench: --jobs expects a positive integer";
+            exit 2);
+        parse rest
+    | "--seed" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some s -> seed := s
+        | None ->
+            prerr_endline "bench: --seed expects an integer";
             exit 2);
         parse rest
     | "--serial" :: rest ->
@@ -269,16 +278,20 @@ let () =
             exit 2);
         json_path := Some path;
         parse rest
-    | [ ("--jobs" | "--json") ] ->
-        prerr_endline "bench: --jobs and --json need an argument";
+    | [ ("--jobs" | "--json" | "--seed") ] ->
+        prerr_endline "bench: --jobs, --seed and --json need an argument";
         exit 2
     | arg :: _ ->
         Printf.eprintf
-          "bench: unknown argument %s (flags: --jobs N, --serial, --json PATH)\n"
+          "bench: unknown argument %s (flags: --jobs N, --seed N, --serial, \
+           --json PATH)\n"
           arg;
         exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
+  (* Before any domain spawns: every Rng.create in every experiment
+     picks the offset up, so the whole reproduction re-seeds at once. *)
+  Iw_engine.Rng.set_global_seed !seed;
   let t0 = Unix.gettimeofday () in
   let part1 = run_reproduction ~jobs:!jobs () in
   let part1_wall = Unix.gettimeofday () -. t0 in
@@ -287,6 +300,7 @@ let () =
   Printf.printf "\ntotal wall time: %.1fs\n" total;
   Option.iter
     (fun path ->
-      write_json path ~jobs:!jobs ~part1 ~part1_wall ~bechamel ~total;
+      write_json path ~jobs:!jobs ~seed:!seed ~part1 ~part1_wall ~bechamel
+        ~total;
       Printf.printf "wrote %s\n" path)
     !json_path

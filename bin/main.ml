@@ -2,6 +2,23 @@
 
 open Cmdliner
 
+(* Every failing check-style path exits nonzero through this one
+   helper, so the exit-code contract is in one place instead of
+   scattered per-branch [exit] calls. *)
+let die fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit 1) fmt
+
+let find_experiment id =
+  try Interweave.Experiments.find id
+  with Not_found -> die "unknown experiment %s (try 'interweave list')" id
+
+let seed_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "seed" ] ~docv:"N"
+        ~doc:
+          "Global RNG seed offset folded into every stream the run creates; \
+           0 (the default) keeps the built-in seeds.")
+
 let list_cmd =
   let run () =
     List.iter
@@ -31,17 +48,11 @@ let run_cmd =
   let markdown =
     Arg.(value & flag & info [ "markdown" ] ~doc:"Emit Markdown tables")
   in
-  let run ids markdown jobs =
+  let run ids markdown jobs seed =
+    Iw_engine.Rng.set_global_seed seed;
     let targets =
       if List.mem "all" ids then Interweave.Experiments.all ()
-      else
-        List.map
-          (fun id ->
-            try Interweave.Experiments.find id
-            with Not_found ->
-              Printf.eprintf "unknown experiment %s (try 'interweave list')\n" id;
-              exit 1)
-          ids
+      else List.map find_experiment ids
     in
     Interweave.Driver.parallel_map ~jobs
       (fun (e : Interweave.Experiments.experiment) ->
@@ -58,7 +69,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run experiments and print their tables")
-    Term.(const run $ ids $ markdown $ jobs_arg)
+    Term.(const run $ ids $ markdown $ jobs_arg $ seed_arg)
 
 let csv_cmd =
   let dir =
@@ -78,12 +89,13 @@ let csv_cmd =
       "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
     else cell
   in
-  let run dir ids jobs =
+  let run dir ids jobs seed =
+    Iw_engine.Rng.set_global_seed seed;
     (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
     let targets =
       match ids with
       | [] -> Interweave.Experiments.all ()
-      | ids -> List.map Interweave.Experiments.find ids
+      | ids -> List.map find_experiment ids
     in
     (* Compute in parallel; write and report serially, in registry
        order, so the output and file contents match a serial run. *)
@@ -108,7 +120,7 @@ let csv_cmd =
   in
   Cmd.v
     (Cmd.info "csv" ~doc:"Run experiments and write their tables as CSV")
-    Term.(const run $ dir $ ids $ jobs_arg)
+    Term.(const run $ dir $ ids $ jobs_arg $ seed_arg)
 
 let stacks_cmd =
   let run () =
@@ -156,12 +168,7 @@ let trace_cmd =
              dropped events (a truncated ring corrupts the export)")
   in
   let run id out capacity check =
-    let e =
-      try Interweave.Experiments.find id
-      with Not_found ->
-        Printf.eprintf "unknown experiment %s (try 'interweave list')\n" id;
-        exit 1
-    in
+    let e = find_experiment id in
     let tr = Iw_obs.Trace.ring ~capacity () in
     let obs = Iw_obs.Obs.create ~trace:tr () in
     (* Run serially under an ambient traced context: every kernel,
@@ -178,16 +185,12 @@ let trace_cmd =
     if check then begin
       (match Iw_obs.Chrome.validate_file out with
       | Ok n -> Printf.printf "validated: %d events ok\n" n
-      | Error msg ->
-          Printf.eprintf "invalid trace: %s\n" msg;
-          exit 1);
-      if dropped > 0 then begin
-        Printf.eprintf
-          "trace ring dropped %d events; rerun with --ring-capacity %d or more\n"
+      | Error msg -> die "invalid trace: %s" msg);
+      if dropped > 0 then
+        die
+          "trace ring dropped %d events; rerun with --ring-capacity %d or more"
           dropped
-          (Iw_obs.Trace.emitted tr);
-        exit 1
-      end
+          (Iw_obs.Trace.emitted tr)
     end
   in
   Cmd.v
@@ -231,12 +234,7 @@ let profile_cmd =
           ~doc:"Trace ring capacity; raise it if events are dropped")
   in
   let run id folded_out speedscope_out top capacity =
-    let e =
-      try Interweave.Experiments.find id
-      with Not_found ->
-        Printf.eprintf "unknown experiment %s (try 'interweave list')\n" id;
-        exit 1
-    in
+    let e = find_experiment id in
     let tr = Iw_obs.Trace.ring ~capacity () in
     let obs = Iw_obs.Obs.create ~trace:tr () in
     ignore
@@ -258,18 +256,14 @@ let profile_cmd =
           Iw_obs.Folded.check_file path ~total:(Iw_obs.Profile.total_cycles p)
         with
         | Ok n -> Printf.printf "wrote %s: %d stacks (self sum = total)\n" path n
-        | Error msg ->
-            Printf.eprintf "folded check failed for %s: %s\n" path msg;
-            exit 1));
+        | Error msg -> die "folded check failed for %s: %s" path msg));
     match speedscope_out with
     | None -> ()
     | Some path -> (
         Iw_obs.Speedscope.write_file ~name:(id ^ " profile") p path;
         match Iw_obs.Speedscope.validate_file path with
         | Ok n -> Printf.printf "wrote %s: %d events ok\n" path n
-        | Error msg ->
-            Printf.eprintf "invalid speedscope file %s: %s\n" path msg;
-            exit 1)
+        | Error msg -> die "invalid speedscope file %s: %s" path msg)
   in
   Cmd.v
     (Cmd.info "profile"
@@ -302,22 +296,11 @@ let golden_cmd =
       & info [ "dir" ] ~docv:"DIR" ~doc:"Snapshot directory")
   in
   let run ids update check dir jobs =
-    if update && check then begin
-      Printf.eprintf "golden: pass at most one of --check / --update\n";
-      exit 1
-    end;
+    if update && check then die "golden: pass at most one of --check / --update";
     let targets =
       match ids with
       | [] -> Interweave.Experiments.all ()
-      | ids ->
-          List.map
-            (fun id ->
-              try Interweave.Experiments.find id
-              with Not_found ->
-                Printf.eprintf "unknown experiment %s (try 'interweave list')\n"
-                  id;
-                exit 1)
-            ids
+      | ids -> List.map find_experiment ids
     in
     let path_of (e : Interweave.Experiments.experiment) =
       Filename.concat dir (e.id ^ ".txt")
@@ -372,10 +355,7 @@ let golden_cmd =
                       Printf.printf "     %s\n" (Iw_obs.Golden.render_drift d))
                     drifts))
         results;
-      if !failures > 0 then begin
-        Printf.eprintf "golden: %d experiment(s) drifted\n" !failures;
-        exit 1
-      end
+      if !failures > 0 then die "golden: %d experiment(s) drifted" !failures
     end
   in
   Cmd.v
@@ -425,9 +405,7 @@ let sweep_cmd =
     let resolve fname =
       match Sweep.find fname with
       | Some fd -> fd
-      | None ->
-          Printf.eprintf "unknown cost field %s (try 'sweep --list')\n" fname;
-          exit 1
+      | None -> die "unknown cost field %s (try 'sweep --list')" fname
     in
     if list_fields then
       List.iter
@@ -460,9 +438,7 @@ let sweep_cmd =
             | None -> Sweep.default_values plat fd
           in
           print_string (Interweave.Table.render (Sweep.sensitivity fd values))
-      | _ ->
-          Printf.eprintf "sweep: give FIELD or FIELD1,FIELD2\n";
-          exit 1
+      | _ -> die "sweep: give FIELD or FIELD1,FIELD2"
   in
   Cmd.v
     (Cmd.info "sweep"
@@ -471,6 +447,100 @@ let sweep_cmd =
           sensitivity table for the pinned probe workload, or a 2-D \
           FIELD1,FIELD2 grid of elapsed cycles")
     Term.(const run $ field $ values $ values2 $ os $ list_fields)
+
+let faults_cmd =
+  let id =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ID"
+          ~doc:"Experiment id to run under fault injection (e.g. E3, R1)")
+  in
+  let rate =
+    Arg.(
+      value & opt float 1e-3
+      & info [ "rate" ] ~docv:"P"
+          ~doc:"Per-opportunity fault probability in [0,1]")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N" ~doc:"Fault-plan RNG seed")
+  in
+  let kinds =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "kinds" ] ~docv:"K1,K2,..."
+          ~doc:
+            "Comma-separated fault kinds to arm (e.g. ipi-drop,timer-late); \
+             default: all kinds")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Fail unless the run completed and, at a nonzero rate, at least \
+             one fault was actually injected (guards the injection wiring)")
+  in
+  let run id rate seed kinds check =
+    let e = find_experiment id in
+    let kinds =
+      match kinds with
+      | None -> Iw_faults.Plan.all_kinds
+      | Some s ->
+          String.split_on_char ',' s
+          |> List.map (fun k ->
+                 let k = String.trim k in
+                 match Iw_faults.Plan.kind_of_string k with
+                 | Some k -> k
+                 | None ->
+                     die "unknown fault kind %s (known: %s)" k
+                       (String.concat ", "
+                          (List.map Iw_faults.Plan.kind_name
+                             Iw_faults.Plan.all_kinds)))
+    in
+    if rate < 0.0 || rate > 1.0 then die "faults: --rate must be in [0,1]";
+    let plan = Iw_faults.Plan.create ~rate ~seed ~kinds () in
+    let obs = Iw_obs.Obs.create ~collect:true () in
+    let out =
+      Iw_obs.Obs.with_ambient obs (fun () ->
+          Iw_faults.Plan.with_ambient plan (fun () ->
+              try Ok (Interweave.Experiments.run_to_string e)
+              with Failure msg -> Error msg))
+    in
+    (match out with
+    | Ok text -> print_string text
+    | Error msg -> die "faults: %s run failed under injection: %s" e.id msg);
+    let totals = Iw_obs.Obs.total_counters obs in
+    let g id = Iw_obs.Counter.get totals id in
+    Printf.printf
+      "fault plan: rate %g, seed %d, kinds %s\n\
+      \  injected %d | ipi-retries %d | watchdog %d | relaunches %d | \
+       pool-evicts %d | rollbacks %d\n"
+      rate seed
+      (String.concat "," (List.map Iw_faults.Plan.kind_name kinds))
+      (g Iw_obs.Counter.Fault_injected)
+      (g Iw_obs.Counter.Ipi_retry)
+      (g Iw_obs.Counter.Watchdog_fire)
+      (g Iw_obs.Counter.Virtine_relaunch)
+      (g Iw_obs.Counter.Pool_evict)
+      (g Iw_obs.Counter.Move_rollback);
+    if check && rate > 0.0 && g Iw_obs.Counter.Fault_injected = 0 then
+      die
+        "faults --check: no faults injected at rate %g (injection points not \
+         reached?)"
+        rate
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Run one experiment under an ambient deterministic fault plan \
+          (dropped IPIs, dead timers, dark cores, ...) and report the \
+          fault/recovery counters; the R experiments additionally scope \
+          their own per-row plans")
+    Term.(const run $ id $ rate $ seed $ kinds $ check)
 
 let () =
   let doc =
@@ -490,4 +560,5 @@ let () =
             profile_cmd;
             golden_cmd;
             sweep_cmd;
+            faults_cmd;
           ]))

@@ -18,6 +18,7 @@ type t = {
   mutable faults : int;
   mutable n_moves : int;
   mutable n_moved_words : int;
+  mutable n_rollbacks : int;
   mutable vclock : int;  (* span clock; words moved stand in for cycles *)
 }
 
@@ -36,6 +37,7 @@ let create ?obs ?(heap_size = 1 lsl 22) () =
     faults = 0;
     n_moves = 0;
     n_moved_words = 0;
+    n_rollbacks = 0;
     vclock = 0;
   }
 
@@ -59,6 +61,7 @@ let guard_checks t = t.checks
 let guard_faults t = t.faults
 let moves t = t.n_moves
 let moved_words t = t.n_moved_words
+let rollbacks t = t.n_rollbacks
 let fragmentation t = Iw_mem.Buddy.external_fragmentation t.heap
 
 let alloc t size =
@@ -122,6 +125,26 @@ let move_region t ~base =
   | Some r -> (
       match Iw_mem.Buddy.alloc t.heap r.size with
       | None -> None
+      | Some new_phys
+        when
+          (let plan = Iw_faults.Plan.ambient () in
+           Iw_faults.Plan.enabled plan
+           && Iw_faults.Plan.fire plan t.obs
+                ~kind:Iw_faults.Plan.Move_interrupt ~cpu:(-1) ~ts:t.vclock) ->
+          (* The move was interrupted mid-copy (a guard violation hit
+             the half-written destination).  Quarantine: release the
+             partial destination and roll back.  The region still
+             points at its intact source, so the address space never
+             sees the tear — the move just didn't happen. *)
+          Iw_mem.Buddy.free t.heap new_phys;
+          t.n_rollbacks <- t.n_rollbacks + 1;
+          Iw_obs.Counter.incr t.obs.Iw_obs.Obs.counters
+            Iw_obs.Counter.Move_rollback;
+          (let tr = t.obs.Iw_obs.Obs.trace in
+           if tr.Iw_obs.Trace.enabled then
+             Iw_obs.Trace.instant tr ~name:"carat_rollback" ~cat:"carat"
+               ~cpu:(-1) ~ts:t.vclock ());
+          None
       | Some new_phys ->
           (match t.ctx with
           | Some ctx ->

@@ -55,6 +55,11 @@ val fragmentation : t -> float
 val moves : t -> int
 val moved_words : t -> int
 
+val rollbacks : t -> int
+(** Moves rolled back by the guard-violation quarantine path: the
+    partial destination was released and the region kept its intact
+    source.  Nonzero only under an active fault plan. *)
+
 (** {1 Tracing} *)
 
 val traced_run : t -> name:string -> (unit -> Interp.result) -> Interp.result

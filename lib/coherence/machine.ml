@@ -209,6 +209,30 @@ let access t ~core ~addr ~write ~hint =
       Array.unsafe_set t.tracked_filter fi line;
       Iw_engine.Itbl.set t.tracked_lines line ()
     end;
+    (* Spurious shootdown injection: the line vanishes from this
+       core's cache as if a remote invalidation hit it.  A Modified
+       line is written back first (the fault may not lose data), then
+       the access below misses and the protocol refetches through the
+       directory — MESI's own machinery is the recovery path, and
+       SWMR still holds because dropping copies can never add a
+       second writer. *)
+    (let plan = Iw_faults.Plan.ambient () in
+     if
+       Iw_faults.Plan.enabled plan
+       && Iw_faults.Plan.fire plan t.obs ~kind:Iw_faults.Plan.Tlb_shootdown
+            ~cpu:core ~ts:t.cycles.(core)
+     then
+       match Cache.lookup cache addr with
+       | Cache.Invalid -> ()
+       | st ->
+           if st = Cache.Modified then begin
+             let h = hops t core (home t line) in
+             t.c_wb <- t.c_wb + 1;
+             data_msg t h;
+             Iw_engine.Itbl.remove t.dir line
+           end;
+           Cache.invalidate cache addr;
+           charge t core t.p.inval_cost);
     match (Cache.lookup cache addr, write) with
     | (Cache.Modified | Cache.Exclusive), false ->
         t.c_hits <- t.c_hits + 1;

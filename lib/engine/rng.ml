@@ -2,7 +2,16 @@ type t = { mutable state : int64 }
 
 let golden_gamma = 0x9E3779B97F4A7C15L
 
-let create ~seed = { state = Int64.of_int seed }
+(* Global seed offset: xor-folded into every stream created after it
+   is set, so `--seed N` re-seeds the whole stack without touching the
+   per-component seeds scattered through experiment configs.  0 (the
+   default) reproduces the historical streams exactly.  Set it once,
+   before any worker domains spawn — it is a plain shared ref. *)
+let global = ref 0
+let set_global_seed s = global := s
+let global_seed () = !global
+
+let create ~seed = { state = Int64.of_int (seed lxor !global) }
 
 let copy t = { state = t.state }
 

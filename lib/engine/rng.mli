@@ -9,7 +9,15 @@ type t
 
 val create : seed:int -> t
 (** [create ~seed] returns a fresh generator.  Equal seeds yield equal
-    streams. *)
+    streams (under the same global seed offset). *)
+
+val set_global_seed : int -> unit
+(** Set the global seed offset, xor-folded into every stream created
+    afterwards.  [0] (the default) reproduces the historical streams.
+    Set it once, before spawning worker domains. *)
+
+val global_seed : unit -> int
+(** The current global seed offset. *)
 
 val copy : t -> t
 (** [copy t] duplicates the generator state; the copy and the original

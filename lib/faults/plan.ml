@@ -1,0 +1,187 @@
+(* Deterministic fault injection.
+
+   A [t] is a seed-driven fault plan: every injection point in the
+   stack (IPI wires, local APICs, CPU grants, TLBs, cache lines, the
+   virtine pool, CARAT moves) asks the ambient plan whether a fault
+   fires *here*, *now*.  Decisions come from the plan's own splitmix64
+   stream, never from the workload RNG — so two runs with the same
+   (rate, seed, kinds) inject the identical fault schedule, and a run
+   with the plan disabled draws nothing at all and stays byte-identical
+   to a run that never heard of faults.
+
+   The plan is scoped like the observability context: a domain-local
+   ambient that defaults to [disabled], overridden with [with_ambient]
+   for one run on one domain.  Parallel experiment drivers therefore
+   never share or race on a plan, and fault schedules are stable under
+   `-j`.
+
+   Injection sites live at layer *boundaries* (the IPI leaving the
+   sender, the APIC deciding to fire, the grant arming its completion)
+   because that is where the paper's interweaving argument lives: the
+   layer above can only compensate for what it can observe crossing
+   the boundary below. *)
+
+open Iw_engine
+open Iw_obs
+
+type kind =
+  | Ipi_drop  (* the IPI is lost on the wire *)
+  | Ipi_dup  (* the IPI is delivered twice *)
+  | Ipi_delay  (* the IPI takes extra cycles to land *)
+  | Timer_miss  (* an armed APIC fire is silently swallowed *)
+  | Timer_late  (* the fire lands, but late *)
+  | Timer_spurious  (* an extra, unasked-for fire *)
+  | Cpu_stall  (* the core goes dark for N cycles mid-grant *)
+  | Tlb_shootdown  (* a spurious remote shootdown / line invalidation *)
+  | Virtine_fail  (* a virtine launch dies partway through boot *)
+  | Pool_poison  (* a warm pool entry fails its health check *)
+  | Move_interrupt  (* a CARAT region move is interrupted mid-copy *)
+
+let kind_count = 11
+
+let kind_index = function
+  | Ipi_drop -> 0
+  | Ipi_dup -> 1
+  | Ipi_delay -> 2
+  | Timer_miss -> 3
+  | Timer_late -> 4
+  | Timer_spurious -> 5
+  | Cpu_stall -> 6
+  | Tlb_shootdown -> 7
+  | Virtine_fail -> 8
+  | Pool_poison -> 9
+  | Move_interrupt -> 10
+
+(* CLI spelling, `--kinds ipi-drop,timer-late`. *)
+let kind_name = function
+  | Ipi_drop -> "ipi-drop"
+  | Ipi_dup -> "ipi-dup"
+  | Ipi_delay -> "ipi-delay"
+  | Timer_miss -> "timer-miss"
+  | Timer_late -> "timer-late"
+  | Timer_spurious -> "timer-spurious"
+  | Cpu_stall -> "cpu-stall"
+  | Tlb_shootdown -> "tlb-shootdown"
+  | Virtine_fail -> "virtine-fail"
+  | Pool_poison -> "pool-poison"
+  | Move_interrupt -> "move-interrupt"
+
+let all_kinds =
+  [
+    Ipi_drop;
+    Ipi_dup;
+    Ipi_delay;
+    Timer_miss;
+    Timer_late;
+    Timer_spurious;
+    Cpu_stall;
+    Tlb_shootdown;
+    Virtine_fail;
+    Pool_poison;
+    Move_interrupt;
+  ]
+
+let kind_of_string s = List.find_opt (fun k -> kind_name k = s) all_kinds
+
+type t = {
+  enabled : bool;
+  rate : float;  (* per-opportunity fault probability, in [0,1] *)
+  seed : int;
+  armed : bool array;  (* indexed by kind_index *)
+  rng : Rng.t;  (* the plan's own stream; workload RNGs never see it *)
+  ipi_delay_cycles : int;
+  timer_late_cycles : int;
+  stall_cycles : int;
+  mutable injected : int;
+}
+
+let disabled =
+  {
+    enabled = false;
+    rate = 0.0;
+    seed = 0;
+    armed = Array.make kind_count false;
+    rng = Rng.create ~seed:0;
+    ipi_delay_cycles = 0;
+    timer_late_cycles = 0;
+    stall_cycles = 0;
+    injected = 0;
+  }
+
+let create ?(kinds = all_kinds) ?(ipi_delay_cycles = 4_000)
+    ?(timer_late_cycles = 12_000) ?(stall_cycles = 25_000) ~rate ~seed () =
+  if rate < 0.0 || rate > 1.0 then
+    invalid_arg "Plan.create: rate must be in [0,1]";
+  let armed = Array.make kind_count false in
+  List.iter (fun k -> armed.(kind_index k) <- true) kinds;
+  {
+    enabled = true;
+    rate;
+    seed;
+    armed;
+    (* A fixed salt keeps the fault stream distinct from any workload
+       stream that happens to use the same small seed. *)
+    rng = Rng.create ~seed:(seed lxor 0x7FA0175);
+    ipi_delay_cycles;
+    timer_late_cycles;
+    stall_cycles;
+    injected = 0;
+  }
+
+let enabled t = t.enabled
+let rate t = t.rate
+let seed t = t.seed
+let injected t = t.injected
+let ipi_delay_cycles t = t.ipi_delay_cycles
+let timer_late_cycles t = t.timer_late_cycles
+let stall_cycles t = t.stall_cycles
+let armed t k = t.enabled && t.armed.(kind_index k)
+
+(* ------------------------------------------------------------------ *)
+(* Ambient scoping, mirroring Obs. *)
+
+let key : t Domain.DLS.key = Domain.DLS.new_key (fun () -> disabled)
+let ambient () = Domain.DLS.get key
+
+let with_ambient plan f =
+  let prev = Domain.DLS.get key in
+  Domain.DLS.set key plan;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set key prev) f
+
+(* ------------------------------------------------------------------ *)
+(* Drawing decisions.  Every injected fault is observable: a
+   [fault_injected] counter bump plus a trace instant naming the
+   kind, so `trace`/`profile` show where resilience cycles go. *)
+
+let note (t : t) (obs : Obs.t) ~kind ~cpu ~ts n =
+  t.injected <- t.injected + n;
+  Counter.add obs.Obs.counters Counter.Fault_injected n;
+  let tr = obs.Obs.trace in
+  if tr.Trace.enabled then
+    Trace.instant tr ~name:("fault:" ^ kind_name kind) ~cat:"fault" ~cpu ~ts ()
+
+(* One opportunity: does a [kind] fault fire here?  Draws exactly one
+   sample when the kind is armed, none otherwise — so the schedule for
+   one kind is independent of which other kinds are armed only when
+   sites query kinds in a fixed order (they do). *)
+let fire t obs ~kind ~cpu ~ts =
+  armed t kind
+  && Rng.float t.rng 1.0 < t.rate
+  && (note t obs ~kind ~cpu ~ts 1;
+      true)
+
+(* Bulk form for analytic sites (the TLB charges a whole phase of
+   accesses at once): how many of [opportunities] fault?  Expected
+   value rate*opportunities with a single Bernoulli draw for the
+   fractional part — O(1) draws regardless of phase size. *)
+let count t obs ~kind ~opportunities ~cpu ~ts =
+  if (not (armed t kind)) || opportunities <= 0 then 0
+  else begin
+    let expect = t.rate *. float_of_int opportunities in
+    let base = int_of_float expect in
+    let frac = expect -. float_of_int base in
+    let n = base + (if Rng.float t.rng 1.0 < frac then 1 else 0) in
+    let n = min n opportunities in
+    if n > 0 then note t obs ~kind ~cpu ~ts n;
+    n
+  end

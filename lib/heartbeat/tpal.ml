@@ -203,12 +203,21 @@ let install_nk_driver sh ~period =
   let others =
     List.init (nworkers - 1) (fun i -> Sched.cpu k (i + 1))
   in
+  (* Under an active fault plan the wire may drop or delay heartbeats;
+     switch the broadcast to the acknowledged, resending variant.  The
+     quiet-wire path keeps the plain fire-and-forget broadcast, which
+     is byte-identical to the historical behavior. *)
+  let bcast =
+    if Iw_faults.Plan.enabled (Iw_faults.Plan.ambient ()) then
+      Reliable_ipi.broadcast ?timeout:None
+    else Ipi.broadcast
+  in
   Lapic.periodic (Sched.lapic k 0) ~period
     ~handler:(fun ~preempted ->
       (* CPU 0 takes the timer vector, broadcasts one ICR write, and
          handles its own heartbeat. *)
       let c = on_heartbeat sh 0 ~preempted in
-      Ipi.broadcast (Sched.sim k) plat ~targets:others
+      bcast (Sched.sim k) plat ~targets:others
         ~handler:(fun cpu ~preempted -> on_heartbeat sh cpu ~preempted)
         ~after:(fun cpu -> Sched.resched_or_resume k cpu);
       c + costs.ipi_send)
@@ -226,6 +235,52 @@ let install_linux_driver sh ~period =
       in
       Iw_linuxsim.Itimer.start t;
       t)
+    sh.ws
+
+(* Watchdog: detects a worker that has gone [watchdog_mult] periods
+   without a heartbeat (dropped IPIs the resends also lost, a dead
+   timer stream) and falls back to software polling — the promotion
+   check is delivered locally, without the broken wire.  Promotion
+   still happens, just later; this is the software layer backstopping
+   the hardware path, one level above the IPI resend machinery.
+
+   Only installed when a fault plan is active: on a perfect machine
+   the checks would all be no-ops, and not arming them keeps the
+   fault-free event schedule untouched. *)
+let watchdog_mult = 4
+let soft_poll_cost = 200
+
+let install_watchdog sh ~period =
+  let k = sh.k in
+  let s = Sched.sim k in
+  let costs = (Sched.platform k).Platform.costs in
+  let obs = Sched.obs k in
+  Array.iter
+    (fun w ->
+      let cpu = w.wid in
+      let tm = Sim.timer s in
+      let rec arm () = Sim.arm_after s tm (watchdog_mult * period) check
+      and check () =
+        if sh.remaining > 0 then begin
+          let now = Sim.now s in
+          if now - max 0 sh.last_beat.(cpu) >= watchdog_mult * period then begin
+            Iw_obs.Counter.incr obs.Iw_obs.Obs.counters
+              Iw_obs.Counter.Watchdog_fire;
+            (let tr = obs.Iw_obs.Obs.trace in
+             if tr.Iw_obs.Trace.enabled then
+               Iw_obs.Trace.instant tr ~name:"watchdog_fire" ~cat:"heartbeat"
+                 ~cpu ~ts:now ());
+            Cpu.interrupt (Sched.cpu k cpu)
+              ~dispatch:costs.Platform.interrupt_dispatch
+              ~return_cost:costs.Platform.interrupt_return
+              ~handler:(fun ~preempted ->
+                on_heartbeat sh cpu ~preempted + soft_poll_cost)
+              ~after:(fun () -> Sched.resched_or_resume k cpu)
+          end;
+          arm ()  (* stops re-arming once the workload drains *)
+        end
+      in
+      arm ())
     sh.ws
 
 let run ?(promote_div = 2) plat (config : config) bench =
@@ -282,6 +337,8 @@ let run ?(promote_div = 2) plat (config : config) bench =
   (match config.driver with
   | Nk_ipi -> install_nk_driver sh ~period
   | Linux_signal -> itimers := install_linux_driver sh ~period);
+  if Iw_faults.Plan.enabled (Iw_faults.Plan.ambient ()) then
+    install_watchdog sh ~period;
   (* A supervisor joins the workers and dismantles the drivers. *)
   ignore
     (Sched.spawn k

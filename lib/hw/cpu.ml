@@ -5,6 +5,7 @@ type kind = Work | Overhead
 type grant_rec = {
   total : int;
   started : int;
+  stall : int;  (* injected dark cycles appended to this grant *)
   g_kind : kind;
   uninterruptible : bool;
   on_complete : unit -> unit;
@@ -66,13 +67,12 @@ let account t kind cycles =
 
 (* Trace a completed (or cut-short) stretch of granted execution.
    Guarded on the enabled flag so the untraced path is a load+branch. *)
-let trace_grant t kind cycles =
-  if t.obs.Iw_obs.Obs.trace.Iw_obs.Trace.enabled && cycles > 0 then
-    Iw_obs.Trace.span t.obs.Iw_obs.Obs.trace
-      ~name:(match kind with Work -> "work" | Overhead -> "overhead")
-      ~cat:"hw" ~cpu:t.cpu_id
-      ~ts:(Sim.now t.s - cycles)
-      ~dur:cycles ()
+let trace_span_at t name cat ~ts ~dur =
+  if t.obs.Iw_obs.Obs.trace.Iw_obs.Trace.enabled && dur > 0 then
+    Iw_obs.Trace.span t.obs.Iw_obs.Obs.trace ~name ~cat ~cpu:t.cpu_id ~ts ~dur
+      ()
+
+let grant_name = function Work -> "work" | Overhead -> "overhead"
 
 (* Record a delivered interrupt: bump the typed counter always, emit
    the span only when tracing. *)
@@ -101,9 +101,21 @@ let rec try_deliver t =
       | Granted g ->
           Sim.disarm t.s t.completion;
           let consumed = Sim.now t.s - g.started in
-          account t g.g_kind consumed;
-          trace_grant t g.g_kind consumed;
-          Some (max 0 (g.total - consumed))
+          (* An injected stall sits at the end of the armed window:
+             whatever ran past [total] was the core being dark, not
+             useful execution — it is neither owed back nor counted as
+             the grant's kind. *)
+          let work_part = min consumed g.total in
+          let stall_part = consumed - work_part in
+          account t g.g_kind work_part;
+          if stall_part > 0 then account t Overhead stall_part;
+          trace_span_at t (grant_name g.g_kind) "hw" ~ts:g.started
+            ~dur:work_part;
+          if stall_part > 0 then
+            trace_span_at t "stall" "fault"
+              ~ts:(g.started + work_part)
+              ~dur:stall_part;
+          Some (max 0 (g.total - work_part))
       | Idle | In_irq -> None
     in
     t.state <- In_irq;
@@ -130,12 +142,34 @@ let grant t ~cycles ?(kind = Work) ?(uninterruptible = false) ~on_complete () =
       invalid_arg
         (Printf.sprintf "Cpu.grant: core %d is busy" t.cpu_id));
   let started = Sim.now t.s in
-  let g =
-    { total = cycles; started; g_kind = kind; uninterruptible; on_complete }
+  (* Transient-stall injection: the core goes dark for [stall] extra
+     cycles at the end of this grant.  The dark time is charged as
+     overhead, never as work — the layers above see the slice take
+     longer and must absorb it (heartbeat promotion lands late, the
+     dynamic scheduler hands the next chunk elsewhere). *)
+  let plan = Iw_faults.Plan.ambient () in
+  let stall =
+    if
+      Iw_faults.Plan.enabled plan
+      && Iw_faults.Plan.fire plan t.obs ~kind:Iw_faults.Plan.Cpu_stall
+           ~cpu:t.cpu_id ~ts:started
+    then Iw_faults.Plan.stall_cycles plan
+    else 0
   in
-  Sim.arm_after t.s t.completion cycles (fun () ->
+  let g =
+    { total = cycles; started; stall; g_kind = kind; uninterruptible;
+      on_complete }
+  in
+  Sim.arm_after t.s t.completion (cycles + stall) (fun () ->
+      let now = Sim.now t.s in
       account t g.g_kind g.total;
-      trace_grant t g.g_kind g.total;
+      trace_span_at t (grant_name g.g_kind) "hw"
+        ~ts:(now - g.stall - g.total)
+        ~dur:g.total;
+      if g.stall > 0 then begin
+        account t Overhead g.stall;
+        trace_span_at t "stall" "fault" ~ts:(now - g.stall) ~dur:g.stall
+      end;
       t.state <- Idle;
       g.on_complete ();
       try_deliver t);

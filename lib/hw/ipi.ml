@@ -1,5 +1,16 @@
 open Iw_engine
 
+(* One delivery attempt: the wire latency, then the interrupt on the
+   target core. *)
+let deliver s costs ~target ~handler ~after ~latency =
+  let obs = Cpu.obs target in
+  Sim.schedule_after_unit s latency (fun () ->
+      if obs.Iw_obs.Obs.trace.Iw_obs.Trace.enabled then
+        Iw_obs.Trace.instant obs.Iw_obs.Obs.trace ~name:"ipi_recv" ~cat:"hw"
+          ~cpu:(Cpu.id target) ~ts:(Sim.now s) ();
+      Cpu.interrupt target ~dispatch:costs.Platform.interrupt_dispatch
+        ~return_cost:costs.Platform.interrupt_return ~handler ~after)
+
 let send s plat ~target ~handler ~after =
   let costs = plat.Platform.costs in
   let obs = Cpu.obs target in
@@ -7,12 +18,29 @@ let send s plat ~target ~handler ~after =
   if obs.Iw_obs.Obs.trace.Iw_obs.Trace.enabled then
     Iw_obs.Trace.instant obs.Iw_obs.Obs.trace ~name:"ipi_send" ~cat:"hw"
       ~cpu:(-1) ~ts:(Sim.now s) ();
-  Sim.schedule_after_unit s costs.ipi_latency (fun () ->
-      if obs.Iw_obs.Obs.trace.Iw_obs.Trace.enabled then
-        Iw_obs.Trace.instant obs.Iw_obs.Obs.trace ~name:"ipi_recv" ~cat:"hw"
-          ~cpu:(Cpu.id target) ~ts:(Sim.now s) ();
-      Cpu.interrupt target ~dispatch:costs.interrupt_dispatch
-        ~return_cost:costs.interrupt_return ~handler ~after)
+  let plan = Iw_faults.Plan.ambient () in
+  if not (Iw_faults.Plan.enabled plan) then
+    deliver s costs ~target ~handler ~after ~latency:costs.ipi_latency
+  else begin
+    (* The injection point is the wire itself: the sender has already
+       paid its cost and counted the send; whether the message lands,
+       lands late, or lands twice is the fault plan's call.  Kinds are
+       queried in a fixed order so each kind's schedule is stable. *)
+    let cpu = Cpu.id target and ts = Sim.now s in
+    if Iw_faults.Plan.fire plan obs ~kind:Iw_faults.Plan.Ipi_drop ~cpu ~ts then
+      ()
+    else begin
+      let latency =
+        if Iw_faults.Plan.fire plan obs ~kind:Iw_faults.Plan.Ipi_delay ~cpu ~ts
+        then costs.ipi_latency + Iw_faults.Plan.ipi_delay_cycles plan
+        else costs.ipi_latency
+      in
+      deliver s costs ~target ~handler ~after ~latency;
+      if Iw_faults.Plan.fire plan obs ~kind:Iw_faults.Plan.Ipi_dup ~cpu ~ts then
+        deliver s costs ~target ~handler ~after
+          ~latency:(latency + costs.ipi_latency)
+    end
+  end
 
 let broadcast s plat ~targets ~handler ~after =
   List.iter

@@ -31,6 +31,33 @@ let inject t handler after =
   Cpu.interrupt t.target ~dispatch:t.plat.Platform.costs.interrupt_dispatch
     ~return_cost:t.plat.Platform.costs.interrupt_return ~handler ~after
 
+(* The fault plan sits between the armed timer and the interrupt it
+   raises: a [Timer_miss] swallows the fire entirely (the stream stays
+   armed — only this delivery is lost), [Timer_late] postpones it, and
+   [Timer_spurious] raises an extra one.  Late deliveries re-check the
+   generation so a [stop] still quiesces them. *)
+let deliver t ~gen handler after =
+  let plan = Iw_faults.Plan.ambient () in
+  if not (Iw_faults.Plan.enabled plan) then inject t handler after
+  else begin
+    let obs = Cpu.obs t.target in
+    let cpu = Cpu.id t.target and ts = Sim.now t.s in
+    if Iw_faults.Plan.fire plan obs ~kind:Iw_faults.Plan.Timer_miss ~cpu ~ts
+    then ()
+    else begin
+      (if Iw_faults.Plan.fire plan obs ~kind:Iw_faults.Plan.Timer_late ~cpu ~ts
+       then
+         Sim.schedule_after_unit t.s
+           (Iw_faults.Plan.timer_late_cycles plan)
+           (fun () -> if gen = t.generation then inject t handler after)
+       else inject t handler after);
+      if
+        Iw_faults.Plan.fire plan obs ~kind:Iw_faults.Plan.Timer_spurious ~cpu
+          ~ts
+      then inject t handler after
+    end
+  end
+
 let oneshot t ~delay ~handler ~after =
   if delay < 0 then invalid_arg "Lapic.oneshot: negative delay";
   let gen = t.generation in
@@ -38,7 +65,7 @@ let oneshot t ~delay ~handler ~after =
   Sim.arm_after t.s tm delay (fun () ->
       if gen = t.generation then begin
         t.armed <- None;
-        inject t handler after
+        deliver t ~gen handler after
       end);
   t.armed <- Some tm
 
@@ -49,7 +76,7 @@ let periodic t ?phase ~period ~handler ~after () =
   let tm = Sim.timer t.s in
   let rec tick () =
     if gen = t.generation then begin
-      inject t handler after;
+      deliver t ~gen handler after;
       Sim.arm_after t.s tm period tick;
       t.armed <- Some tm
     end

@@ -35,4 +35,19 @@ let access_overhead_cycles ?obs t plat p ~demand_paged =
     end
     else 0
   in
-  miss_cost + fault_cost
+  (* Spurious remote shootdowns: each one costs an interrupt round
+     trip plus the walk to refill the flushed entry.  The phase is
+     charged analytically, so the fault count is drawn in bulk —
+     expected rate * accesses with O(1) draws. *)
+  let plan = Iw_faults.Plan.ambient () in
+  let shoot_cost =
+    if not (Iw_faults.Plan.enabled plan) then 0
+    else begin
+      let n =
+        Iw_faults.Plan.count plan obs ~kind:Iw_faults.Plan.Tlb_shootdown
+          ~opportunities:p.accesses ~cpu:(-1) ~ts:0
+      in
+      n * (costs.interrupt_dispatch + costs.interrupt_return + costs.tlb_miss_walk)
+    end
+  in
+  miss_cost + fault_cost + shoot_cost

@@ -37,8 +37,15 @@ type id =
   | Virtine_pool_hits
   (* coherence *)
   | Dir_transitions
+  (* fault injection and recovery *)
+  | Fault_injected
+  | Ipi_retry
+  | Watchdog_fire
+  | Virtine_relaunch
+  | Pool_evict
+  | Move_rollback
 
-let count = 24
+let count = 30
 
 let index = function
   | Context_switches -> 0
@@ -65,6 +72,12 @@ let index = function
   | Virtine_spawns -> 21
   | Virtine_pool_hits -> 22
   | Dir_transitions -> 23
+  | Fault_injected -> 24
+  | Ipi_retry -> 25
+  | Watchdog_fire -> 26
+  | Virtine_relaunch -> 27
+  | Pool_evict -> 28
+  | Move_rollback -> 29
 
 (* Names match the strings the old hashtable counters used, so table
    rendering is unchanged. *)
@@ -93,6 +106,12 @@ let name = function
   | Virtine_spawns -> "virtine_spawns"
   | Virtine_pool_hits -> "virtine_pool_hits"
   | Dir_transitions -> "dir_transitions"
+  | Fault_injected -> "fault_injected"
+  | Ipi_retry -> "ipi_retry"
+  | Watchdog_fire -> "watchdog_fire"
+  | Virtine_relaunch -> "virtine_relaunch"
+  | Pool_evict -> "pool_evict"
+  | Move_rollback -> "move_rollback"
 
 let all =
   [
@@ -120,6 +139,12 @@ let all =
     Virtine_spawns;
     Virtine_pool_hits;
     Dir_transitions;
+    Fault_injected;
+    Ipi_retry;
+    Watchdog_fire;
+    Virtine_relaunch;
+    Pool_evict;
+    Move_rollback;
   ]
 
 type set = int array

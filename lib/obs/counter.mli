@@ -30,6 +30,12 @@ type id =
   | Virtine_spawns
   | Virtine_pool_hits
   | Dir_transitions
+  | Fault_injected
+  | Ipi_retry
+  | Watchdog_fire
+  | Virtine_relaunch
+  | Pool_evict
+  | Move_rollback
 
 val count : int
 (** Number of distinct counter ids. *)

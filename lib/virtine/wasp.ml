@@ -133,11 +133,45 @@ let trace_spawn t cfg =
     t.vclock <- max (!off) (start + 1)
   end
 
+(* Detecting a poisoned warm context (failed health check before
+   dispatch) costs a fixed scan; the entry is evicted and the call
+   falls through to whatever the pool has left. *)
+let poison_detect_us = 6.0
+
+(* A launch that dies partway through boot burns this fraction of its
+   latency before the failure is observed and the launch is retried. *)
+let failed_launch_fraction = 0.5
+let relaunch_max = 3
+
+let fault_instant t name =
+  let tr = t.obs.Iw_obs.Obs.trace in
+  if tr.Iw_obs.Trace.enabled then
+    Iw_obs.Trace.instant tr ~name ~cat:"virtine" ~cpu:(-1) ~ts:t.vclock ()
+
 let call t ~work_us =
   if work_us < 0.0 then invalid_arg "Wasp.call: negative work";
   t.n_spawned <- t.n_spawned + 1;
   Iw_obs.Counter.incr t.obs.Iw_obs.Obs.counters Iw_obs.Counter.Virtine_spawns;
-  let spawn =
+  let plan = Iw_faults.Plan.ambient () in
+  (* Pool poisoning: a warm context fails its pre-dispatch health
+     check.  Evict it rather than dispatch into a corrupt guest; the
+     caller pays the detection scan and takes the next entry (or a
+     cold boot if that was the last one). *)
+  let evict_us =
+    if
+      t.config.pooled && t.pool > 0
+      && Iw_faults.Plan.enabled plan
+      && Iw_faults.Plan.fire plan t.obs ~kind:Iw_faults.Plan.Pool_poison
+           ~cpu:(-1) ~ts:t.vclock
+    then begin
+      t.pool <- t.pool - 1;
+      Iw_obs.Counter.incr t.obs.Iw_obs.Obs.counters Iw_obs.Counter.Pool_evict;
+      fault_instant t "pool_evict";
+      poison_detect_us
+    end
+    else 0.0
+  in
+  let launch_once () =
     if t.config.pooled && t.pool > 0 then begin
       t.pool <- t.pool - 1;
       t.n_pool_hits <- t.n_pool_hits + 1;
@@ -154,7 +188,25 @@ let call t ~work_us =
       spawn_latency_us ~jitter:t.rng cfg
     end
   in
-  spawn +. marshal_us +. work_us +. teardown_us
+  (* Launch retry: a failed boot is detected, its partial cost paid,
+     and the launch repeated — the caller still gets a virtine, just
+     later. *)
+  let rec launch attempts =
+    let us = launch_once () in
+    if
+      attempts < relaunch_max
+      && Iw_faults.Plan.enabled plan
+      && Iw_faults.Plan.fire plan t.obs ~kind:Iw_faults.Plan.Virtine_fail
+           ~cpu:(-1) ~ts:t.vclock
+    then begin
+      Iw_obs.Counter.incr t.obs.Iw_obs.Obs.counters
+        Iw_obs.Counter.Virtine_relaunch;
+      fault_instant t "virtine_relaunch";
+      (failed_launch_fraction *. us) +. launch (attempts + 1)
+    end
+    else us
+  in
+  evict_us +. launch 0 +. marshal_us +. work_us +. teardown_us
 
 let spawned t = t.n_spawned
 let pool_hits t = t.n_pool_hits

@@ -217,6 +217,64 @@ let test_wheel_order () =
     (List.sort compare times) (List.rev !fired);
   check_int "wheel drained" 0 (Timer_wheel.live w)
 
+let drain_wheel w =
+  let rec go () =
+    match Timer_wheel.peek w with
+    | Timer_wheel.Nothing -> ()
+    | Timer_wheel.Advance b ->
+        Timer_wheel.advance w b;
+        go ()
+    | Timer_wheel.Fire tm ->
+        Timer_wheel.advance w (Ekey.time (Timer_wheel.key tm));
+        let cb = Timer_wheel.callback tm in
+        Timer_wheel.take w tm;
+        cb ();
+        go ()
+  in
+  go ()
+
+let test_wheel_cancel_after_fire () =
+  let w = Timer_wheel.create () in
+  let tm = Timer_wheel.make_timer () in
+  let count = ref 0 in
+  Timer_wheel.arm w tm ~key:(Ekey.pack ~time:10 ~seq:0) (fun () -> incr count);
+  drain_wheel w;
+  check_int "fired once" 1 !count;
+  check_bool "idle after fire" false (Timer_wheel.armed tm);
+  (* Cancelling a timer whose callback already ran must be a no-op —
+     twice over. *)
+  Timer_wheel.cancel w tm;
+  Timer_wheel.cancel w tm;
+  check_int "live unaffected" 0 (Timer_wheel.live w);
+  (* The record stays reusable after the late cancels. *)
+  Timer_wheel.arm w tm ~key:(Ekey.pack ~time:20 ~seq:1) (fun () -> incr count);
+  drain_wheel w;
+  check_int "re-armed record fires" 2 !count
+
+let test_wheel_rearm_from_callback () =
+  let w = Timer_wheel.create () in
+  let tm = Timer_wheel.make_timer () in
+  let fires = ref [] in
+  (* The watchdog pattern: the callback re-arms its own (just-taken)
+     record.  Period 70 straddles the level-0 boundary, so cascading
+     is exercised too. *)
+  let rec cb () =
+    fires := Timer_wheel.clock w :: !fires;
+    if List.length !fires < 4 then
+      Timer_wheel.arm w tm
+        ~key:
+          (Ekey.pack
+             ~time:(Timer_wheel.clock w + 70)
+             ~seq:(List.length !fires))
+        cb
+  in
+  Timer_wheel.arm w tm ~key:(Ekey.pack ~time:70 ~seq:0) cb;
+  drain_wheel w;
+  Alcotest.(check (list int))
+    "periodic re-arm from inside callback" [ 70; 140; 210; 280 ]
+    (List.rev !fires);
+  check_int "drained" 0 (Timer_wheel.live w)
+
 let test_sim_pending_o1 () =
   let s = Sim.create () in
   let e1 = Sim.schedule s ~at:10 ignore in
@@ -251,6 +309,38 @@ let test_sim_timer_stats () =
   (* The whole periodic stream lives on the wheel: the binary heap
      sees (almost) none of it. *)
   check_bool "heap traffic dropped" true (st.Sim.heap_pushes < 10)
+
+let prop_sim_pending_exact =
+  QCheck.Test.make ~name:"pending stays exact under cancel/fire interleavings"
+    ~count:200
+    QCheck.(list (pair (int_bound 100) (int_bound 7)))
+    (fun spec ->
+      let n = List.length spec in
+      if n = 0 then true
+      else begin
+        let s = Sim.create () in
+        let events = Array.make n None in
+        let fired = ref 0 in
+        List.iteri
+          (fun i (at, victim_off) ->
+            let ev =
+              Sim.schedule s ~at (fun () ->
+                  incr fired;
+                  (* From inside a callback, cancel some other event —
+                     possibly one already fired, possibly twice. *)
+                  match events.((i + victim_off) mod n) with
+                  | Some v ->
+                      Sim.cancel v;
+                      Sim.cancel v
+                  | None -> ())
+            in
+            events.(i) <- Some ev)
+          spec;
+        Sim.pending s = n
+        &&
+        (Sim.run s;
+         Sim.pending s = 0 && !fired <= n && Sim.exhausted s)
+      end)
 
 (* ------------------------------------------------------------------ *)
 (* Coro *)
@@ -412,8 +502,13 @@ let () =
           Alcotest.test_case "ekey roundtrip" `Quick test_ekey_roundtrip;
           q prop_int_heap_sorts;
           Alcotest.test_case "timer wheel order" `Quick test_wheel_order;
+          Alcotest.test_case "wheel cancel after fire" `Quick
+            test_wheel_cancel_after_fire;
+          Alcotest.test_case "wheel re-arm from callback" `Quick
+            test_wheel_rearm_from_callback;
           Alcotest.test_case "pending is exact" `Quick test_sim_pending_o1;
           Alcotest.test_case "timer stats" `Quick test_sim_timer_stats;
+          q prop_sim_pending_exact;
         ] );
       ( "coro",
         [

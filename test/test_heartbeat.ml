@@ -152,6 +152,56 @@ let test_tpal_deterministic () =
   check_int "same promotions" a.promotions b.promotions
 
 (* ------------------------------------------------------------------ *)
+(* TPAL under fault injection: the heartbeat must keep promoting even
+   when the timer or the IPI wire misbehaves. *)
+
+module Plan = Iw_faults.Plan
+
+let run_tpal_faulted ~kinds ~rate =
+  let obs = Iw_obs.Obs.create ~collect:true () in
+  let r =
+    Iw_obs.Obs.with_ambient obs (fun () ->
+        Plan.with_ambient
+          (Plan.create ~kinds ~rate ~seed:42 ())
+          (fun () -> run_tpal ~hb:20.0 Tpal.Nk_ipi))
+  in
+  (r, Iw_obs.Obs.total_counters obs)
+
+let test_tpal_survives_ipi_drops () =
+  let r, c = run_tpal_faulted ~kinds:[ Plan.Ipi_drop ] ~rate:0.2 in
+  check_bool "work conserved under drops" true
+    (r.work_cycles >= Tpal.total_work small_bench);
+  check_bool "promotions still happen" true (r.promotions > 5);
+  check_bool "faults actually injected" true
+    (Iw_obs.Counter.get c Iw_obs.Counter.Fault_injected > 0);
+  check_bool "dropped IPIs were resent" true
+    (Iw_obs.Counter.get c Iw_obs.Counter.Ipi_retry > 0)
+
+let test_tpal_watchdog_covers_dead_timer () =
+  (* 90% of APIC fires swallowed: the watchdog's software poll has to
+     carry the heartbeat, and promotion must still complete the run. *)
+  let r, c = run_tpal_faulted ~kinds:[ Plan.Timer_miss ] ~rate:0.9 in
+  check_bool "work conserved under timer loss" true
+    (r.work_cycles >= Tpal.total_work small_bench);
+  check_bool "promotions still happen" true (r.promotions > 5);
+  check_bool "watchdog fired" true
+    (Iw_obs.Counter.get c Iw_obs.Counter.Watchdog_fire > 0)
+
+let test_tpal_rate_zero_plan_is_noop () =
+  (* An enabled rate-0 plan arms all the recovery machinery (reliable
+     broadcast, watchdog) but injects nothing; the run's results must
+     match a plain run exactly. *)
+  let base = run_tpal ~hb:20.0 Tpal.Nk_ipi in
+  let r, c = run_tpal_faulted ~kinds:Plan.all_kinds ~rate:0.0 in
+  check_int "same elapsed" base.elapsed_cycles r.elapsed_cycles;
+  check_int "same promotions" base.promotions r.promotions;
+  check_int "no faults injected" 0
+    (Iw_obs.Counter.get c Iw_obs.Counter.Fault_injected);
+  check_int "no retries" 0 (Iw_obs.Counter.get c Iw_obs.Counter.Ipi_retry);
+  check_int "no watchdog fires" 0
+    (Iw_obs.Counter.get c Iw_obs.Counter.Watchdog_fire)
+
+(* ------------------------------------------------------------------ *)
 (* Tree TPAL (nested fork-join) *)
 
 let test_tree_counts () =
@@ -237,6 +287,15 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_tpal_deterministic;
           Alcotest.test_case "suite well-formed" `Quick
             test_suite_benches_well_formed;
+        ] );
+      ( "tpal-faults",
+        [
+          Alcotest.test_case "survives ipi drops" `Quick
+            test_tpal_survives_ipi_drops;
+          Alcotest.test_case "watchdog covers dead timer" `Quick
+            test_tpal_watchdog_covers_dead_timer;
+          Alcotest.test_case "rate-0 plan is a no-op" `Quick
+            test_tpal_rate_zero_plan_is_noop;
         ] );
       ( "tpal-tree",
         [

@@ -87,7 +87,8 @@ let test_registry_complete () =
   List.iter
     (fun id -> check_bool (id ^ " present") true (List.mem id ids))
     [ "E1"; "E3"; "E4"; "E5"; "E6"; "E7"; "E8"; "E9"; "E10"; "E11"; "E12";
-      "E13"; "E14"; "E15"; "E16"; "A1"; "A2"; "A3"; "A4"; "A5" ]
+      "E13"; "E14"; "E15"; "E16"; "A1"; "A2"; "A3"; "A4"; "A5"; "R1"; "R2";
+      "R3"; "R4" ]
 
 let test_registry_find () =
   let e = Interweave.Experiments.find "e7" in
@@ -156,6 +157,70 @@ let test_parallel_matches_serial () =
     (fun a b -> Alcotest.(check string) "parallel byte-identical to serial" a b)
     serial par
 
+(* ------------------------------------------------------------------ *)
+(* Fault injection: the no-op gate and the R experiments *)
+
+module Plan = Iw_faults.Plan
+
+(* The load-bearing invariant of the whole fault subsystem: with no
+   plan installed — or even with an *enabled* plan at rate 0 — the
+   existing experiments render byte-identically.  Injection sites must
+   neither consume RNG draws nor perturb schedules when idle.  (E1 is
+   the one deliberate exception: an enabled plan arms the TPAL
+   watchdog, which legitimately fires under the jittery Linux signal
+   driver even with zero injected faults; the *disabled* plan is the
+   strict no-op everywhere, gated by `golden --check`.) *)
+let test_faults_disabled_byte_identical () =
+  List.iter
+    (fun id ->
+      let e = Interweave.Experiments.find id in
+      let plain = Interweave.Experiments.run_to_string e in
+      let under_rate0 =
+        Plan.with_ambient
+          (Plan.create ~rate:0.0 ~seed:42 ())
+          (fun () -> Interweave.Experiments.run_to_string e)
+      in
+      Alcotest.(check string) (id ^ " unchanged under rate-0 plan") plain
+        under_rate0)
+    [ "E3"; "E7"; "E8"; "E9"; "E11"; "E12"; "E13"; "E14"; "E15"; "E16"; "A2" ]
+
+let test_r_experiments_deterministic () =
+  List.iter
+    (fun id ->
+      let e = Interweave.Experiments.find id in
+      Alcotest.(check string)
+        (id ^ " reruns identically")
+        (Interweave.Experiments.run_to_string e)
+        (Interweave.Experiments.run_to_string e))
+    [ "R2"; "R4" ]
+
+let test_r_parallel_matches_serial () =
+  let es = List.map Interweave.Experiments.find [ "R2"; "R4" ] in
+  let serial = List.map Interweave.Experiments.run_to_string es in
+  let par =
+    Interweave.Driver.parallel_map ~jobs:2 Interweave.Experiments.run_to_string
+      es
+  in
+  List.iter2
+    (fun a b -> Alcotest.(check string) "R parallel byte-identical" a b)
+    serial par
+
+(* The recovery acceptance check: under injected IPI loss the
+   heartbeat experiment still completes all promotions and the
+   recovery counters light up. *)
+let test_r_recovery_observable () =
+  let obs = Iw_obs.Obs.create ~collect:true () in
+  let rendered =
+    Iw_obs.Obs.with_ambient obs (fun () ->
+        Interweave.Experiments.run_to_string (Interweave.Experiments.find "R2"))
+  in
+  check_bool "renders" true (String.length rendered > 0);
+  let c = Iw_obs.Obs.total_counters obs in
+  check_bool "faults injected" true
+    (Iw_obs.Counter.get c Iw_obs.Counter.Fault_injected > 0);
+  check_bool "relaunches recovered" true
+    (Iw_obs.Counter.get c Iw_obs.Counter.Virtine_relaunch > 0)
+
 let () =
   Alcotest.run "interweave"
     [
@@ -187,5 +252,16 @@ let () =
             test_experiments_deterministic;
           Alcotest.test_case "parallel equals serial" `Slow
             test_parallel_matches_serial;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "disabled plan is byte-identical" `Slow
+            test_faults_disabled_byte_identical;
+          Alcotest.test_case "R deterministic" `Slow
+            test_r_experiments_deterministic;
+          Alcotest.test_case "R parallel equals serial" `Slow
+            test_r_parallel_matches_serial;
+          Alcotest.test_case "R recovery observable" `Slow
+            test_r_recovery_observable;
         ] );
     ]

@@ -1,5 +1,6 @@
 .PHONY: all build test bench bench-json check trace-smoke sweep-smoke \
-        profile-smoke faults-smoke golden-check golden-update examples csv \
+        profile-smoke profile-diff-smoke faults-smoke faults-csv-smoke \
+        serve-smoke golden-check golden-update examples csv \
         clean
 
 all: build
@@ -15,7 +16,7 @@ bench:
 
 # Machine-readable perf report, tracked across PRs.
 bench-json:
-	dune exec bench/main.exe -- --json BENCH_4.json
+	dune exec bench/main.exe -- --json BENCH_5.json
 
 # Run one experiment with the trace bus on, export Chrome trace-event
 # JSON, and validate it (Perfetto-loadable or the target fails).
@@ -49,6 +50,23 @@ sweep-smoke:
 faults-smoke:
 	dune exec bin/main.exe -- faults R2 --rate 1e-2 --check
 
+# Sweep a fault-rate range into a CSV (one counter row per rate);
+# --check fails if no nonzero rate injected anything.  E8 (not an R
+# experiment) so the ambient plan, not a row-scoped one, governs.
+faults-csv-smoke:
+	dune exec bin/main.exe -- faults E8 --rates 0,1e-3,1e-2 \
+	  --csv /tmp/faults_smoke.csv --check
+
+# Compare two runs' self-cycle shares frame by frame.
+profile-diff-smoke:
+	dune exec bin/main.exe -- profile E3 --diff E10 --threshold 0.5
+
+# Drive the service plane end to end: a two-point load sweep with CSV
+# output, exercising arrivals, queues, dispatch, and the histogram.
+serve-smoke:
+	dune exec bin/main.exe -- serve --rps 20000 --rps 40000 \
+	  --duration 20 --csv /tmp/serve_smoke.csv
+
 # Everything CI needs: full build, tests, smoke runs of the harness
 # (JSON emitter, trace exporter, profiler), and the golden-counter
 # regression gate.
@@ -58,8 +76,11 @@ check:
 	dune exec bench/main.exe -- --json /tmp/bench.json
 	$(MAKE) trace-smoke
 	$(MAKE) profile-smoke
+	$(MAKE) profile-diff-smoke
 	$(MAKE) sweep-smoke
 	$(MAKE) faults-smoke
+	$(MAKE) faults-csv-smoke
+	$(MAKE) serve-smoke
 	$(MAKE) golden-check
 
 examples:

@@ -43,7 +43,8 @@ let run_cmd =
     Arg.(
       non_empty
       & pos_all string []
-      & info [] ~docv:"ID" ~doc:"Experiment ids (E1..E12, A1..A4) or 'all'")
+      & info [] ~docv:"ID"
+          ~doc:"Experiment ids (E1..E16, A1..A5, R1..R4, S1..S4) or 'all'")
   in
   let markdown =
     Arg.(value & flag & info [ "markdown" ] ~doc:"Emit Markdown tables")
@@ -233,21 +234,47 @@ let profile_cmd =
       & info [ "ring-capacity" ] ~docv:"N"
           ~doc:"Trace ring capacity; raise it if events are dropped")
   in
-  let run id folded_out speedscope_out top capacity =
+  let diff_id =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "diff" ] ~docv:"ID2"
+          ~doc:
+            "Profile a second experiment too and report the frames whose \
+             self-cycle share moved between the runs instead of a single \
+             profile")
+  in
+  let threshold =
+    Arg.(
+      value & opt float 1.0
+      & info [ "threshold" ] ~docv:"PCT"
+          ~doc:"Minimum share movement (percentage points) a frame must show \
+                to appear in the --diff report")
+  in
+  let profile_of id capacity =
     let e = find_experiment id in
     let tr = Iw_obs.Trace.ring ~capacity () in
     let obs = Iw_obs.Obs.create ~trace:tr () in
     ignore
       (Iw_obs.Obs.with_ambient obs (fun () ->
            Interweave.Experiments.run_to_string e));
-    let p = Iw_obs.Profile.of_trace tr in
-    print_string (Iw_obs.Profile.render_top ~top p);
+    Iw_obs.Profile.of_trace tr
+  in
+  let run id folded_out speedscope_out top capacity diff_id threshold =
+    let p = profile_of id capacity in
+    (match diff_id with
+    | Some id2 ->
+        let p2 = profile_of id2 capacity in
+        print_string
+          (Iw_obs.Profile.render_diff ~threshold ~a_name:id ~b_name:id2 p p2)
+    | None -> print_string (Iw_obs.Profile.render_top ~top p));
     if p.Iw_obs.Profile.dropped > 0 then
       Printf.eprintf
         "warning: ring dropped %d events — the profile is truncated; rerun \
          with --ring-capacity %d or more\n"
         p.Iw_obs.Profile.dropped
-        (Iw_obs.Trace.emitted tr);
+        (p.Iw_obs.Profile.span_count + p.Iw_obs.Profile.instant_count
+        + p.Iw_obs.Profile.dropped);
     (match folded_out with
     | None -> ()
     | Some path -> (
@@ -270,8 +297,11 @@ let profile_cmd =
        ~doc:
          "Run one experiment under tracing, reconstruct per-CPU span stacks, \
           and print a self/total cycle profile (optionally exporting \
-          flamegraph.pl folded stacks and speedscope JSON)")
-    Term.(const run $ id $ folded_out $ speedscope_out $ top $ capacity)
+          flamegraph.pl folded stacks and speedscope JSON); with --diff, \
+          compare two experiments' self-cycle shares frame by frame")
+    Term.(
+      const run $ id $ folded_out $ speedscope_out $ top $ capacity $ diff_id
+      $ threshold)
 
 let golden_cmd =
   let ids =
@@ -484,7 +514,25 @@ let faults_cmd =
             "Fail unless the run completed and, at a nonzero rate, at least \
              one fault was actually injected (guards the injection wiring)")
   in
-  let run id rate seed kinds check =
+  let rates =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "rates" ] ~docv:"P1,P2,..."
+          ~doc:
+            "Sweep a comma-separated list of fault rates instead of one \
+             --rate; reports one row of fault/recovery counters per rate")
+  in
+  let csv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"PATH"
+          ~doc:
+            "Write the rate sweep as CSV to $(docv) (implies a sweep; \
+             without --rates a default rate range is used)")
+  in
+  let run id rate seed kinds check rates csv =
     let e = find_experiment id in
     let kinds =
       match kinds with
@@ -502,6 +550,86 @@ let faults_cmd =
                              Iw_faults.Plan.all_kinds)))
     in
     if rate < 0.0 || rate > 1.0 then die "faults: --rate must be in [0,1]";
+    let sweep_rates =
+      match rates with
+      | Some s ->
+          Some
+            (String.split_on_char ',' s
+            |> List.map (fun r ->
+                   let r = String.trim r in
+                   match float_of_string_opt r with
+                   | Some f when f >= 0.0 && f <= 1.0 -> f
+                   | _ -> die "faults: bad rate %s in --rates (need [0,1])" r))
+      | None -> (
+          match csv with
+          | Some _ -> Some [ 0.0; 1e-4; 1e-3; 1e-2; 5e-2 ]
+          | None -> None)
+    in
+    match sweep_rates with
+    | Some sweep_rates ->
+        (* One row of recovery counters per rate; the run must survive
+           every rate, which is the cross-layer recovery claim. *)
+        let counter_cols =
+          [
+            ("injected", Iw_obs.Counter.Fault_injected);
+            ("ipi_retry", Iw_obs.Counter.Ipi_retry);
+            ("watchdog_fire", Iw_obs.Counter.Watchdog_fire);
+            ("virtine_relaunch", Iw_obs.Counter.Virtine_relaunch);
+            ("pool_evict", Iw_obs.Counter.Pool_evict);
+            ("move_rollback", Iw_obs.Counter.Move_rollback);
+            ("dir_ack_retry", Iw_obs.Counter.Dir_ack_retry);
+            ("dir_stale_refetch", Iw_obs.Counter.Dir_stale_refetch);
+            ("barrier_recover", Iw_obs.Counter.Barrier_recover);
+          ]
+        in
+        let rows =
+          List.map
+            (fun r ->
+              let plan = Iw_faults.Plan.create ~rate:r ~seed ~kinds () in
+              let obs = Iw_obs.Obs.create ~collect:true () in
+              let out =
+                Iw_obs.Obs.with_ambient obs (fun () ->
+                    Iw_faults.Plan.with_ambient plan (fun () ->
+                        try Ok (Interweave.Experiments.run_to_string e)
+                        with Failure msg -> Error msg))
+              in
+              (match out with
+              | Ok _ -> ()
+              | Error msg ->
+                  die "faults: %s run failed under injection at rate %g: %s"
+                    e.id r msg);
+              let totals = Iw_obs.Obs.total_counters obs in
+              (r, List.map (fun (_, c) -> Iw_obs.Counter.get totals c) counter_cols))
+            sweep_rates
+        in
+        let header = "rate" :: List.map fst counter_cols in
+        let lines =
+          String.concat "," header
+          :: List.map
+               (fun (r, cs) ->
+                 String.concat ","
+                   (Printf.sprintf "%g" r :: List.map string_of_int cs))
+               rows
+        in
+        (match csv with
+        | Some path ->
+            let oc = open_out path in
+            List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+            close_out oc;
+            Printf.printf "wrote %s: %d rates swept over %s\n" path
+              (List.length sweep_rates) e.id
+        | None -> List.iter print_endline lines);
+        if check then begin
+          let nonzero = List.filter (fun (r, _) -> r > 0.0) rows in
+          if
+            nonzero <> []
+            && List.for_all (fun (_, cs) -> List.hd cs = 0) nonzero
+          then
+            die
+              "faults --check: no faults injected at any nonzero rate \
+               (injection points not reached?)"
+        end
+    | None ->
     let plan = Iw_faults.Plan.create ~rate ~seed ~kinds () in
     let obs = Iw_obs.Obs.create ~collect:true () in
     let out =
@@ -518,7 +646,8 @@ let faults_cmd =
     Printf.printf
       "fault plan: rate %g, seed %d, kinds %s\n\
       \  injected %d | ipi-retries %d | watchdog %d | relaunches %d | \
-       pool-evicts %d | rollbacks %d\n"
+       pool-evicts %d | rollbacks %d\n\
+      \  dir-ack-retries %d | dir-stale-refetches %d | barrier-recoveries %d\n"
       rate seed
       (String.concat "," (List.map Iw_faults.Plan.kind_name kinds))
       (g Iw_obs.Counter.Fault_injected)
@@ -526,7 +655,10 @@ let faults_cmd =
       (g Iw_obs.Counter.Watchdog_fire)
       (g Iw_obs.Counter.Virtine_relaunch)
       (g Iw_obs.Counter.Pool_evict)
-      (g Iw_obs.Counter.Move_rollback);
+      (g Iw_obs.Counter.Move_rollback)
+      (g Iw_obs.Counter.Dir_ack_retry)
+      (g Iw_obs.Counter.Dir_stale_refetch)
+      (g Iw_obs.Counter.Barrier_recover);
     if check && rate > 0.0 && g Iw_obs.Counter.Fault_injected = 0 then
       die
         "faults --check: no faults injected at rate %g (injection points not \
@@ -539,8 +671,235 @@ let faults_cmd =
          "Run one experiment under an ambient deterministic fault plan \
           (dropped IPIs, dead timers, dark cores, ...) and report the \
           fault/recovery counters; the R experiments additionally scope \
-          their own per-row plans")
-    Term.(const run $ id $ rate $ seed $ kinds $ check)
+          their own per-row plans.  --rates/--csv sweep a rate range into \
+          one counter row per rate")
+    Term.(const run $ id $ rate $ seed $ kinds $ check $ rates $ csv)
+
+let serve_cmd =
+  let os_a =
+    Arg.(
+      value & opt string "nk"
+      & info [ "os" ] ~docv:"OS" ~doc:"OS personality: nk or linux")
+  in
+  let backend_a =
+    Arg.(
+      value & opt string "fiber"
+      & info [ "backend" ] ~docv:"B"
+          ~doc:"Request execution backend: fiber or virtine")
+  in
+  let policy_a =
+    Arg.(
+      value & opt string "po2"
+      & info [ "policy" ] ~docv:"P"
+          ~doc:"Dispatch policy: rr, random, jsq or po2")
+  in
+  let order_a =
+    Arg.(
+      value & opt string "fifo"
+      & info [ "order" ] ~docv:"O" ~doc:"Queue order: fifo or priority")
+  in
+  let workers_a =
+    Arg.(
+      value & opt int 8
+      & info [ "workers" ] ~docv:"N" ~doc:"Worker CPUs (one queue each)")
+  in
+  let rps_a =
+    Arg.(
+      value
+      & opt_all float [ 20_000.0 ]
+      & info [ "rps" ] ~docv:"R"
+          ~doc:"Offered load in requests/s; repeat for a sweep (one row each)")
+  in
+  let duration_a =
+    Arg.(
+      value & opt float 100.0
+      & info [ "duration" ] ~docv:"MS" ~doc:"Run length in milliseconds")
+  in
+  let work_a =
+    Arg.(
+      value & opt float 150.0
+      & info [ "work-us" ] ~docv:"US" ~doc:"Request body service demand")
+  in
+  let cap_a =
+    Arg.(
+      value & opt int 64
+      & info [ "cap" ] ~docv:"N" ~doc:"Per-worker queue bound (drop-tail)")
+  in
+  let pool_a =
+    Arg.(
+      value & opt int 16
+      & info [ "pool" ] ~docv:"N" ~doc:"Virtine warm-pool size (virtine backend)")
+  in
+  let hi_frac_a =
+    Arg.(
+      value & opt float 0.0
+      & info [ "hi-frac" ] ~docv:"F"
+          ~doc:"Fraction of requests marked high priority")
+  in
+  let bursty_a =
+    Arg.(
+      value & flag
+      & info [ "bursty" ]
+          ~doc:
+            "MMPP on/off arrivals (phases of 1.8x / 0.2x the given rate, 5 ms \
+             mean dwell) instead of Poisson")
+  in
+  let closed_a =
+    Arg.(
+      value & opt int 0
+      & info [ "closed" ] ~docv:"N"
+          ~doc:"Closed loop with $(docv) clients instead of open-loop arrivals")
+  in
+  let think_a =
+    Arg.(
+      value & opt float 500.0
+      & info [ "think-us" ] ~docv:"US" ~doc:"Closed-loop client think time")
+  in
+  let csv_a =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"PATH" ~doc:"Also write the rows as CSV")
+  in
+  let seed_a =
+    Arg.(
+      value & opt int 42
+      & info [ "plane-seed" ] ~docv:"N"
+          ~doc:"Service-plane seed (arrivals, dispatch, kernel boot)")
+  in
+  let run os backend policy order workers rpss duration_ms work_us cap pool
+      hi_frac bursty closed think_us csv seed jobs global_seed =
+    Iw_engine.Rng.set_global_seed global_seed;
+    let os =
+      match Iw_service.Plane.os_of_string os with
+      | Some os -> os
+      | None -> die "serve: unknown --os %s (nk or linux)" os
+    in
+    let policy =
+      match Iw_service.Dispatch.of_string policy with
+      | Some p -> p
+      | None -> die "serve: unknown --policy %s (rr, random, jsq, po2)" policy
+    in
+    let order =
+      match Iw_service.Squeue.order_of_string order with
+      | Some o -> o
+      | None -> die "serve: unknown --order %s (fifo or priority)" order
+    in
+    let backend =
+      match backend with
+      | "fiber" -> Iw_service.Plane.Fiber_exec
+      | "virtine" ->
+          Iw_service.Plane.Virtine_exec
+            {
+              vconfig =
+                {
+                  Iw_virtine.Wasp.default with
+                  profile = Iw_virtine.Wasp.Bespoke_16;
+                  snapshot = true;
+                  pooled = true;
+                };
+              pool;
+            }
+      | b -> die "serve: unknown --backend %s (fiber or virtine)" b
+    in
+    let duration_us = duration_ms *. 1000.0 in
+    let workload_of rps =
+      if closed > 0 then
+        Iw_service.Workload.Closed { clients = closed; think_us; duration_us }
+      else if bursty then
+        Iw_service.Workload.Bursty
+          {
+            rps_on = rps *. 1.8;
+            rps_off = rps *. 0.2;
+            mean_on_us = 5_000.0;
+            mean_off_us = 5_000.0;
+            duration_us;
+          }
+      else Iw_service.Workload.Poisson { rps; duration_us }
+    in
+    (* A closed loop has no offered rate to sweep: one row. *)
+    let rpss = if closed > 0 then [ List.hd rpss ] else rpss in
+    let plat = Iw_hw.Platform.knl in
+    let reports =
+      Interweave.Driver.parallel_map ~jobs
+        (fun rps ->
+          Iw_service.Plane.run
+            {
+              os;
+              plat;
+              workers;
+              workload = workload_of rps;
+              policy;
+              order;
+              queue_cap = cap;
+              backend;
+              work_us;
+              hi_frac;
+              seed;
+            })
+        rpss
+    in
+    let cols r =
+      let p pct = Iw_service.Plane.percentile_us r r.Iw_service.Plane.rep_total pct in
+      [
+        r.Iw_service.Plane.rep_os;
+        r.rep_policy;
+        r.rep_backend;
+        Printf.sprintf "%.0f" r.rep_offered_rps;
+        string_of_int r.rep_arrivals;
+        string_of_int r.rep_shed;
+        Printf.sprintf "%.0f" r.rep_throughput_rps;
+        Printf.sprintf "%.2f" r.rep_utilization;
+        Printf.sprintf "%.1f" (Iw_service.Plane.mean_us r r.rep_queue);
+        Printf.sprintf "%.1f" (p 50.0);
+        Printf.sprintf "%.1f" (p 90.0);
+        Printf.sprintf "%.1f" (p 99.0);
+        Printf.sprintf "%.1f" (p 99.9);
+      ]
+    in
+    let header =
+      [
+        "os"; "policy"; "backend"; "offered_rps"; "arrivals"; "shed";
+        "thru_rps"; "util"; "q_mean_us"; "p50_us"; "p90_us"; "p99_us";
+        "p99.9_us";
+      ]
+    in
+    let rows = header :: List.map cols reports in
+    let widths =
+      List.fold_left
+        (fun acc row -> List.map2 (fun w c -> max w (String.length c)) acc row)
+        (List.map (fun _ -> 0) header)
+        rows
+    in
+    List.iter
+      (fun row ->
+        List.iteri
+          (fun i c ->
+            Printf.printf "%s%*s" (if i = 0 then "" else "  ")
+              (List.nth widths i) c)
+          row;
+        print_newline ())
+      rows;
+    match csv with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        List.iter
+          (fun row -> output_string oc (String.concat "," row ^ "\n"))
+          rows;
+        close_out oc;
+        Printf.printf "wrote %s: %d rows\n" path (List.length reports)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Drive open- or closed-loop load through the service plane (queues, \
+          dispatch policies, fiber/virtine execution) and report throughput \
+          and tail latency per offered rate")
+    Term.(
+      const run $ os_a $ backend_a $ policy_a $ order_a $ workers_a $ rps_a
+      $ duration_a $ work_a $ cap_a $ pool_a $ hi_frac_a $ bursty_a $ closed_a
+      $ think_a $ csv_a $ seed_a $ jobs_arg $ seed_arg)
 
 let () =
   let doc =
@@ -561,4 +920,5 @@ let () =
             golden_cmd;
             sweep_cmd;
             faults_cmd;
+            serve_cmd;
           ]))

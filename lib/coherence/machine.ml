@@ -164,6 +164,32 @@ let deact_evict t core hint = function
 
 let sharers_of = function DNone -> [] | DOwned o -> [ o ] | DShared l -> l
 
+(* Invalidate one remote sharer through the directory: a request and
+   an ack, each [ho] hops.  Dir_drop_ack injection: the ack is lost on
+   the way home, so the directory times out and replays the
+   invalidation (a second request/ack pair) and the requester stalls
+   for the extra round trip.  The copy itself was already dropped by
+   the first request, so replaying can never create a second writer —
+   SWMR is preserved by construction and asserted by [swmr_holds]. *)
+let inval_sharer t plan ~core ~line ~addr ~far o =
+  t.c_inval <- t.c_inval + 1;
+  let ho = hops t (home t line) o in
+  ctrl_msg t ho;
+  (* ack *)
+  ctrl_msg t ho;
+  if
+    Iw_faults.Plan.enabled plan
+    && Iw_faults.Plan.fire plan t.obs ~kind:Iw_faults.Plan.Dir_drop_ack
+         ~cpu:core ~ts:t.cycles.(core)
+  then begin
+    ctrl_msg t ho;
+    ctrl_msg t ho;
+    Iw_obs.Counter.incr t.obs.Iw_obs.Obs.counters Iw_obs.Counter.Dir_ack_retry;
+    charge t core (t.p.inval_cost + (2 * ho * t.p.hop_latency))
+  end;
+  far := max !far ho;
+  Cache.invalidate t.caches.(o) addr
+
 let is_deactivated t hint =
   match (t.deact, hint) with
   | Off, _ -> false
@@ -216,8 +242,8 @@ let access t ~core ~addr ~write ~hint =
        directory — MESI's own machinery is the recovery path, and
        SWMR still holds because dropping copies can never add a
        second writer. *)
-    (let plan = Iw_faults.Plan.ambient () in
-     if
+    let plan = Iw_faults.Plan.ambient () in
+    (if
        Iw_faults.Plan.enabled plan
        && Iw_faults.Plan.fire plan t.obs ~kind:Iw_faults.Plan.Tlb_shootdown
             ~cpu:core ~ts:t.cycles.(core)
@@ -262,16 +288,7 @@ let access t ~core ~addr ~write ~hint =
         in
         let others = List.filter (fun c -> c <> core) (sharers_of prev) in
         let far = ref 0 in
-        List.iter
-          (fun o ->
-            t.c_inval <- t.c_inval + 1;
-            let ho = hops t (home t line) o in
-            ctrl_msg t ho;
-            (* ack *)
-            ctrl_msg t ho;
-            far := max !far ho;
-            Cache.invalidate t.caches.(o) addr)
-          others;
+        List.iter (inval_sharer t plan ~core ~line ~addr ~far) others;
         charge t core (t.p.inval_cost + (2 * !far * t.p.hop_latency));
         Cache.set_state cache addr Cache.Modified
     | Cache.Invalid, _ ->
@@ -311,15 +328,7 @@ let access t ~core ~addr ~write ~hint =
               (* Invalidate everyone; data comes cache-to-cache from
                  the owner when there is one. *)
               let far = ref 0 in
-              List.iter
-                (fun o ->
-                  t.c_inval <- t.c_inval + 1;
-                  let ho = hops t (home t line) o in
-                  ctrl_msg t ho;
-                  ctrl_msg t ho;
-                  far := max !far ho;
-                  Cache.invalidate t.caches.(o) addr)
-                sharers;
+              List.iter (inval_sharer t plan ~core ~line ~addr ~far) sharers;
               (match (d, sharers) with
               | DOwned o, _ when o <> core ->
                   charge t core
@@ -337,20 +346,53 @@ let access t ~core ~addr ~write ~hint =
               (match d with
               | DNone -> assert false (* handled by the outer match *)
               | DOwned o when o <> core ->
-                  (* Forward; owner downgrades, modified data written
-                     back home. *)
                   let fwd = hops t (home t line) o in
-                  ctrl_msg t fwd;
-                  charge t core
-                    (t.p.cache_to_cache
-                    + ((fwd + hops t o core) * t.p.hop_latency));
-                  t.c_data <- t.c_data + 1;
-                  data_msg t (max (hops t o core) 1);
-                  if Cache.lookup t.caches.(o) addr = Cache.Modified then begin
-                    t.c_wb <- t.c_wb + 1;
-                    data_msg t fwd
-                  end;
-                  Cache.set_state t.caches.(o) addr Cache.Shared_state
+                  let stale =
+                    (* Stale directory entry: the named owner silently
+                       dropped its copy, so the forward bounces.  A
+                       Modified copy is written back as part of the
+                       drop (the fault may not lose data); recovery is
+                       one layer up in the protocol — the home nacks
+                       the forward and memory supplies the line. *)
+                    Iw_faults.Plan.enabled plan
+                    && Iw_faults.Plan.fire plan t.obs
+                         ~kind:Iw_faults.Plan.Dir_stale ~cpu:core
+                         ~ts:t.cycles.(core)
+                  in
+                  if stale then begin
+                    if Cache.lookup t.caches.(o) addr = Cache.Modified
+                    then begin
+                      t.c_wb <- t.c_wb + 1;
+                      data_msg t fwd
+                    end;
+                    Cache.invalidate t.caches.(o) addr;
+                    ctrl_msg t fwd;
+                    (* nack back to the home *)
+                    ctrl_msg t fwd;
+                    Iw_obs.Counter.incr t.obs.Iw_obs.Obs.counters
+                      Iw_obs.Counter.Dir_stale_refetch;
+                    charge t core
+                      (t.p.mem_latency
+                      + ((2 * fwd) + (2 * hm)) * t.p.hop_latency);
+                    t.c_data <- t.c_data + 1;
+                    data_msg t (max hm 1)
+                  end
+                  else begin
+                    (* Forward; owner downgrades, modified data written
+                       back home. *)
+                    ctrl_msg t fwd;
+                    charge t core
+                      (t.p.cache_to_cache
+                      + ((fwd + hops t o core) * t.p.hop_latency));
+                    t.c_data <- t.c_data + 1;
+                    data_msg t (max (hops t o core) 1);
+                    if Cache.lookup t.caches.(o) addr = Cache.Modified
+                    then begin
+                      t.c_wb <- t.c_wb + 1;
+                      data_msg t fwd
+                    end;
+                    Cache.set_state t.caches.(o) addr Cache.Shared_state
+                  end
               | DOwned _ | DShared _ ->
                   charge t core t.p.mem_latency;
                   t.c_data <- t.c_data + 1;

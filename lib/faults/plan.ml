@@ -36,8 +36,11 @@ type kind =
   | Virtine_fail  (* a virtine launch dies partway through boot *)
   | Pool_poison  (* a warm pool entry fails its health check *)
   | Move_interrupt  (* a CARAT region move is interrupted mid-copy *)
+  | Dir_drop_ack  (* an invalidation ack never reaches the directory *)
+  | Dir_stale  (* the directory names an owner that silently evicted *)
+  | Barrier_drop  (* an OMP barrier arrival increment is lost *)
 
-let kind_count = 11
+let kind_count = 14
 
 let kind_index = function
   | Ipi_drop -> 0
@@ -51,6 +54,9 @@ let kind_index = function
   | Virtine_fail -> 8
   | Pool_poison -> 9
   | Move_interrupt -> 10
+  | Dir_drop_ack -> 11
+  | Dir_stale -> 12
+  | Barrier_drop -> 13
 
 (* CLI spelling, `--kinds ipi-drop,timer-late`. *)
 let kind_name = function
@@ -65,6 +71,9 @@ let kind_name = function
   | Virtine_fail -> "virtine-fail"
   | Pool_poison -> "pool-poison"
   | Move_interrupt -> "move-interrupt"
+  | Dir_drop_ack -> "dir-drop-ack"
+  | Dir_stale -> "dir-stale"
+  | Barrier_drop -> "barrier-drop"
 
 let all_kinds =
   [
@@ -79,6 +88,9 @@ let all_kinds =
     Virtine_fail;
     Pool_poison;
     Move_interrupt;
+    Dir_drop_ack;
+    Dir_stale;
+    Barrier_drop;
   ]
 
 let kind_of_string s = List.find_opt (fun k -> kind_name k = s) all_kinds

@@ -44,8 +44,18 @@ type id =
   | Virtine_relaunch
   | Pool_evict
   | Move_rollback
+  | Dir_ack_retry
+  | Dir_stale_refetch
+  | Barrier_recover
+  (* service plane *)
+  | Service_arrivals
+  | Service_admitted
+  | Service_completions
+  | Service_shed
+  | Service_backpressure
+  | Service_hi_prio
 
-let count = 30
+let count = 39
 
 let index = function
   | Context_switches -> 0
@@ -78,6 +88,15 @@ let index = function
   | Virtine_relaunch -> 27
   | Pool_evict -> 28
   | Move_rollback -> 29
+  | Dir_ack_retry -> 30
+  | Dir_stale_refetch -> 31
+  | Barrier_recover -> 32
+  | Service_arrivals -> 33
+  | Service_admitted -> 34
+  | Service_completions -> 35
+  | Service_shed -> 36
+  | Service_backpressure -> 37
+  | Service_hi_prio -> 38
 
 (* Names match the strings the old hashtable counters used, so table
    rendering is unchanged. *)
@@ -112,6 +131,15 @@ let name = function
   | Virtine_relaunch -> "virtine_relaunch"
   | Pool_evict -> "pool_evict"
   | Move_rollback -> "move_rollback"
+  | Dir_ack_retry -> "dir_ack_retry"
+  | Dir_stale_refetch -> "dir_stale_refetch"
+  | Barrier_recover -> "barrier_recover"
+  | Service_arrivals -> "service_arrivals"
+  | Service_admitted -> "service_admitted"
+  | Service_completions -> "service_completions"
+  | Service_shed -> "service_shed"
+  | Service_backpressure -> "service_backpressure"
+  | Service_hi_prio -> "service_hi_prio"
 
 let all =
   [
@@ -145,6 +173,15 @@ let all =
     Virtine_relaunch;
     Pool_evict;
     Move_rollback;
+    Dir_ack_retry;
+    Dir_stale_refetch;
+    Barrier_recover;
+    Service_arrivals;
+    Service_admitted;
+    Service_completions;
+    Service_shed;
+    Service_backpressure;
+    Service_hi_prio;
   ]
 
 type set = int array

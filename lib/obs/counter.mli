@@ -36,6 +36,15 @@ type id =
   | Virtine_relaunch
   | Pool_evict
   | Move_rollback
+  | Dir_ack_retry
+  | Dir_stale_refetch
+  | Barrier_recover
+  | Service_arrivals
+  | Service_admitted
+  | Service_completions
+  | Service_shed
+  | Service_backpressure
+  | Service_hi_prio
 
 val count : int
 (** Number of distinct counter ids. *)

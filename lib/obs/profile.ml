@@ -209,3 +209,91 @@ let render_top ?(top = 20) t =
            w4 d w5 e w6 f w7 g))
     cells;
   Buffer.contents b
+
+(* Two-run comparison: fold both profiles to per-frame-label self
+   cycles (summed across CPUs — the label, not the track, is the
+   stable identity between runs), convert to shares of each run's
+   total, and keep the labels whose share moved. *)
+
+type diff_row = {
+  d_label : string;
+  d_self_a : int;
+  d_self_b : int;
+  d_share_a : float;
+  d_share_b : float;
+  d_delta : float;
+}
+
+let by_label t =
+  let tbl : (string, int ref) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      let label = frame_label r.r_frame in
+      match Hashtbl.find_opt tbl label with
+      | Some cell -> cell := !cell + r.r_self
+      | None -> Hashtbl.add tbl label (ref r.r_self))
+    t.rows;
+  tbl
+
+let diff ?(threshold = 1.0) a b =
+  let ta = by_label a and tb = by_label b in
+  let share total self =
+    if total = 0 then 0.0 else 100.0 *. float_of_int self /. float_of_int total
+  in
+  let labels = Hashtbl.create 64 in
+  Hashtbl.iter (fun l _ -> Hashtbl.replace labels l ()) ta;
+  Hashtbl.iter (fun l _ -> Hashtbl.replace labels l ()) tb;
+  Hashtbl.fold
+    (fun label () acc ->
+      let self_a = match Hashtbl.find_opt ta label with Some c -> !c | None -> 0 in
+      let self_b = match Hashtbl.find_opt tb label with Some c -> !c | None -> 0 in
+      let share_a = share a.total_cycles self_a in
+      let share_b = share b.total_cycles self_b in
+      let delta = share_b -. share_a in
+      if Float.abs delta >= threshold then
+        { d_label = label; d_self_a = self_a; d_self_b = self_b;
+          d_share_a = share_a; d_share_b = share_b; d_delta = delta }
+        :: acc
+      else acc)
+    labels []
+  |> List.sort (fun x y ->
+         match compare (Float.abs y.d_delta) (Float.abs x.d_delta) with
+         | 0 -> compare x.d_label y.d_label
+         | c -> c)
+
+let render_diff ?(threshold = 1.0) ~a_name ~b_name a b =
+  let rows = diff ~threshold a b in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "profile diff: %s (%d cycles) vs %s (%d cycles), threshold %.1f pct pts\n"
+       a_name a.total_cycles b_name b.total_cycles threshold);
+  if rows = [] then
+    Buffer.add_string buf "no frame moved by more than the threshold\n"
+  else begin
+    let header = ("frame", a_name ^ "%", b_name ^ "%", "delta", "self cycles") in
+    let cells =
+      header
+      :: List.map
+           (fun r ->
+             ( r.d_label,
+               Printf.sprintf "%.1f" r.d_share_a,
+               Printf.sprintf "%.1f" r.d_share_b,
+               Printf.sprintf "%+.1f" r.d_delta,
+               Printf.sprintf "%d -> %d" r.d_self_a r.d_self_b ))
+           rows
+    in
+    let w f = List.fold_left (fun acc c -> max acc (String.length (f c))) 0 cells in
+    let w1 = w (fun (x, _, _, _, _) -> x)
+    and w2 = w (fun (_, x, _, _, _) -> x)
+    and w3 = w (fun (_, _, x, _, _) -> x)
+    and w4 = w (fun (_, _, _, x, _) -> x)
+    and w5 = w (fun (_, _, _, _, x) -> x) in
+    List.iter
+      (fun (x1, x2, x3, x4, x5) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%-*s  %*s  %*s  %*s  %*s\n" w1 x1 w2 x2 w3 x3 w4 x4 w5
+             x5))
+      cells
+  end;
+  Buffer.contents buf

@@ -50,3 +50,23 @@ val cpu_label : int -> string
 val render_top : ?top:int -> t -> string
 (** Plain-text top-N frames table (count/self/total/self%%), preceded
     by a one-line span/instant/dropped/total summary. *)
+
+(** {1 Two-run comparison} *)
+
+type diff_row = {
+  d_label : string;  (** ["cat:name"], summed across CPUs. *)
+  d_self_a : int;
+  d_self_b : int;
+  d_share_a : float;  (** Percent of run A's total cycles. *)
+  d_share_b : float;
+  d_delta : float;  (** [d_share_b - d_share_a], percentage points. *)
+}
+
+val diff : ?threshold:float -> t -> t -> diff_row list
+(** Frames whose self-cycle {e share} moved by at least [threshold]
+    percentage points (default 1.0) between the runs, largest absolute
+    movement first.  Shares — not raw cycles — so runs of different
+    lengths compare meaningfully. *)
+
+val render_diff : ?threshold:float -> a_name:string -> b_name:string -> t -> t -> string
+(** Plain-text table of {!diff}. *)

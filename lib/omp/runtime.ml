@@ -30,6 +30,7 @@ type t = {
   mutable gen : int;  (* region generation; bump = release *)
   mutable region : region option;
   mutable arrived : int;  (* workers done with the current region *)
+  mutable lost : int;  (* arrivals swallowed by injected barrier faults *)
   mutable team : Sched.thread list;
   tasks : Task.t option;  (* CCK backend *)
   mutable stopping : bool;
@@ -128,10 +129,20 @@ let run_share t (r : region) wid =
       ~dur:(Api.now () - share_start)
       ()
 
+(* Barrier arrival.  Barrier_drop injection: the arrival increment is
+   lost (a dropped cache-line update), so the master would spin
+   forever on [arrived < nthreads]; the lost count is kept so the
+   master's barrier audit — the recovery, one layer up — can find it. *)
 let arrive t =
   let costs = (Sched.platform t.k).Iw_hw.Platform.costs in
   Api.overhead (costs.atomic_rmw + costs.cache_line_remote);
-  t.arrived <- t.arrived + 1
+  let plan = Iw_faults.Plan.ambient () in
+  if
+    Iw_faults.Plan.enabled plan
+    && Iw_faults.Plan.fire plan (Sched.obs t.k)
+         ~kind:Iw_faults.Plan.Barrier_drop ~cpu:(Api.cpu_id ()) ~ts:(Api.now ())
+  then t.lost <- t.lost + 1
+  else t.arrived <- t.arrived + 1
 
 let worker_body t wid () =
   let rec await gen spins =
@@ -161,6 +172,7 @@ let create k mode ~nthreads =
       gen = 0;
       region = None;
       arrived = 0;
+      lost = 0;
       team = [];
       tasks = (match mode with Cck -> Some (Task.create k ()) | _ -> None);
       stopping = false;
@@ -229,10 +241,24 @@ let parallel_for t ?(schedule = Static) ~iters ~iter_cycles () =
       t.gen <- t.gen + 1;
       run_share t r 0;
       arrive t;
-      (* Implicit barrier: the master waits for every team member. *)
+      (* Implicit barrier: the master waits for every team member.
+         Recovery for dropped arrivals lives here, one layer above the
+         injection: once the polling has gone lazy (the team should
+         long since have arrived), the master audits the barrier word
+         — rereading every member's progress costs a line transfer per
+         thread — and credits any arrival whose increment was lost. *)
+      let audit_cost = t.nthreads * costs.cache_line_remote in
       let rec wait spins =
         if t.arrived < t.nthreads then begin
           Api.overhead (poll_cost spins);
+          if spins >= 64 && spins mod 64 = 0 && t.lost > 0 then begin
+            Api.overhead audit_cost;
+            t.arrived <- t.arrived + t.lost;
+            t.lost <- 0;
+            let obs = Sched.obs t.k in
+            Iw_obs.Counter.incr obs.Iw_obs.Obs.counters
+              Iw_obs.Counter.Barrier_recover
+          end;
           wait (spins + 1)
         end
       in

@@ -1,0 +1,48 @@
+open Iw_engine
+
+type policy = Round_robin | Random | Jsq | Po2
+
+let all = [ Round_robin; Random; Jsq; Po2 ]
+
+let name = function
+  | Round_robin -> "rr"
+  | Random -> "random"
+  | Jsq -> "jsq"
+  | Po2 -> "po2"
+
+let of_string = function
+  | "rr" | "round-robin" -> Some Round_robin
+  | "random" | "rand" -> Some Random
+  | "jsq" -> Some Jsq
+  | "po2" | "p2c" -> Some Po2
+  | _ -> None
+
+type t = { d_policy : policy; d_rng : Rng.t; mutable d_next : int }
+
+let create policy ~rng = { d_policy = policy; d_rng = rng; d_next = 0 }
+let policy t = t.d_policy
+
+let argmin ~n ~len =
+  let best = ref 0 and best_len = ref (len 0) in
+  for i = 1 to n - 1 do
+    let l = len i in
+    if l < !best_len then begin
+      best := i;
+      best_len := l
+    end
+  done;
+  !best
+
+let pick t ~n ~len =
+  if n < 1 then invalid_arg "Dispatch.pick: need at least one queue";
+  match t.d_policy with
+  | Round_robin ->
+      let i = t.d_next in
+      t.d_next <- (i + 1) mod n;
+      i
+  | Random -> Rng.int t.d_rng n
+  | Jsq -> argmin ~n ~len
+  | Po2 ->
+      let a = Rng.int t.d_rng n in
+      let b = Rng.int t.d_rng n in
+      if len b < len a then b else a

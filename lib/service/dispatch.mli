@@ -1,0 +1,28 @@
+(** Dispatch policies: which worker queue an arriving request joins.
+
+    Each policy is a first-class value over queue lengths:
+
+    - [Round_robin]: cyclic, load-oblivious.
+    - [Random]: uniform choice from the policy's own RNG stream.
+    - [Jsq]: join-shortest-queue, full scan, lowest index wins ties.
+    - [Po2]: power-of-two-choices — sample two queues uniformly
+      (with replacement), join the shorter; ties keep the first.
+
+    Randomized policies draw only from the [Rng.t] given at
+    {!create}, so dispatch decisions are reproducible and independent
+    of arrival-process draws. *)
+
+type policy = Round_robin | Random | Jsq | Po2
+
+val all : policy list
+val name : policy -> string
+val of_string : string -> policy option
+
+type t
+
+val create : policy -> rng:Iw_engine.Rng.t -> t
+val policy : t -> policy
+
+val pick : t -> n:int -> len:(int -> int) -> int
+(** Choose a queue index in [\[0, n)] given current queue lengths.
+    @raise Invalid_argument when [n < 1]. *)

@@ -1,0 +1,38 @@
+(** Mergeable log-bucketed latency histogram (HDR-style).
+
+    Records non-negative integer values (cycles) into log-spaced
+    buckets: values below [2^6] are exact, larger values quantize
+    {e down} to a bucket lower bound with bounded relative error
+    (< 3.2%).  Percentiles are rank-exact over the quantized domain:
+    {!percentile} returns [quantize v_r] for the nearest-rank sample
+    [v_r] (rank = ceil(p/100 * count)) — identical to quantizing the
+    sorted reference.  Merge is element-wise addition, so it is
+    associative and commutative; parallel shards merged in any
+    grouping give byte-identical results to a serial run. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> int -> unit
+(** Record one sample.  @raise Invalid_argument on a negative value. *)
+
+val quantize : int -> int
+(** The value [record v] reads back as (bucket lower bound). *)
+
+val count : t -> int
+val min_value : t -> int
+val max_value : t -> int
+val mean : t -> float
+(** Exact mean of the {e raw} (unquantized) samples. *)
+
+val percentile : t -> float -> int
+(** [percentile t p] for [p] in (0,100]: the quantized value of the
+    rank-th smallest sample, rank = ceil(p/100 * count); [0] when
+    empty. *)
+
+val merge_into : dst:t -> t -> unit
+val merge : t -> t -> t
+
+val equal : t -> t -> bool
+(** Structural equality on the full state (buckets + moments). *)

@@ -1,0 +1,331 @@
+open Iw_engine
+open Iw_kernel
+
+type os = Nk | Linux
+
+let os_name = function Nk -> "nk" | Linux -> "linux"
+let os_of_string = function "nk" -> Some Nk | "linux" -> Some Linux | _ -> None
+
+type backend =
+  | Fiber_exec
+  | Virtine_exec of { vconfig : Iw_virtine.Wasp.config; pool : int }
+
+let backend_name = function Fiber_exec -> "fiber" | Virtine_exec _ -> "virtine"
+
+type config = {
+  os : os;
+  plat : Iw_hw.Platform.t;
+  workers : int;
+  workload : Workload.spec;
+  policy : Dispatch.policy;
+  order : Squeue.order;
+  queue_cap : int;
+  backend : backend;
+  work_us : float;
+  hi_frac : float;
+  seed : int;
+}
+
+let default ~plat =
+  {
+    os = Nk;
+    plat;
+    workers = 8;
+    workload = Workload.Poisson { rps = 20_000.0; duration_us = 100_000.0 };
+    policy = Dispatch.Po2;
+    order = Squeue.Fifo;
+    queue_cap = 64;
+    backend = Fiber_exec;
+    work_us = 150.0;
+    hi_frac = 0.0;
+    seed = 42;
+  }
+
+type request = {
+  req_arrival : int;  (** Cycle of submission. *)
+  req_hi : bool;
+  req_reply : Sched.semaphore option;  (** Closed-loop completion signal. *)
+}
+
+type report = {
+  rep_os : string;
+  rep_backend : string;
+  rep_policy : string;
+  rep_order : string;
+  rep_workload : string;
+  rep_offered_rps : float;
+  rep_duration_us : float;
+  rep_ghz : float;
+  rep_arrivals : int;
+  rep_admitted : int;
+  rep_completed : int;
+  rep_shed : int;
+  rep_backpressure : int;
+  rep_elapsed_cycles : int;
+  rep_busy_cycles : int;
+  rep_throughput_rps : float;
+  rep_utilization : float;
+  rep_pool_hits : int;
+  rep_spawns : int;
+  rep_queue : Hist.t;
+  rep_service : Hist.t;
+  rep_total : Hist.t;
+}
+
+let us_of_cycles rep c = float_of_int c /. (rep.rep_ghz *. 1e3)
+let percentile_us rep h p = us_of_cycles rep (Hist.percentile h p)
+let mean_us rep h = Hist.mean h /. (rep.rep_ghz *. 1e3)
+
+(* Dedicated stream roots: the plane's draws must not perturb (or be
+   perturbed by) kernel-side draws from the boot seed. *)
+let rng_salt = 0x5E21CE
+
+let run cfg =
+  if cfg.workers < 1 then invalid_arg "Plane.run: need at least one worker";
+  (match cfg.workload with
+  | Workload.Closed { clients; _ } when clients < 1 ->
+      invalid_arg "Plane.run: closed-loop workload needs at least one client"
+  | _ -> ());
+  (* Workers on CPUs 0..workers-1, load generation on a dedicated
+     frontend CPU so client-side costs never steal worker cycles. *)
+  let ncpus = cfg.workers + 1 in
+  let plat = Iw_hw.Platform.with_cores cfg.plat ncpus in
+  let frontend = cfg.workers in
+  let personality =
+    match cfg.os with Nk -> Os.nautilus plat | Linux -> Os.linux plat
+  in
+  let k = Sched.boot ~seed:cfg.seed ~personality plat in
+  let obs = Sched.obs k in
+  let ctr = obs.Iw_obs.Obs.counters in
+  let tr = obs.Iw_obs.Obs.trace in
+  let costs = plat.Iw_hw.Platform.costs in
+  let cyc us = Iw_hw.Platform.cycles_of_us plat us in
+  let duration_c = cyc (Workload.duration_us cfg.workload) in
+
+  let base = Rng.create ~seed:(cfg.seed lxor rng_salt) in
+  let arrival_rng = Rng.split base in
+  let dispatch_rng = Rng.split base in
+  let prio_rng = Rng.split base in
+  let think_rng = Rng.split base in
+
+  let queues =
+    Array.init cfg.workers (fun _ -> Squeue.create ~order:cfg.order ~cap:cfg.queue_cap)
+  in
+  let doorbells = Array.init cfg.workers (fun _ -> Sched.semaphore ~init:0) in
+  let disp = Dispatch.create cfg.policy ~rng:dispatch_rng in
+
+  let h_queue = Array.init cfg.workers (fun _ -> Hist.create ()) in
+  let h_service = Array.init cfg.workers (fun _ -> Hist.create ()) in
+  let h_total = Array.init cfg.workers (fun _ -> Hist.create ()) in
+
+  let arrivals = ref 0 and admitted = ref 0 and completed = ref 0 in
+  let shed = ref 0 and backpressure = ref 0 in
+  let busy = ref 0 in
+  let gen_done = ref false and stopping = ref false in
+
+  let wasp =
+    match cfg.backend with
+    | Virtine_exec { vconfig; pool } ->
+        Some (Iw_virtine.Wasp.create ~obs ~seed:(cfg.seed + 17) ~pool_size:pool vconfig)
+    | Fiber_exec -> None
+  in
+
+  let initiate_stop () =
+    if not !stopping then begin
+      stopping := true;
+      Array.iter (fun d -> Api.sem_post d) doorbells
+    end
+  in
+  let maybe_finish () =
+    if !gen_done && !completed = !admitted then initiate_stop ()
+  in
+
+  (* Submission path, on the frontend CPU: pick a queue, push, ring the
+     worker's doorbell.  Returns false on drop-tail refusal. *)
+  let submit ~reply =
+    incr arrivals;
+    Iw_obs.Counter.incr ctr Iw_obs.Counter.Service_arrivals;
+    Api.overhead (costs.Iw_hw.Platform.atomic_rmw + costs.Iw_hw.Platform.cache_line_remote);
+    let hi = cfg.hi_frac > 0.0 && Rng.float prio_rng 1.0 < cfg.hi_frac in
+    let qi = Dispatch.pick disp ~n:cfg.workers ~len:(fun i -> Squeue.length queues.(i)) in
+    let req = { req_arrival = Api.now (); req_hi = hi; req_reply = reply } in
+    if Squeue.try_push queues.(qi) ~hi req then begin
+      incr admitted;
+      Iw_obs.Counter.incr ctr Iw_obs.Counter.Service_admitted;
+      if hi then Iw_obs.Counter.incr ctr Iw_obs.Counter.Service_hi_prio;
+      Api.sem_post doorbells.(qi);
+      true
+    end
+    else false
+  in
+
+  (* Request execution on worker [w]: route the body through the fiber
+     or virtine layer so their costs (and the OS personality's noise)
+     land on the latency distribution. *)
+  let exec w fs req =
+    let start = Api.now () in
+    Hist.record h_queue.(w) (start - req.req_arrival);
+    (match cfg.backend with
+    | Fiber_exec ->
+        let body = cyc cfg.work_us in
+        let fs = match fs with Some fs -> fs | None -> assert false in
+        ignore (Fiber.spawn fs (fun () -> Iw_engine.Coro.consume body));
+        Fiber.run fs
+    | Virtine_exec _ ->
+        let w_ = match wasp with Some w_ -> w_ | None -> assert false in
+        let now_us = Iw_hw.Platform.us_of_cycles plat start in
+        let lat_us = Iw_virtine.Wasp.call_at w_ ~now_us ~work_us:cfg.work_us in
+        let work_c = cyc cfg.work_us in
+        Api.overhead (max 0 (cyc lat_us - work_c));
+        Api.work work_c);
+    let fin = Api.now () in
+    busy := !busy + (fin - start);
+    Hist.record h_service.(w) (fin - start);
+    Hist.record h_total.(w) (fin - req.req_arrival);
+    incr completed;
+    Iw_obs.Counter.incr ctr Iw_obs.Counter.Service_completions;
+    if Iw_obs.Trace.enabled tr then
+      Iw_obs.Trace.span tr ~name:"service:exec" ~cat:"service" ~cpu:(Api.cpu_id ())
+        ~ts:start ~dur:(fin - start) ();
+    (match req.req_reply with Some sem -> Api.sem_post sem | None -> ());
+    maybe_finish ()
+  in
+
+  for w = 0 to cfg.workers - 1 do
+    ignore
+      (Sched.spawn k
+         ~spec:
+           {
+             Sched.sp_name = Printf.sprintf "serve-w%d" w;
+             sp_cpu = Some w;
+             sp_fp = false;
+             sp_rt = false;
+           }
+         (fun () ->
+           let fs =
+             match cfg.backend with
+             | Fiber_exec ->
+                 Some (Fiber.create ~obs plat ~mode:Fiber.Cooperative ~fp:false)
+             | Virtine_exec _ -> None
+           in
+           let rec loop () =
+             Api.sem_wait doorbells.(w);
+             match Squeue.pop queues.(w) with
+             | Some req ->
+                 exec w fs req;
+                 loop ()
+             | None -> if not !stopping then loop ()
+           in
+           loop ()))
+  done;
+
+  (match cfg.workload with
+  | Workload.Closed { clients; think_us; duration_us = _ } ->
+      let live = ref clients in
+      for c = 0 to clients - 1 do
+        let crng = Rng.split think_rng in
+        let reply = Sched.semaphore ~init:0 in
+        ignore
+          (Sched.spawn k
+             ~spec:
+               {
+                 Sched.sp_name = Printf.sprintf "client-%d" c;
+                 sp_cpu = Some frontend;
+                 sp_fp = false;
+                 sp_rt = false;
+               }
+             (fun () ->
+               let rec loop () =
+                 let think = Rng.exponential crng ~mean:think_us in
+                 Api.sleep (max 1 (cyc think));
+                 if Api.now () <= duration_c then begin
+                   let rec try_submit () =
+                     if not (submit ~reply:(Some reply)) then begin
+                       incr backpressure;
+                       Iw_obs.Counter.incr ctr Iw_obs.Counter.Service_backpressure;
+                       (* Closed loops back off instead of shedding. *)
+                       Api.sleep (max 1 (cyc (cfg.work_us *. 2.0)));
+                       try_submit ()
+                     end
+                   in
+                   try_submit ();
+                   Api.sem_wait reply;
+                   loop ()
+                 end
+               in
+               loop ();
+               decr live;
+               if !live = 0 then begin
+                 gen_done := true;
+                 maybe_finish ()
+               end))
+      done
+  | _ ->
+      let g = Workload.gen cfg.workload ~rng:arrival_rng in
+      ignore
+        (Sched.spawn k
+           ~spec:
+             {
+               Sched.sp_name = "loadgen";
+               sp_cpu = Some frontend;
+               sp_fp = false;
+               sp_rt = false;
+             }
+           (fun () ->
+             let rec loop () =
+               match Workload.next g with
+               | None ->
+                   gen_done := true;
+                   maybe_finish ()
+               | Some at_us ->
+                   let target = cyc at_us in
+                   let now = Api.now () in
+                   if target > now then Api.sleep (target - now);
+                   if not (submit ~reply:None) then begin
+                     incr shed;
+                     Iw_obs.Counter.incr ctr Iw_obs.Counter.Service_shed;
+                     if Iw_obs.Trace.enabled tr then
+                       Iw_obs.Trace.instant tr ~name:"service:shed" ~cat:"service"
+                         ~cpu:(Api.cpu_id ()) ~ts:(Api.now ()) ()
+                   end;
+                   loop ()
+             in
+             loop ())));
+
+  Sched.run k;
+
+  let merge shards =
+    let dst = Hist.create () in
+    Array.iter (fun h -> Hist.merge_into ~dst h) shards;
+    dst
+  in
+  let elapsed = Sched.now k in
+  let elapsed_s = Iw_hw.Platform.us_of_cycles plat elapsed /. 1e6 in
+  {
+    rep_os = os_name cfg.os;
+    rep_backend = backend_name cfg.backend;
+    rep_policy = Dispatch.name cfg.policy;
+    rep_order = Squeue.order_name cfg.order;
+    rep_workload = Workload.describe cfg.workload;
+    rep_offered_rps = Workload.offered_rps cfg.workload;
+    rep_duration_us = Workload.duration_us cfg.workload;
+    rep_ghz = plat.Iw_hw.Platform.ghz;
+    rep_arrivals = !arrivals;
+    rep_admitted = !admitted;
+    rep_completed = !completed;
+    rep_shed = !shed;
+    rep_backpressure = !backpressure;
+    rep_elapsed_cycles = elapsed;
+    rep_busy_cycles = !busy;
+    rep_throughput_rps =
+      (if elapsed_s > 0.0 then float_of_int !completed /. elapsed_s else 0.0);
+    rep_utilization =
+      (if elapsed > 0 then
+         float_of_int !busy /. float_of_int (cfg.workers * elapsed)
+       else 0.0);
+    rep_pool_hits = (match wasp with Some w -> Iw_virtine.Wasp.pool_hits w | None -> 0);
+    rep_spawns = (match wasp with Some w -> Iw_virtine.Wasp.spawned w | None -> 0);
+    rep_queue = merge h_queue;
+    rep_service = merge h_service;
+    rep_total = merge h_total;
+  }

@@ -1,0 +1,85 @@
+(** The service plane: open/closed-loop load over the simulated stack.
+
+    A plane boots a kernel ({!Iw_kernel.Sched}) under an OS
+    personality, pins one worker thread per CPU plus a dedicated
+    frontend CPU for load generation, and drives requests through
+    bounded per-worker queues ({!Squeue}) chosen by a dispatch policy
+    ({!Dispatch}).  Request bodies execute through a real layer of the
+    stack — a cooperative fiber per worker, or virtine calls through a
+    shared Wasp instance (pool hits matter) — so the personality's
+    costs and noise land where they do on real systems: in the tail.
+
+    Latency decomposes per request into queue wait, service time, and
+    total (arrival to completion), each recorded in a per-worker
+    {!Hist} and merged after the run; merge associativity keeps
+    parallel drivers byte-identical to serial ones.
+
+    Determinism: arrivals, dispatch, priority draws, and think times
+    each use a dedicated stream split from [seed lxor 0x5E21CE], so
+    the arrival sequence is independent of kernel-side draws and a
+    report is byte-reproducible from [config] alone. *)
+
+type os = Nk | Linux
+
+val os_name : os -> string
+val os_of_string : string -> os option
+
+type backend =
+  | Fiber_exec  (** Per-worker cooperative fiber runs each body. *)
+  | Virtine_exec of { vconfig : Iw_virtine.Wasp.config; pool : int }
+      (** Each request is a virtine call through one shared Wasp
+          instance with a warm pool of [pool] contexts. *)
+
+val backend_name : backend -> string
+
+type config = {
+  os : os;
+  plat : Iw_hw.Platform.t;  (** Core count is overridden to workers+1. *)
+  workers : int;
+  workload : Workload.spec;
+  policy : Dispatch.policy;
+  order : Squeue.order;
+  queue_cap : int;
+  backend : backend;
+  work_us : float;  (** Request body service demand. *)
+  hi_frac : float;  (** Fraction of requests marked high priority. *)
+  seed : int;
+}
+
+val default : plat:Iw_hw.Platform.t -> config
+(** Nautilus-like, 8 workers, Poisson 20k rps for 100 ms, po2
+    dispatch, FIFO order, cap 64, fiber backend, 150 us bodies. *)
+
+type report = {
+  rep_os : string;
+  rep_backend : string;
+  rep_policy : string;
+  rep_order : string;
+  rep_workload : string;
+  rep_offered_rps : float;
+  rep_duration_us : float;
+  rep_ghz : float;
+  rep_arrivals : int;
+  rep_admitted : int;
+  rep_completed : int;
+  rep_shed : int;  (** Drop-tail refusals (open loop). *)
+  rep_backpressure : int;  (** Full-queue retries (closed loop). *)
+  rep_elapsed_cycles : int;
+  rep_busy_cycles : int;
+  rep_throughput_rps : float;
+  rep_utilization : float;
+  rep_pool_hits : int;  (** Virtine backend only. *)
+  rep_spawns : int;
+  rep_queue : Hist.t;  (** Queue-wait cycles. *)
+  rep_service : Hist.t;  (** Service cycles. *)
+  rep_total : Hist.t;  (** Arrival-to-completion cycles. *)
+}
+
+val run : config -> report
+(** Run to completion (the generator finishes and every admitted
+    request completes).  @raise Invalid_argument on a config without
+    workers or clients. *)
+
+val us_of_cycles : report -> int -> float
+val percentile_us : report -> Hist.t -> float -> float
+val mean_us : report -> Hist.t -> float

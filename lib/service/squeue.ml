@@ -1,0 +1,47 @@
+type order = Fifo | Priority
+
+let order_name = function Fifo -> "fifo" | Priority -> "priority"
+
+let order_of_string = function
+  | "fifo" -> Some Fifo
+  | "priority" | "prio" -> Some Priority
+  | _ -> None
+
+type 'a t = {
+  q_order : order;
+  q_cap : int;
+  hi : 'a Queue.t;  (** Unused under [Fifo]. *)
+  lo : 'a Queue.t;
+  mutable pushed : int;
+  mutable dropped : int;
+}
+
+let create ~order ~cap =
+  if cap < 1 then invalid_arg "Squeue.create: capacity must be >= 1";
+  { q_order = order; q_cap = cap; hi = Queue.create (); lo = Queue.create ();
+    pushed = 0; dropped = 0 }
+
+let order t = t.q_order
+let capacity t = t.q_cap
+let length t = Queue.length t.hi + Queue.length t.lo
+let is_empty t = Queue.is_empty t.hi && Queue.is_empty t.lo
+let pushed t = t.pushed
+let dropped t = t.dropped
+
+let try_push t ~hi x =
+  if length t >= t.q_cap then begin
+    t.dropped <- t.dropped + 1;
+    false
+  end
+  else begin
+    (match t.q_order with
+    | Fifo -> Queue.push x t.lo
+    | Priority -> Queue.push x (if hi then t.hi else t.lo));
+    t.pushed <- t.pushed + 1;
+    true
+  end
+
+let pop t =
+  if not (Queue.is_empty t.hi) then Some (Queue.pop t.hi)
+  else if not (Queue.is_empty t.lo) then Some (Queue.pop t.lo)
+  else None

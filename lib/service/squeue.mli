@@ -1,0 +1,32 @@
+(** Bounded per-worker run queue with drop-tail shedding.
+
+    Two service orders: [Fifo] (one lane, arrival order) and
+    [Priority] (two lanes; high-priority requests always pop first,
+    FIFO within a lane).  The bound covers both lanes together;
+    {!try_push} refuses — drop-tail — when the queue is full, and the
+    queue keeps its own pushed/dropped counts for backpressure
+    accounting. *)
+
+type order = Fifo | Priority
+
+val order_name : order -> string
+val order_of_string : string -> order option
+
+type 'a t
+
+val create : order:order -> cap:int -> 'a t
+(** @raise Invalid_argument when [cap < 1]. *)
+
+val order : 'a t -> order
+val capacity : 'a t -> int
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val try_push : 'a t -> hi:bool -> 'a -> bool
+(** [false] = queue full, request dropped (counted). [hi] is ignored
+    under [Fifo]. *)
+
+val pop : 'a t -> 'a option
+
+val pushed : 'a t -> int
+val dropped : 'a t -> int

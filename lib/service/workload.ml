@@ -1,0 +1,106 @@
+open Iw_engine
+
+type spec =
+  | Poisson of { rps : float; duration_us : float }
+  | Bursty of {
+      rps_on : float;
+      rps_off : float;
+      mean_on_us : float;
+      mean_off_us : float;
+      duration_us : float;
+    }
+  | Closed of { clients : int; think_us : float; duration_us : float }
+
+let duration_us = function
+  | Poisson { duration_us; _ } | Bursty { duration_us; _ } | Closed { duration_us; _ }
+    ->
+      duration_us
+
+let offered_rps = function
+  | Poisson { rps; _ } -> rps
+  | Bursty { rps_on; rps_off; mean_on_us; mean_off_us; _ } ->
+      ((rps_on *. mean_on_us) +. (rps_off *. mean_off_us))
+      /. (mean_on_us +. mean_off_us)
+  | Closed { clients; think_us; _ } ->
+      (* Upper bound: every client submitting as fast as its think time
+         allows; actual rate also depends on service latency. *)
+      float_of_int clients *. 1e6 /. think_us
+
+let is_open = function Poisson _ | Bursty _ -> true | Closed _ -> false
+
+let describe = function
+  | Poisson { rps; _ } -> Printf.sprintf "poisson %.0f rps" rps
+  | Bursty { rps_on; rps_off; _ } ->
+      Printf.sprintf "bursty %.0f/%.0f rps" rps_on rps_off
+  | Closed { clients; think_us; _ } ->
+      Printf.sprintf "closed %d clients, think %.0f us" clients think_us
+
+type gen = {
+  g_spec : spec;
+  g_rng : Rng.t;
+  mutable g_t : float;  (** Clock of the last arrival (us). *)
+  mutable g_on : bool;
+  mutable g_state_end : float;  (** When the current MMPP phase flips. *)
+}
+
+let gen spec ~rng =
+  (match spec with
+  | Poisson { rps; _ } when rps <= 0.0 ->
+      invalid_arg "Workload.gen: Poisson rate must be positive"
+  | Bursty { rps_on; rps_off; mean_on_us; mean_off_us; _ } ->
+      if rps_on < 0.0 || rps_off < 0.0 then
+        invalid_arg "Workload.gen: bursty rates must be non-negative";
+      if mean_on_us <= 0.0 || mean_off_us <= 0.0 then
+        invalid_arg "Workload.gen: bursty phase means must be positive"
+  | _ -> ());
+  let g = { g_spec = spec; g_rng = rng; g_t = 0.0; g_on = true; g_state_end = 0.0 } in
+  (match spec with
+  | Bursty { mean_on_us; _ } -> g.g_state_end <- Rng.exponential rng ~mean:mean_on_us
+  | _ -> ());
+  g
+
+let flip g =
+  match g.g_spec with
+  | Bursty { mean_on_us; mean_off_us; _ } ->
+      g.g_on <- not g.g_on;
+      let mean = if g.g_on then mean_on_us else mean_off_us in
+      g.g_state_end <- g.g_t +. Rng.exponential g.g_rng ~mean
+  | _ -> assert false
+
+let next g =
+  match g.g_spec with
+  | Closed _ -> invalid_arg "Workload.next: closed-loop spec has no open-loop arrivals"
+  | Poisson { rps; duration_us } ->
+      let t = g.g_t +. Rng.exponential g.g_rng ~mean:(1e6 /. rps) in
+      if t > duration_us then None
+      else begin
+        g.g_t <- t;
+        Some t
+      end
+  | Bursty { rps_on; rps_off; duration_us; _ } ->
+      let rec step () =
+        if g.g_t > duration_us then None
+        else begin
+          let rate = if g.g_on then rps_on else rps_off in
+          if rate <= 0.0 then begin
+            (* Silent phase: jump to its end and flip. *)
+            g.g_t <- g.g_state_end;
+            flip g;
+            step ()
+          end
+          else begin
+            let t = g.g_t +. Rng.exponential g.g_rng ~mean:(1e6 /. rate) in
+            if t > g.g_state_end then begin
+              g.g_t <- g.g_state_end;
+              flip g;
+              step ()
+            end
+            else if t > duration_us then None
+            else begin
+              g.g_t <- t;
+              Some t
+            end
+          end
+        end
+      in
+      step ()

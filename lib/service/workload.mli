@@ -1,0 +1,43 @@
+(** Workload generators for the service plane.
+
+    Open-loop arrivals (Poisson, bursty MMPP-style on/off) are
+    produced by a {!gen} pulled by the load-generator thread;
+    closed-loop specs describe client threads that the plane spawns
+    itself.  Every stochastic draw comes from the one [Rng.t] handed
+    to {!gen}, so an arrival sequence is byte-reproducible from the
+    seed and insensitive to draws made anywhere else in the stack. *)
+
+type spec =
+  | Poisson of { rps : float; duration_us : float }
+      (** Open loop, exponential inter-arrivals at [rps]. *)
+  | Bursty of {
+      rps_on : float;
+      rps_off : float;
+      mean_on_us : float;
+      mean_off_us : float;
+      duration_us : float;
+    }
+      (** Open loop, Markov-modulated Poisson: alternating on/off
+          phases with exponential dwell times and per-phase rates. *)
+  | Closed of { clients : int; think_us : float; duration_us : float }
+      (** Closed loop: [clients] threads each cycle through
+          exponential think time, submit, wait for the reply. *)
+
+val duration_us : spec -> float
+
+val offered_rps : spec -> float
+(** Long-run offered arrival rate (for [Closed], the think-time-bound
+    upper bound). *)
+
+val is_open : spec -> bool
+val describe : spec -> string
+
+type gen
+
+val gen : spec -> rng:Iw_engine.Rng.t -> gen
+(** @raise Invalid_argument on non-positive rates/phase means or when
+    pulled on a [Closed] spec. *)
+
+val next : gen -> float option
+(** Next absolute arrival time in microseconds, strictly increasing;
+    [None] once past the spec's duration. *)

@@ -80,6 +80,7 @@ type t = {
   rng : Rng.t;
   pool_size : int;
   mutable pool : int;  (* warm contexts available *)
+  mutable refills : float list;  (* in-flight refill ready times, ascending *)
   mutable n_spawned : int;
   mutable n_pool_hits : int;
   mutable vclock : int;  (* span clock in virtual cycles; see below *)
@@ -93,6 +94,7 @@ let create ?obs ?(seed = 7) ?(pool_size = 16) config =
     rng = Rng.create ~seed;
     pool_size;
     pool = (if config.pooled then pool_size else 0);
+    refills = [];
     n_spawned = 0;
     n_pool_hits = 0;
     vclock = 0;
@@ -148,8 +150,33 @@ let fault_instant t name =
   if tr.Iw_obs.Trace.enabled then
     Iw_obs.Trace.instant tr ~name ~cat:"virtine" ~cpu:(-1) ~ts:t.vclock ()
 
-let call t ~work_us =
+(* Background re-provisioning of a consumed warm context.  The pool
+   manager boots a replacement off the request's critical path; until
+   it finishes (one cold, unjittered spawn) the pool is one entry
+   short.  [call] has no caller clock and keeps the historical
+   instant-refill behavior; [call_at] threads the caller's clock
+   through, so a burst can genuinely drain the pool and pay cold
+   boots — which is what makes pool sizing a real knob. *)
+let refill_us t = spawn_latency_us { t.config with pooled = false }
+
+let reclaim t now_us =
+  let ready, pending = List.partition (fun r -> r <= now_us) t.refills in
+  t.refills <- pending;
+  t.pool <- min t.pool_size (t.pool + List.length ready)
+
+let schedule_refill t = function
+  | None -> if t.pool < t.pool_size then t.pool <- t.pool + 1
+  | Some now_us ->
+      let at = now_us +. refill_us t in
+      let rec ins = function
+        | x :: rest when x <= at -> x :: ins rest
+        | rest -> at :: rest
+      in
+      t.refills <- ins t.refills
+
+let call_clocked t ~now ~work_us =
   if work_us < 0.0 then invalid_arg "Wasp.call: negative work";
+  (match now with Some n -> reclaim t n | None -> ());
   t.n_spawned <- t.n_spawned + 1;
   Iw_obs.Counter.incr t.obs.Iw_obs.Obs.counters Iw_obs.Counter.Virtine_spawns;
   let plan = Iw_faults.Plan.ambient () in
@@ -167,6 +194,10 @@ let call t ~work_us =
       t.pool <- t.pool - 1;
       Iw_obs.Counter.incr t.obs.Iw_obs.Obs.counters Iw_obs.Counter.Pool_evict;
       fault_instant t "pool_evict";
+      (* With a clock, the evicted entry is re-provisioned in the
+         background like any consumed one; without one, the pool
+         shrinks (the historical behavior). *)
+      (match now with Some _ -> schedule_refill t now | None -> ());
       poison_detect_us
     end
     else 0.0
@@ -178,7 +209,7 @@ let call t ~work_us =
       Iw_obs.Counter.incr t.obs.Iw_obs.Obs.counters
         Iw_obs.Counter.Virtine_pool_hits;
       (* Refill happens off the critical path. *)
-      if t.pool < t.pool_size then t.pool <- t.pool + 1;
+      schedule_refill t now;
       trace_spawn t t.config;
       spawn_latency_us ~jitter:t.rng t.config
     end
@@ -207,6 +238,9 @@ let call t ~work_us =
     else us
   in
   evict_us +. launch 0 +. marshal_us +. work_us +. teardown_us
+
+let call t ~work_us = call_clocked t ~now:None ~work_us
+let call_at t ~now_us ~work_us = call_clocked t ~now:(Some now_us) ~work_us
 
 let spawned t = t.n_spawned
 let pool_hits t = t.n_pool_hits

@@ -57,6 +57,15 @@ val call : t -> work_us:float -> float
     execution, and teardown.  Pool hits are refilled asynchronously;
     a drained pool falls back to a cold spawn. *)
 
+val call_at : t -> now_us:float -> work_us:float -> float
+(** [call] with the caller's clock threaded through: a consumed warm
+    context is re-provisioned in the background and only returns to
+    the pool one cold-spawn latency after [now_us], so back-to-back
+    calls (a burst) can drain the pool and fall back to cold boots.
+    Callers that serve requests on a simulated timeline (the service
+    plane) use this; [call] keeps the clock-free instant-refill
+    behavior. *)
+
 val spawned : t -> int
 val pool_hits : t -> int
 

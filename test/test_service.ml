@@ -1,0 +1,389 @@
+(* Tests for the service plane: histogram algebra, queue/dispatch
+   semantics, workload generators, and end-to-end determinism of the
+   S experiments. *)
+
+module Hist = Iw_service.Hist
+module Workload = Iw_service.Workload
+module Squeue = Iw_service.Squeue
+module Dispatch = Iw_service.Dispatch
+module Plane = Iw_service.Plane
+module Rng = Iw_engine.Rng
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Histogram *)
+
+let hist_of values =
+  let h = Hist.create () in
+  List.iter (Hist.record h) values;
+  h
+
+let samples = QCheck.(list_of_size Gen.(int_range 0 200) (int_bound 5_000_000))
+
+let prop_merge_commutative =
+  QCheck.Test.make ~name:"hist merge is commutative" ~count:100
+    QCheck.(pair samples samples)
+    (fun (xs, ys) ->
+      Hist.equal (Hist.merge (hist_of xs) (hist_of ys))
+        (Hist.merge (hist_of ys) (hist_of xs)))
+
+let prop_merge_associative =
+  QCheck.Test.make ~name:"hist merge is associative" ~count:100
+    QCheck.(triple samples samples samples)
+    (fun (xs, ys, zs) ->
+      let a = hist_of xs and b = hist_of ys and c = hist_of zs in
+      Hist.equal
+        (Hist.merge (Hist.merge a b) c)
+        (Hist.merge a (Hist.merge b c)))
+
+let prop_merge_is_concat =
+  QCheck.Test.make ~name:"merge equals recording the concatenation" ~count:100
+    QCheck.(pair samples samples)
+    (fun (xs, ys) ->
+      Hist.equal (Hist.merge (hist_of xs) (hist_of ys)) (hist_of (xs @ ys)))
+
+(* The exactness contract: percentile p returns the quantized value of
+   the nearest-rank sample from the sorted reference. *)
+let prop_percentile_exact =
+  QCheck.Test.make ~name:"percentile = quantize(sorted nearest-rank)" ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 300) (int_bound 5_000_000))
+        (float_range 0.001 100.0))
+    (fun (xs, p) ->
+      let h = hist_of xs in
+      let sorted = List.sort compare xs in
+      let n = List.length xs in
+      let rank =
+        min n (max 1 (int_of_float (ceil (p /. 100.0 *. float_of_int n))))
+      in
+      Hist.percentile h p = Hist.quantize (List.nth sorted (rank - 1)))
+
+let test_hist_small_values_exact () =
+  (* Everything below 64 is its own bucket: percentiles are exact, not
+     just quantized-exact. *)
+  let h = hist_of [ 5; 1; 63; 20; 20; 7 ] in
+  check_int "p50 exact" 7 (Hist.percentile h 50.0);
+  check_int "p100 exact" 63 (Hist.percentile h 100.0);
+  check_int "min" 1 (Hist.min_value h);
+  check_int "max" 63 (Hist.max_value h);
+  Alcotest.(check (float 1e-9)) "mean is raw" (116.0 /. 6.0) (Hist.mean h)
+
+let test_hist_quantize_bounds () =
+  (* Quantization rounds down with bounded relative error. *)
+  List.iter
+    (fun v ->
+      let q = Hist.quantize v in
+      check_bool "q <= v" true (q <= v);
+      check_bool "error bounded" true
+        (float_of_int (v - q) <= 0.04 *. float_of_int (max v 1)))
+    [ 0; 1; 63; 64; 65; 127; 128; 1000; 65_535; 1_000_000; 123_456_789 ]
+
+let test_hist_empty () =
+  let h = Hist.create () in
+  check_int "empty percentile" 0 (Hist.percentile h 99.0);
+  check_int "empty count" 0 (Hist.count h)
+
+(* ------------------------------------------------------------------ *)
+(* Squeue *)
+
+let test_squeue_fifo_order () =
+  let q = Squeue.create ~order:Squeue.Fifo ~cap:8 in
+  List.iter (fun i -> ignore (Squeue.try_push q ~hi:(i = 2) i)) [ 1; 2; 3 ];
+  (* Fifo ignores the hi flag. *)
+  check_int "pop 1" 1 (Option.get (Squeue.pop q));
+  check_int "pop 2" 2 (Option.get (Squeue.pop q));
+  check_int "pop 3" 3 (Option.get (Squeue.pop q));
+  check_bool "drained" true (Squeue.pop q = None)
+
+let test_squeue_priority_order () =
+  let q = Squeue.create ~order:Squeue.Priority ~cap:8 in
+  ignore (Squeue.try_push q ~hi:false 1);
+  ignore (Squeue.try_push q ~hi:true 2);
+  ignore (Squeue.try_push q ~hi:false 3);
+  ignore (Squeue.try_push q ~hi:true 4);
+  (* High lane first (FIFO within), then the low lane. *)
+  check_int "hi 2" 2 (Option.get (Squeue.pop q));
+  check_int "hi 4" 4 (Option.get (Squeue.pop q));
+  check_int "lo 1" 1 (Option.get (Squeue.pop q));
+  check_int "lo 3" 3 (Option.get (Squeue.pop q))
+
+let test_squeue_drop_tail () =
+  let q = Squeue.create ~order:Squeue.Fifo ~cap:2 in
+  check_bool "push 1" true (Squeue.try_push q ~hi:false 1);
+  check_bool "push 2" true (Squeue.try_push q ~hi:false 2);
+  check_bool "push 3 refused" false (Squeue.try_push q ~hi:false 3);
+  check_int "len stays at cap" 2 (Squeue.length q);
+  check_int "pushed" 2 (Squeue.pushed q);
+  check_int "dropped" 1 (Squeue.dropped q)
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch *)
+
+let test_dispatch_rr_cycles () =
+  let d = Dispatch.create Dispatch.Round_robin ~rng:(Rng.create ~seed:1) in
+  let picks = List.init 6 (fun _ -> Dispatch.pick d ~n:3 ~len:(fun _ -> 0)) in
+  Alcotest.(check (list int)) "cyclic" [ 0; 1; 2; 0; 1; 2 ] picks
+
+let test_dispatch_jsq_shortest () =
+  let d = Dispatch.create Dispatch.Jsq ~rng:(Rng.create ~seed:1) in
+  let lens = [| 5; 2; 9; 2 |] in
+  check_int "shortest, lowest index on tie" 1
+    (Dispatch.pick d ~n:4 ~len:(fun i -> lens.(i)))
+
+let test_dispatch_po2_prefers_shorter () =
+  (* po2 never picks a queue longer than both its samples. *)
+  let d = Dispatch.create Dispatch.Po2 ~rng:(Rng.create ~seed:7) in
+  let lens = [| 0; 100; 100; 100 |] in
+  let picks = List.init 200 (fun _ -> Dispatch.pick d ~n:4 ~len:(fun i -> lens.(i))) in
+  (* Whenever queue 0 is sampled it wins; it must win sometimes. *)
+  check_bool "queue 0 chosen sometimes" true (List.mem 0 picks)
+
+let test_dispatch_deterministic () =
+  let run () =
+    let d = Dispatch.create Dispatch.Random ~rng:(Rng.create ~seed:9) in
+    List.init 50 (fun _ -> Dispatch.pick d ~n:8 ~len:(fun _ -> 0))
+  in
+  Alcotest.(check (list int)) "same seed, same picks" (run ()) (run ())
+
+(* ------------------------------------------------------------------ *)
+(* Workload generators *)
+
+let drain spec seed =
+  let g = Workload.gen spec ~rng:(Rng.create ~seed) in
+  let rec go acc = match Workload.next g with None -> List.rev acc | Some t -> go (t :: acc) in
+  go []
+
+let test_workload_poisson_deterministic () =
+  let spec = Workload.Poisson { rps = 50_000.0; duration_us = 10_000.0 } in
+  let a = drain spec 3 and b = drain spec 3 in
+  check_bool "nonempty" true (a <> []);
+  Alcotest.(check (list (float 0.0))) "byte-identical arrivals" a b;
+  check_bool "strictly increasing" true
+    (fst
+       (List.fold_left
+          (fun (ok, prev) t -> (ok && t > prev, t))
+          (true, -1.0) a));
+  check_bool "within duration" true (List.for_all (fun t -> t <= 10_000.0) a)
+
+let test_workload_poisson_rate () =
+  let spec = Workload.Poisson { rps = 50_000.0; duration_us = 100_000.0 } in
+  let n = List.length (drain spec 3) in
+  (* 5000 expected; a generous 4-sigma-ish band. *)
+  check_bool "rate in band" true (n > 4_500 && n < 5_500)
+
+let test_workload_bursty_modulates () =
+  let spec =
+    Workload.Bursty
+      {
+        rps_on = 100_000.0;
+        rps_off = 0.0;
+        mean_on_us = 2_000.0;
+        mean_off_us = 2_000.0;
+        duration_us = 100_000.0;
+      }
+  in
+  let arr = drain spec 5 in
+  check_bool "nonempty" true (arr <> []);
+  (* A zero-rate off phase must leave silent gaps far longer than any
+     on-phase inter-arrival gap. *)
+  let gaps =
+    List.rev
+      (fst
+         (List.fold_left (fun (gs, prev) t -> ((t -. prev) :: gs, t)) ([], 0.0) arr))
+  in
+  check_bool "has a silent gap" true (List.exists (fun g -> g > 1_000.0) gaps);
+  check_bool "has burst arrivals" true (List.exists (fun g -> g < 100.0) gaps)
+
+let test_workload_offered_rps () =
+  Alcotest.(check (float 1e-6))
+    "mmpp time-weighted rate" 55_000.0
+    (Workload.offered_rps
+       (Workload.Bursty
+          {
+            rps_on = 100_000.0;
+            rps_off = 10_000.0;
+            mean_on_us = 1_000.0;
+            mean_off_us = 1_000.0;
+            duration_us = 1.0;
+          }))
+
+(* ------------------------------------------------------------------ *)
+(* The plane end to end *)
+
+let small_cfg ?(os = Plane.Nk) ?(backend = Plane.Fiber_exec)
+    ?(policy = Iw_service.Dispatch.Po2) ?(seed = 42) () =
+  {
+    (Plane.default ~plat:Iw_hw.Platform.knl) with
+    workers = 4;
+    workload = Workload.Poisson { rps = 40_000.0; duration_us = 10_000.0 };
+    policy;
+    backend;
+    os;
+    work_us = 20.0;
+    seed;
+  }
+
+let fingerprint (r : Plane.report) =
+  Printf.sprintf "%d/%d/%d/%d/%d/%d/%d/%d" r.rep_arrivals r.rep_admitted
+    r.rep_completed r.rep_shed r.rep_elapsed_cycles r.rep_busy_cycles
+    (Hist.percentile r.rep_total 99.0)
+    (Hist.percentile r.rep_queue 50.0)
+
+let test_plane_conserves_requests () =
+  let r = Plane.run (small_cfg ()) in
+  check_bool "arrivals happened" true (r.rep_arrivals > 0);
+  check_int "admitted = completed" r.rep_admitted r.rep_completed;
+  check_int "arrivals = admitted + shed" r.rep_arrivals
+    (r.rep_admitted + r.rep_shed);
+  check_int "every completion in the histogram" r.rep_completed
+    (Hist.count r.rep_total)
+
+let test_plane_deterministic () =
+  let a = Plane.run (small_cfg ()) in
+  let b = Plane.run (small_cfg ()) in
+  check_str "identical fingerprints" (fingerprint a) (fingerprint b);
+  check_bool "histograms structurally equal" true
+    (Hist.equal a.rep_total b.rep_total);
+  let c = Plane.run (small_cfg ~seed:43 ()) in
+  check_bool "different seed, different run" true
+    (fingerprint a <> fingerprint c)
+
+let test_plane_virtine_backend () =
+  let backend =
+    Plane.Virtine_exec
+      {
+        vconfig =
+          {
+            Iw_virtine.Wasp.default with
+            profile = Iw_virtine.Wasp.Bespoke_16;
+            snapshot = true;
+            pooled = true;
+          };
+        pool = 8;
+      }
+  in
+  let r =
+    Plane.run
+      { (small_cfg ~backend ()) with
+        workload = Workload.Poisson { rps = 20_000.0; duration_us = 10_000.0 } }
+  in
+  check_int "admitted = completed" r.rep_admitted r.rep_completed;
+  check_bool "pool was hit" true (r.rep_pool_hits > 0)
+
+let test_plane_closed_loop () =
+  let cfg =
+    { (small_cfg ()) with
+      workload = Workload.Closed { clients = 6; think_us = 200.0; duration_us = 10_000.0 } }
+  in
+  let a = Plane.run cfg and b = Plane.run cfg in
+  check_bool "clients made requests" true (a.rep_completed > 0);
+  check_int "admitted = completed" a.rep_admitted a.rep_completed;
+  check_str "closed loop deterministic" (fingerprint a) (fingerprint b)
+
+let test_plane_sheds_past_capacity () =
+  let cfg =
+    { (small_cfg ()) with
+      queue_cap = 4;
+      workload = Workload.Poisson { rps = 400_000.0; duration_us = 10_000.0 } }
+  in
+  let r = Plane.run cfg in
+  check_bool "overload sheds" true (r.rep_shed > 0);
+  check_int "admitted still all complete" r.rep_admitted r.rep_completed
+
+let test_plane_personality_gap () =
+  (* The S1 claim at test scale: same offered load, NK-like p99 below
+     Linux-like p99. *)
+  let load os =
+    Plane.run
+      { (small_cfg ~os ()) with
+        workload = Workload.Poisson { rps = 170_000.0; duration_us = 20_000.0 } }
+  in
+  let nk = load Plane.Nk and lx = load Plane.Linux in
+  check_bool "nk p99 < linux p99" true
+    (Hist.percentile nk.rep_total 99.0 < Hist.percentile lx.rep_total 99.0)
+
+let test_plane_zero_rate_faults_identical () =
+  (* A rate-0 plan must not perturb the plane by a single byte. *)
+  let run_with_plan rate =
+    let plan =
+      Iw_faults.Plan.create ~rate ~seed:42
+        ~kinds:Iw_faults.Plan.[ Cpu_stall; Virtine_fail; Pool_poison ]
+        ()
+    in
+    Iw_faults.Plan.with_ambient plan (fun () -> Plane.run (small_cfg ()))
+  in
+  let bare = Plane.run (small_cfg ()) in
+  let zero = run_with_plan 0.0 in
+  check_str "rate-0 plan is invisible" (fingerprint bare) (fingerprint zero)
+
+(* S-experiment registry determinism: text out of the registry is
+   byte-identical across repeated runs (the golden gate relies on
+   this; here it guards the table text itself). *)
+let test_s_experiments_deterministic () =
+  List.iter
+    (fun id ->
+      let e = Interweave.Experiments.find id in
+      let a = Interweave.Experiments.run_to_string e in
+      let b = Interweave.Experiments.run_to_string e in
+      check_str (id ^ " byte-identical") a b)
+    [ "S3" ]
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "hist",
+        [
+          QCheck_alcotest.to_alcotest prop_merge_commutative;
+          QCheck_alcotest.to_alcotest prop_merge_associative;
+          QCheck_alcotest.to_alcotest prop_merge_is_concat;
+          QCheck_alcotest.to_alcotest prop_percentile_exact;
+          Alcotest.test_case "small values exact" `Quick
+            test_hist_small_values_exact;
+          Alcotest.test_case "quantize bounds" `Quick test_hist_quantize_bounds;
+          Alcotest.test_case "empty" `Quick test_hist_empty;
+        ] );
+      ( "squeue",
+        [
+          Alcotest.test_case "fifo order" `Quick test_squeue_fifo_order;
+          Alcotest.test_case "priority order" `Quick test_squeue_priority_order;
+          Alcotest.test_case "drop tail" `Quick test_squeue_drop_tail;
+        ] );
+      ( "dispatch",
+        [
+          Alcotest.test_case "rr cycles" `Quick test_dispatch_rr_cycles;
+          Alcotest.test_case "jsq shortest" `Quick test_dispatch_jsq_shortest;
+          Alcotest.test_case "po2 prefers shorter" `Quick
+            test_dispatch_po2_prefers_shorter;
+          Alcotest.test_case "random deterministic" `Quick
+            test_dispatch_deterministic;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "poisson deterministic" `Quick
+            test_workload_poisson_deterministic;
+          Alcotest.test_case "poisson rate" `Quick test_workload_poisson_rate;
+          Alcotest.test_case "bursty modulates" `Quick
+            test_workload_bursty_modulates;
+          Alcotest.test_case "offered rps" `Quick test_workload_offered_rps;
+        ] );
+      ( "plane",
+        [
+          Alcotest.test_case "conserves requests" `Quick
+            test_plane_conserves_requests;
+          Alcotest.test_case "deterministic" `Quick test_plane_deterministic;
+          Alcotest.test_case "virtine backend" `Quick test_plane_virtine_backend;
+          Alcotest.test_case "closed loop" `Quick test_plane_closed_loop;
+          Alcotest.test_case "sheds past capacity" `Quick
+            test_plane_sheds_past_capacity;
+          Alcotest.test_case "personality gap" `Quick
+            test_plane_personality_gap;
+          Alcotest.test_case "rate-0 faults identical" `Quick
+            test_plane_zero_rate_faults_identical;
+          Alcotest.test_case "S tables byte-identical" `Quick
+            test_s_experiments_deterministic;
+        ] );
+    ]

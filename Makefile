@@ -1,4 +1,5 @@
-.PHONY: all build test bench bench-json check trace-smoke sweep-smoke \
+.PHONY: all build test bench bench-json perf-budget alloc-smoke check \
+        trace-smoke sweep-smoke \
         profile-smoke profile-diff-smoke faults-smoke faults-csv-smoke \
         serve-smoke golden-check golden-update examples csv \
         clean
@@ -16,7 +17,23 @@ bench:
 
 # Machine-readable perf report, tracked across PRs.
 bench-json:
-	dune exec bench/main.exe -- --json BENCH_5.json
+	dune exec bench/main.exe -- --json BENCH_6.json
+
+# Re-run the benchmark and gate wall time against the committed
+# baseline: any experiment more than 15% AND 0.3s slower fails.
+# After an intentional perf change, re-baseline with `make bench-json`
+# and commit the new BENCH_6.json alongside the change.
+perf-budget:
+	dune exec bench/main.exe -- --json /tmp/bench.json --against BENCH_6.json
+
+# A short serve run that fails if the hot path allocates more than the
+# committed budget of minor-heap words per completed request.  The
+# steady state allocates nothing; the budget leaves room for warmup
+# (arena/queue/timer growth to the high-water mark, ~29k words)
+# amortized over ~100k requests.
+alloc-smoke:
+	dune exec bin/main.exe -- serve --rps 250000 --duration 400 \
+	  --work-us 20 --alloc-budget 0.5
 
 # Run one experiment with the trace bus on, export Chrome trace-event
 # JSON, and validate it (Perfetto-loadable or the target fails).
@@ -67,13 +84,14 @@ serve-smoke:
 	dune exec bin/main.exe -- serve --rps 20000 --rps 40000 \
 	  --duration 20 --csv /tmp/serve_smoke.csv
 
-# Everything CI needs: full build, tests, smoke runs of the harness
-# (JSON emitter, trace exporter, profiler), and the golden-counter
-# regression gate.
+# Everything CI needs: full build, tests, the wall-time perf budget,
+# the hot-path allocation budget, smoke runs of the harness (trace
+# exporter, profiler), and the golden-counter regression gate.
 check:
 	dune build @all
 	dune runtest
-	dune exec bench/main.exe -- --json /tmp/bench.json
+	$(MAKE) perf-budget
+	$(MAKE) alloc-smoke
 	$(MAKE) trace-smoke
 	$(MAKE) profile-smoke
 	$(MAKE) profile-diff-smoke

@@ -36,14 +36,14 @@ let run_reproduction ~jobs () =
     Interweave.Driver.parallel_map ~jobs
       (fun (e : Interweave.Experiments.experiment) ->
         let t0 = Unix.gettimeofday () in
-        let rendered, counters =
+        let rendered, counters, alloc =
           Interweave.Experiments.run_with_counters e
         in
-        (e.id, rendered, Unix.gettimeofday () -. t0, counters))
+        (e.id, rendered, Unix.gettimeofday () -. t0, counters, alloc))
       (Interweave.Experiments.all ())
   in
   List.iter
-    (fun (id, rendered, dt, _counters) ->
+    (fun (id, rendered, dt, _counters, _alloc) ->
       print_string rendered;
       Printf.printf "  [%s completed in %.1fs wall time]\n\n" id dt)
     results;
@@ -209,22 +209,26 @@ let write_json path ~jobs ~seed ~part1 ~part1_wall ~bechamel ~total =
   let out fmt = Printf.fprintf oc fmt in
   let n1 = List.length part1 and n2 = List.length bechamel in
   out "{\n";
-  out "  \"schema\": 3,\n";
+  out "  \"schema\": 4,\n";
   out "  \"jobs\": %d,\n" jobs;
   out "  \"seed\": %d,\n" seed;
   out "  \"part1\": {\n";
   out "    \"wall_s\": %s,\n" (json_float part1_wall);
   out "    \"experiments\": [\n";
   List.iteri
-    (fun i (id, _, dt, counters) ->
+    (fun i (id, _, dt, counters, alloc) ->
       let cjson =
         counters
         |> List.map (fun (name, v) ->
                Printf.sprintf "\"%s\": %d" (json_escape name) v)
         |> String.concat ", "
       in
-      out "      {\"id\": \"%s\", \"wall_s\": %s, \"counters\": {%s}}%s\n"
-        (json_escape id) (json_float dt) cjson
+      out
+        "      {\"id\": \"%s\", \"wall_s\": %s, \"minor_words\": %.0f, \
+         \"major_words\": %.0f, \"counters\": {%s}}%s\n"
+        (json_escape id) (json_float dt)
+        alloc.Interweave.Experiments.alloc_minor_words
+        alloc.Interweave.Experiments.alloc_major_words cjson
         (if i = n1 - 1 then "" else ","))
     part1;
   out "    ]\n";
@@ -244,11 +248,69 @@ let write_json path ~jobs ~seed ~part1 ~part1_wall ~bechamel ~total =
   close_out oc
 
 (* ------------------------------------------------------------------ *)
+(* Perf-budget gate *)
+
+(* A per-experiment wall-time regression beyond this factor fails the
+   run — but only when the absolute slowdown also clears the noise
+   floor, so sub-second experiments can't trip the gate on scheduler
+   jitter.  Re-baselining is deliberate: run `make bench-json` and
+   commit the refreshed BENCH_*.json (see README). *)
+let regression_factor = 1.15
+
+let noise_floor_s = 0.3
+
+let baseline_walls path =
+  let open Iw_obs.Json in
+  let doc = parse (read_file path) in
+  match Option.bind (member "part1" doc) (member "experiments") with
+  | Some (Arr es) ->
+      List.filter_map
+        (fun e ->
+          match (member "id" e, member "wall_s" e) with
+          | Some (Str id), Some (Num w) -> Some (id, w)
+          | _ -> None)
+        es
+  | _ ->
+      Printf.eprintf "bench: %s has no part1.experiments list\n" path;
+      exit 2
+
+let check_against path part1 =
+  let base = baseline_walls path in
+  let failures =
+    List.filter_map
+      (fun (id, _, dt, _, _) ->
+        match List.assoc_opt id base with
+        | Some old
+          when dt > old *. regression_factor && dt -. old > noise_floor_s ->
+            Some (id, old, dt)
+        | _ -> None)
+      part1
+  in
+  Printf.printf "\nperf budget vs %s (fail: > %.0f%% and > %.1fs slower):\n"
+    path
+    ((regression_factor -. 1.0) *. 100.0)
+    noise_floor_s;
+  if failures = [] then
+    Printf.printf "  ok: no per-experiment wall-time regression\n"
+  else begin
+    List.iter
+      (fun (id, old, dt) ->
+        Printf.printf "  FAIL %-4s %.2fs -> %.2fs (%+.0f%%)\n" id old dt
+          (100.0 *. ((dt /. old) -. 1.0)))
+      failures;
+    Printf.printf
+      "  intentional? re-baseline with `make bench-json` and commit the \
+       result\n";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let jobs = ref (Interweave.Driver.default_jobs ()) in
   let seed = ref 0 in
   let json_path = ref None in
+  let against = ref None in
   let rec parse = function
     | [] -> ()
     | "--jobs" :: n :: rest ->
@@ -278,13 +340,21 @@ let () =
             exit 2);
         json_path := Some path;
         parse rest
-    | [ ("--jobs" | "--json" | "--seed") ] ->
-        prerr_endline "bench: --jobs, --seed and --json need an argument";
+    | "--against" :: path :: rest ->
+        if not (Sys.file_exists path) then begin
+          Printf.eprintf "bench: --against baseline %s does not exist\n" path;
+          exit 2
+        end;
+        against := Some path;
+        parse rest
+    | [ ("--jobs" | "--json" | "--seed" | "--against") ] ->
+        prerr_endline
+          "bench: --jobs, --seed, --json and --against need an argument";
         exit 2
     | arg :: _ ->
         Printf.eprintf
           "bench: unknown argument %s (flags: --jobs N, --seed N, --serial, \
-           --json PATH)\n"
+           --json PATH, --against BENCH.json)\n"
           arg;
         exit 2
   in
@@ -303,4 +373,5 @@ let () =
       write_json path ~jobs:!jobs ~seed:!seed ~part1 ~part1_wall ~bechamel
         ~total;
       Printf.printf "wrote %s\n" path)
-    !json_path
+    !json_path;
+  Option.iter (fun path -> check_against path part1) !against

@@ -341,7 +341,7 @@ let golden_cmd =
     let results =
       Interweave.Driver.parallel_map ~jobs
         (fun (e : Interweave.Experiments.experiment) ->
-          let _, counters = Interweave.Experiments.run_with_counters e in
+          let _, counters, _ = Interweave.Experiments.run_with_counters e in
           (e, counters))
         targets
     in
@@ -761,6 +761,15 @@ let serve_cmd =
       & opt (some string) None
       & info [ "csv" ] ~docv:"PATH" ~doc:"Also write the rows as CSV")
   in
+  let alloc_budget_a =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "alloc-budget" ] ~docv:"W"
+          ~doc:
+            "Print the run-phase allocation profile and fail if any row \
+             exceeds $(docv) minor-heap words per completed request")
+  in
   let seed_a =
     Arg.(
       value & opt int 42
@@ -768,7 +777,7 @@ let serve_cmd =
           ~doc:"Service-plane seed (arrivals, dispatch, kernel boot)")
   in
   let run os backend policy order workers rpss duration_ms work_us cap pool
-      hi_frac bursty closed think_us csv seed jobs global_seed =
+      hi_frac bursty closed think_us csv alloc_budget seed jobs global_seed =
     Iw_engine.Rng.set_global_seed global_seed;
     let os =
       match Iw_service.Plane.os_of_string os with
@@ -880,7 +889,7 @@ let serve_cmd =
           row;
         print_newline ())
       rows;
-    match csv with
+    (match csv with
     | None -> ()
     | Some path ->
         let oc = open_out path in
@@ -888,7 +897,37 @@ let serve_cmd =
           (fun row -> output_string oc (String.concat "," row ^ "\n"))
           rows;
         close_out oc;
-        Printf.printf "wrote %s: %d rows\n" path (List.length reports)
+        Printf.printf "wrote %s: %d rows\n" path (List.length reports));
+    match alloc_budget with
+    | None -> ()
+    | Some budget ->
+        (* The alloc-smoke gate: steady-state request processing must
+           stay inside the committed minor-words-per-request budget
+           (warmup — arena growth, stream setup — is amortized over
+           the run, hence a budget slightly above the asymptotic 0). *)
+        let worst =
+          List.fold_left
+            (fun acc r ->
+              let open Iw_service.Plane in
+              let per_req =
+                if r.rep_completed > 0 then
+                  r.rep_run_minor_words /. float_of_int r.rep_completed
+                else r.rep_run_minor_words
+              in
+              Printf.printf
+                "alloc: %s/%s %.0f rps: %.0f minor words / %d requests = \
+                 %.4f w/req (major %.0f, arena cap %d)\n"
+                r.rep_backend r.rep_policy r.rep_offered_rps
+                r.rep_run_minor_words r.rep_completed per_req
+                r.rep_run_major_words r.rep_arena_capacity;
+              Float.max acc per_req)
+            0.0 reports
+        in
+        if worst > budget then
+          die "serve: allocation budget exceeded: %.4f > %.4f minor words/request"
+            worst budget;
+        Printf.printf "alloc budget ok: worst %.4f <= %.4f minor words/request\n"
+          worst budget
   in
   Cmd.v
     (Cmd.info "serve"
@@ -899,7 +938,7 @@ let serve_cmd =
     Term.(
       const run $ os_a $ backend_a $ policy_a $ order_a $ workers_a $ rps_a
       $ duration_a $ work_a $ cap_a $ pool_a $ hi_frac_a $ bursty_a $ closed_a
-      $ think_a $ csv_a $ seed_a $ jobs_arg $ seed_arg)
+      $ think_a $ csv_a $ alloc_budget_a $ seed_a $ jobs_arg $ seed_arg)
 
 let () =
   let doc =

@@ -22,10 +22,23 @@ val find : string -> experiment
 val run_to_string : experiment -> string
 (** Header + every table, rendered. *)
 
+type alloc = {
+  alloc_minor_words : float;
+      (** OCaml minor-heap words allocated while the experiment ran
+          (current domain). *)
+  alloc_major_words : float;
+      (** Major-heap words over the same window: direct large-block
+          allocation plus promotions, so less stable run-to-run than
+          the minor figure. *)
+}
+
 val run_with_counters :
-  ?trace:Iw_obs.Trace.t -> experiment -> string * (string * int) list
+  ?trace:Iw_obs.Trace.t ->
+  experiment ->
+  string * (string * int) list * alloc
 (** {!run_to_string} under a collecting ambient context: the rendered
     output plus machine-wide counter totals summed over every
-    component the run created.  [trace] defaults to the null sink, so
-    counters are gathered with zero tracing cost unless a ring is
-    passed. *)
+    component the run created, plus the GC allocation profile of the
+    run — the quantity the zero-allocation hot path is judged by.
+    [trace] defaults to the null sink, so counters are gathered with
+    zero tracing cost unless a ring is passed. *)

@@ -29,24 +29,32 @@ let grow t =
   t.keys <- keys;
   t.vals <- vals
 
+(* Sift loops are top-level tail recursions: a [ref]-based while loop
+   would heap-allocate the ref cells on every push/pop (no flambda),
+   and the event queue sees millions of both per run. *)
+let rec sift_up keys vals k v i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if Array.unsafe_get keys parent > k then begin
+      Array.unsafe_set keys i (Array.unsafe_get keys parent);
+      Array.unsafe_set vals i (Array.unsafe_get vals parent);
+      sift_up keys vals k v parent
+    end
+    else begin
+      Array.unsafe_set keys i k;
+      Array.unsafe_set vals i v
+    end
+  end
+  else begin
+    Array.unsafe_set keys i k;
+    Array.unsafe_set vals i v
+  end
+
 let push t k v =
   if t.size = Array.length t.keys then grow t;
-  let keys = t.keys and vals = t.vals in
-  (* Sift up. *)
-  let i = ref t.size in
-  t.size <- t.size + 1;
-  let continue = ref true in
-  while !continue && !i > 0 do
-    let parent = (!i - 1) / 2 in
-    if Array.unsafe_get keys parent > k then begin
-      Array.unsafe_set keys !i (Array.unsafe_get keys parent);
-      Array.unsafe_set vals !i (Array.unsafe_get vals parent);
-      i := parent
-    end
-    else continue := false
-  done;
-  Array.unsafe_set keys !i k;
-  Array.unsafe_set vals !i v
+  let i = t.size in
+  t.size <- i + 1;
+  sift_up t.keys t.vals k v i
 
 let min_key t =
   if t.size = 0 then invalid_arg "Int_heap.min_key: empty";
@@ -56,6 +64,29 @@ let top t =
   if t.size = 0 then invalid_arg "Int_heap.top: empty";
   t.vals.(0)
 
+let rec sift_down keys vals n k v i =
+  let l = (2 * i) + 1 in
+  if l >= n then begin
+    Array.unsafe_set keys i k;
+    Array.unsafe_set vals i v
+  end
+  else begin
+    let r = l + 1 in
+    let c =
+      if r < n && Array.unsafe_get keys r < Array.unsafe_get keys l then r
+      else l
+    in
+    if Array.unsafe_get keys c < k then begin
+      Array.unsafe_set keys i (Array.unsafe_get keys c);
+      Array.unsafe_set vals i (Array.unsafe_get vals c);
+      sift_down keys vals n k v c
+    end
+    else begin
+      Array.unsafe_set keys i k;
+      Array.unsafe_set vals i v
+    end
+  end
+
 let pop t =
   if t.size = 0 then invalid_arg "Int_heap.pop: empty";
   let keys = t.keys and vals = t.vals in
@@ -64,30 +95,9 @@ let pop t =
   t.size <- n;
   let k = keys.(n) and v = vals.(n) in
   vals.(n) <- t.dummy;
-  if n > 0 then begin
+  if n > 0 then
     (* Sift the last element down from the root. *)
-    let i = ref 0 in
-    let continue = ref true in
-    while !continue do
-      let l = (2 * !i) + 1 in
-      if l >= n then continue := false
-      else begin
-        let r = l + 1 in
-        let c =
-          if r < n && Array.unsafe_get keys r < Array.unsafe_get keys l then r
-          else l
-        in
-        if Array.unsafe_get keys c < k then begin
-          Array.unsafe_set keys !i (Array.unsafe_get keys c);
-          Array.unsafe_set vals !i (Array.unsafe_get vals c);
-          i := c
-        end
-        else continue := false
-      end
-    done;
-    Array.unsafe_set keys !i k;
-    Array.unsafe_set vals !i v
-  end;
+    sift_down keys vals n k v 0;
   res
 
 let clear t =

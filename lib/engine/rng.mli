@@ -31,6 +31,16 @@ val split : t -> t
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 
+val raw53 : t -> int
+(** Top 53 bits of the next output, as a non-negative [int] — the
+    mantissa source behind {!float}, exposed for hot paths that want
+    to derive floats locally without boxing.
+    [float t b = b *. (float_of_int (raw53 t) /. 2.0 ** 53.)]. *)
+
+val raw62 : t -> int
+(** Top 62 bits of the next output, as a non-negative [int] — the
+    value behind {!int}'s modulo. *)
+
 val int : t -> int -> int
 (** [int t bound] is uniform in [\[0, bound)].  [bound] must be
     positive. *)

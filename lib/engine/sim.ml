@@ -94,11 +94,15 @@ let stats (t : t) =
 (* One packed key per scheduled occurrence, heap and wheel alike; the
    shared per-time counters are what make their merge a plain int
    comparison that reproduces global schedule order. *)
+(* Top-level so the call passes a static closure (no flambda: a
+   literal [fun] argument would allocate on every scheduled event). *)
+let succ1 s = s + 1
+
 let alloc_key t at =
   if at < t.now then
     invalid_arg
       (Printf.sprintf "Sim.schedule: time %d is in the past (now=%d)" at t.now);
-  let seq = Itbl.mutate t.seqs at (fun s -> s + 1) in
+  let seq = Itbl.mutate t.seqs at succ1 in
   Ekey.pack ~time:at ~seq
 
 let push_fresh t key at action =
@@ -243,18 +247,22 @@ let rec fire_one t ~horizon =
   let hkey =
     if Int_heap.is_empty t.queue then max_int else Int_heap.min_key t.queue
   in
-  match Timer_wheel.peek t.wheel with
-  | Timer_wheel.Nothing -> hkey <> max_int && fire_heap t ~horizon
-  | Timer_wheel.Fire wtm ->
-      if Timer_wheel.key wtm < hkey then fire_wheel t wtm ~horizon
-      else fire_heap t ~horizon
-  | Timer_wheel.Advance b ->
-      let htime = if hkey = max_int then max_int else Ekey.time hkey in
-      if b <= htime && b <= horizon then begin
-        Timer_wheel.advance t.wheel b;
-        fire_one t ~horizon
-      end
-      else hkey <> max_int && fire_heap t ~horizon
+  let code = Timer_wheel.peek t.wheel in
+  if code = Timer_wheel.nothing then hkey <> max_int && fire_heap t ~horizon
+  else if code = Timer_wheel.fire then begin
+    let wtm = Timer_wheel.due t.wheel in
+    if Timer_wheel.key wtm < hkey then fire_wheel t wtm ~horizon
+    else fire_heap t ~horizon
+  end
+  else begin
+    let b = Timer_wheel.boundary t.wheel in
+    let htime = if hkey = max_int then max_int else Ekey.time hkey in
+    if b <= htime && b <= horizon then begin
+      Timer_wheel.advance t.wheel b;
+      fire_one t ~horizon
+    end
+    else hkey <> max_int && fire_heap t ~horizon
+  end
 
 and fire_heap t ~horizon =
   let time = Ekey.time (Int_heap.min_key t.queue) in

@@ -41,7 +41,16 @@ let make_node () =
 
 let make_timer = make_node
 
-type next = Nothing | Fire of timer | Advance of int
+(* [peek] result codes.  A variant ([Nothing | Fire of timer |
+   Advance of int]) here would heap-allocate a block on every call,
+   and [peek] runs once per fired event; instead it returns one of
+   these ints and parks the payload in scratch fields read through
+   {!due} / {!boundary}. *)
+let nothing = 0
+
+let fire = 1
+
+let advance_over = 2
 
 let levels = 8
 
@@ -54,6 +63,8 @@ type t = {
   mutable clock : int;
   mutable live : int;
   mutable cascades : int;
+  mutable p_due : timer; (* valid after [peek] returned [fire] *)
+  mutable p_boundary : int; (* valid after [peek] returned [advance_over] *)
 }
 
 let create () =
@@ -68,6 +79,8 @@ let create () =
     clock = 0;
     live = 0;
     cascades = 0;
+    p_due = make_node ();
+    p_boundary = 0;
   }
 
 let clock t = t.clock
@@ -105,14 +118,16 @@ let unlink t tm =
 
 (* Smallest level whose page (aligned run of 63 slots) contains both
    the deadline and the clock.  Terminates: spans.(levels) exceeds any
-   representable time, so level [levels - 1] always qualifies. *)
+   representable time, so level [levels - 1] always qualifies.  The
+   search is a top-level loop: an inner closure here would allocate on
+   every arm (no flambda). *)
+let rec find_level spans time clock l =
+  if time / spans.(l + 1) = clock / spans.(l + 1) then l
+  else find_level spans time clock (l + 1)
+
 let place t tm =
   let time = Ekey.time tm.key in
-  let rec find l =
-    if time / t.spans.(l + 1) = t.clock / t.spans.(l + 1) then l
-    else find (l + 1)
-  in
-  let l = find 0 in
+  let l = find_level t.spans time t.clock 0 in
   link t l (time / t.spans.(l) mod wslots) tm
 
 let arm t tm ~key cb =
@@ -140,17 +155,15 @@ let take t tm =
   tm.key <- -1;
   tm.cb <- nop
 
-let ctz m =
-  let m = ref m and i = ref 0 in
-  while !m land 0xFF = 0 do
-    m := !m lsr 8;
-    i := !i + 8
-  done;
-  while !m land 1 = 0 do
-    m := !m lsr 1;
-    incr i
-  done;
-  !i
+(* Count-trailing-zeros as top-level tail recursion: the old
+   ref-based loop allocated two ref cells per call, and ctz runs on
+   every peek. *)
+let rec ctz_fine m i = if m land 1 = 0 then ctz_fine (m lsr 1) (i + 1) else i
+
+let rec ctz_coarse m i =
+  if m land 0xFF = 0 then ctz_coarse (m lsr 8) (i + 8) else ctz_fine m i
+
+let ctz m = ctz_coarse m 0
 
 (* Scan levels bottom-up and stop at the first occupied one: level
    [l]'s 63 slots tile exactly the clock's current level-[l+1] slot,
@@ -165,19 +178,30 @@ let rec scan t l =
        triggers a cascade. *)
     let mask = if idx >= wslots - 1 then 0 else -1 lsl (idx + 1) in
     let m = t.occ.(l) land mask in
-    if m <> 0 then Advance (((t.clock / t.spans.(l + 1) * wslots) + ctz m) * sp)
+    if m <> 0 then begin
+      t.p_boundary <- ((t.clock / t.spans.(l + 1) * wslots) + ctz m) * sp;
+      advance_over
+    end
     else scan t (l + 1)
   end
 
 let peek t =
-  if t.live = 0 then Nothing
+  if t.live = 0 then nothing
   else begin
     (* Level 0: slots at or after the clock's own; every timer in a
        level-0 slot is due at exactly that slot's time. *)
     let idx0 = t.clock mod wslots in
     let m0 = t.occ.(0) land (-1 lsl idx0) in
-    if m0 <> 0 then Fire t.slots.(0).(ctz m0).next else scan t 1
+    if m0 <> 0 then begin
+      t.p_due <- t.slots.(0).(ctz m0).next;
+      fire
+    end
+    else scan t 1
   end
+
+let due t = t.p_due
+
+let boundary t = t.p_boundary
 
 (* Move the clock to boundary [b] (as returned by [peek]'s [Advance];
    more generally any time at or before the next due timer) and
@@ -185,6 +209,15 @@ let peek t =
    a cascaded timer always lands at a strictly lower level, and at a
    slot strictly after that level's current one, so a single pass
    settles everything. *)
+let rec cascade_list t s tm =
+  if tm != s then begin
+    let nxt = tm.next in
+    unlink t tm;
+    t.cascades <- t.cascades + 1;
+    place t tm;
+    cascade_list t s nxt
+  end
+
 let advance t b =
   if b < t.clock then invalid_arg "Timer_wheel.advance: clock runs backwards";
   t.clock <- b;
@@ -193,14 +226,7 @@ let advance t b =
       let idx = b / t.spans.(l) mod wslots in
       if t.occ.(l) land (1 lsl idx) <> 0 then begin
         let s = t.slots.(l).(idx) in
-        let tm = ref s.next in
-        while !tm != s do
-          let nxt = !tm.next in
-          unlink t !tm;
-          t.cascades <- t.cascades + 1;
-          place t !tm;
-          tm := nxt
-        done
+        cascade_list t s s.next
       end
     end
   done

@@ -13,14 +13,16 @@ type timer
 (** Reusable timer record.  Idle until {!arm}ed; idle again after
     {!cancel} or {!take}. *)
 
-type next =
-  | Nothing  (** no live timers *)
-  | Fire of timer
-      (** head timer of the soonest due slot; its deadline is
-          [Ekey.time (key tm)].  Call {!take} before running it. *)
-  | Advance of int
-      (** next relevant boundary: call [advance t b] once the caller's
-          clock is allowed to reach [b], then {!peek} again. *)
+val nothing : int
+(** [peek] result: no live timers. *)
+
+val fire : int
+(** [peek] result: a timer is due — read it with {!due}; its deadline
+    is [Ekey.time (key tm)].  Call {!take} before running it. *)
+
+val advance_over : int
+(** [peek] result: call [advance t (boundary t)] once the caller's
+    clock is allowed to reach it, then {!peek} again. *)
 
 val create : unit -> t
 
@@ -51,7 +53,18 @@ val take : t -> timer -> unit
 (** Unlink a due timer (obtained from [Fire]) prior to running its
     callback.  The callback may re-arm the same record. *)
 
-val peek : t -> next
+val peek : t -> int
+(** Returns {!nothing}, {!fire}, or {!advance_over}.  An ordinary
+    variant result would heap-allocate per call, and [peek] runs once
+    per fired simulator event; the payload sits in scratch fields
+    behind {!due} / {!boundary} instead. *)
+
+val due : t -> timer
+(** The due timer found by the last [peek] that returned {!fire}. *)
+
+val boundary : t -> int
+(** The cascade boundary found by the last [peek] that returned
+    {!advance_over}. *)
 
 val advance : t -> int -> unit
 (** Move the wheel clock forward and cascade newly current slots.

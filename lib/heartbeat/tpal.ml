@@ -119,9 +119,9 @@ let on_heartbeat sh cpu ~preempted =
     Stats.add_int sh.gaps (now - sh.last_beat.(cpu));
   sh.last_beat.(cpu) <- now;
   let cost = ref promotion_check_cost in
-  (match preempted with
-  | Some r ->
-      let w = sh.ws.(cpu) in
+  (if preempted >= 0 then begin
+     let r = preempted in
+     let w = sh.ws.(cpu) in
       let promoted =
         match (w.cur, Sched.current_thread sh.k cpu, w.wthread) with
         | Some e, Some running, Some mine
@@ -144,8 +144,8 @@ let on_heartbeat sh cpu ~preempted =
             else false
         | _ -> false
       in
-      if not promoted then Sched.stash_preempted sh.k cpu r
-  | None -> ());
+     if not promoted then Sched.stash_preempted sh.k cpu r
+   end);
   !cost
 
 let worker_body sh w () =

@@ -75,9 +75,7 @@ type shared = {
    public deque.  Unlike range splitting, no owed-cycle surgery is
    needed — latent frames live outside any in-flight consume. *)
 let on_heartbeat sh cpu ~preempted =
-  (match preempted with
-  | Some r -> Sched.stash_preempted sh.k cpu r
-  | None -> ());
+  if preempted >= 0 then Sched.stash_preempted sh.k cpu preempted;
   let w = sh.ws.(cpu) in
   let frame =
     match sh.policy with

@@ -34,32 +34,35 @@ val sim : t -> Iw_engine.Sim.t
 val grant :
   t ->
   cycles:int ->
-  ?kind:kind ->
-  ?uninterruptible:bool ->
+  kind:kind ->
+  uninterruptible:bool ->
   on_complete:(unit -> unit) ->
-  unit ->
   unit
 (** Give the core to a computation for [cycles] cycles.  The core must
     be idle.  [on_complete] fires when the full quantum has elapsed
     without preemption; if an interrupt preempts the grant first,
     [on_complete] is dropped and the interrupt handler receives the
-    remaining cycle count instead.  [kind] defaults to [Work].
-    Zero-cycle grants complete via a same-time event (never
-    synchronously), keeping the control stack flat. *)
+    remaining cycle count instead.  All arguments are required — the
+    old optional [?kind]/[?uninterruptible] boxed a [Some] on every
+    call, and granting is the hottest edge in the stack.  Zero-cycle
+    grants complete via a same-time event (never synchronously),
+    keeping the control stack flat. *)
 
 val interrupt :
   t ->
   dispatch:int ->
   return_cost:int ->
-  handler:(preempted:int option -> int) ->
+  handler:(preempted:int -> int) ->
   after:(unit -> unit) ->
   unit
 (** Inject an interrupt.  When the core becomes interruptible the
     sequence is: [dispatch] busy cycles; [handler ~preempted] runs
     (its return value is the handler's own cost in cycles;
-    [preempted] is [Some remaining] when a grant was cut short);
-    [return_cost] busy cycles; then [after ()] with the core idle
-    again.  Queued interrupts are delivered FIFO. *)
+    [preempted] is the remaining cycle count when a grant was cut
+    short, or [-1] when the core was idle — an [int option] here
+    would allocate on every preempting tick); [return_cost] busy
+    cycles; then [after ()] with the core idle again.  Queued
+    interrupts are delivered FIFO from a preallocated ring. *)
 
 val pending_interrupts : t -> int
 

@@ -9,7 +9,7 @@ val send :
   Iw_engine.Sim.t ->
   Platform.t ->
   target:Cpu.t ->
-  handler:(preempted:int option -> int) ->
+  handler:(preempted:int -> int) ->
   after:(unit -> unit) ->
   unit
 (** Deliver a single IPI to [target]. *)
@@ -18,7 +18,7 @@ val broadcast :
   Iw_engine.Sim.t ->
   Platform.t ->
   targets:Cpu.t list ->
-  handler:(int -> preempted:int option -> int) ->
+  handler:(int -> preempted:int -> int) ->
   after:(int -> unit) ->
   unit
 (** One ICR broadcast: every target receives the interrupt after the

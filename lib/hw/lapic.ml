@@ -74,15 +74,18 @@ let periodic t ?phase ~period ~handler ~after () =
   let first = match phase with None -> period | Some p -> max 1 p in
   let gen = t.generation in
   let tm = Sim.timer t.s in
+  (* Allocated once per stream: re-arming the same timer every tick
+     must not box a fresh [Some]. *)
+  let armed_tm = Some tm in
   let rec tick () =
     if gen = t.generation then begin
       deliver t ~gen handler after;
       Sim.arm_after t.s tm period tick;
-      t.armed <- Some tm
+      t.armed <- armed_tm
     end
   in
   Sim.arm_after t.s tm first tick;
-  t.armed <- Some tm
+  t.armed <- armed_tm
 
 let stop t =
   t.generation <- t.generation + 1;

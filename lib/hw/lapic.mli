@@ -14,7 +14,7 @@ val cpu : t -> Cpu.t
 val oneshot :
   t ->
   delay:int ->
-  handler:(preempted:int option -> int) ->
+  handler:(preempted:int -> int) ->
   after:(unit -> unit) ->
   unit
 (** Arm the timer to fire once, [delay] cycles from now.  Handler and
@@ -25,7 +25,7 @@ val periodic :
   t ->
   ?phase:int ->
   period:int ->
-  handler:(preempted:int option -> int) ->
+  handler:(preempted:int -> int) ->
   after:(unit -> unit) ->
   unit ->
   unit

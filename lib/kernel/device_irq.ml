@@ -33,9 +33,7 @@ let deliver t =
     ~dispatch:plat.Platform.costs.interrupt_dispatch
     ~return_cost:plat.Platform.costs.interrupt_return
     ~handler:(fun ~preempted ->
-      (match preempted with
-      | Some r -> Sched.stash_preempted t.k cpu_id r
-      | None -> ());
+      if preempted >= 0 then Sched.stash_preempted t.k cpu_id preempted;
       t.handler_cost)
     ~after:(fun () -> Sched.resched_or_resume t.k cpu_id)
 

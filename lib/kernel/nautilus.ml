@@ -11,9 +11,7 @@ module Nemo = struct
     let plat = Sched.platform k in
     Ipi.send (Sched.sim k) plat ~target:(Sched.cpu k target_cpu)
       ~handler:(fun ~preempted ->
-        (match preempted with
-        | Some rem -> Sched.stash_preempted k target_cpu rem
-        | None -> ());
+        if preempted >= 0 then Sched.stash_preempted k target_cpu preempted;
         handler ();
         80)
       ~after:(fun () -> Sched.resched_or_resume k target_cpu)

@@ -17,7 +17,7 @@ val send :
   Iw_engine.Sim.t ->
   Iw_hw.Platform.t ->
   target:Iw_hw.Cpu.t ->
-  handler:(preempted:int option -> int) ->
+  handler:(preempted:int -> int) ->
   after:(unit -> unit) ->
   unit
 
@@ -26,6 +26,6 @@ val broadcast :
   Iw_engine.Sim.t ->
   Iw_hw.Platform.t ->
   targets:Iw_hw.Cpu.t list ->
-  handler:(int -> preempted:int option -> int) ->
+  handler:(int -> preempted:int -> int) ->
   after:(int -> unit) ->
   unit

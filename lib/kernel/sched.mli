@@ -116,6 +116,70 @@ type _ Iw_engine.Coro.Request.t +=
   | R_overhead : int -> unit Iw_engine.Coro.Request.t
   | R_kernel : t Iw_engine.Coro.Request.t
 
+(** {1 Flat threads}
+
+    A flat thread is a thread compiled by hand into an explicit state
+    struct — the closureiters transform applied to this engine.  Its
+    step function never performs effects; instead it calls the
+    [flat_*] kernel entry points below, each of which mirrors the
+    corresponding coroutine request cost-for-cost and event-for-event.
+    Swapping a coroutine thread for an equivalent flat thread is
+    invisible to the simulation (schedules, counters and latency
+    distributions are byte-identical); what changes is the allocation
+    profile: everything a flat thread needs is allocated at spawn, so
+    steady-state scheduling allocates nothing on the minor heap.
+
+    Contract: every [flat_*] call must be made from inside the
+    thread's own step function (i.e. while it is Running), and the
+    step function must end each activation with exactly one of them —
+    continue ([flat_work] / [flat_overhead] / [flat_continue]), park
+    ([flat_sleep] / a blocking [flat_sem_wait]), or die
+    ([flat_exit]). *)
+
+type flat
+
+val spawn_flat : t -> ?spec:spawn_spec -> unit -> flat
+(** Create a flat thread (from outside the simulation).  Set its step
+    function with {!set_flat_step} before the simulator runs. *)
+
+val set_flat_step : flat -> (unit -> unit) -> unit
+val flat_thread : flat -> thread
+
+val flat_continue : t -> flat -> cost:int -> kind:Iw_hw.Cpu.kind -> unit
+(** Re-enter the step function after [cost] cycles of [kind];
+    [cost = 0] re-enters immediately (same-activation), exactly as a
+    zero-cost reply steps a coroutine inline. *)
+
+val flat_work : t -> flat -> int -> unit
+(** {!Api.work}: owe [n] work cycles, then step again. *)
+
+val flat_overhead : t -> flat -> int -> unit
+(** {!Api.overhead}: owe [n] overhead cycles, then step again. *)
+
+val flat_sleep : t -> flat -> int -> unit
+(** {!Api.sleep}: park for [dt] cycles; the next step activation runs
+    after the wake (wake latency and sleep-arm cost included, as for
+    coroutines). *)
+
+val flat_sem_wait : t -> flat -> semaphore -> unit
+(** {!Api.sem_wait}: take a count (paying the uncontended-sync cost)
+    or park until posted. *)
+
+val flat_sem_take : t -> flat -> semaphore -> unit
+(** The non-blocking half of {!flat_sem_wait}: the caller has already
+    checked {!sem_value}[ > 0]. *)
+
+val flat_sem_post : t -> flat -> semaphore -> unit
+(** {!Api.sem_post}: wake a waiter (wake cost) or bump the count
+    (uncontended-sync cost). *)
+
+val sem_value : semaphore -> int
+(** Current count (no waiters implied when positive). *)
+
+val flat_exit : t -> flat -> unit
+(** The thread's body is done: exit exactly as a finished coroutine
+    (exit cost, joiner wakeups, live-count bookkeeping). *)
+
 (** {1 Interrupt-context services}
 
     For device models and heartbeat drivers: called from interrupt

@@ -6,7 +6,7 @@ type t = {
   cpu : int;
   period : int;
   handler_cost : int;
-  handler : preempted:int option -> unit;
+  handler : preempted:int -> unit;
   mutable running : bool;
   mutable pending : bool;  (* delivery in flight *)
   mutable delivered : int;

@@ -17,7 +17,7 @@ val create :
   cpu:int ->
   period:int ->
   ?handler_cost:int ->
-  handler:(preempted:int option -> unit) ->
+  handler:(preempted:int -> unit) ->
   unit ->
   t
 (** The handler runs in "signal context" on [cpu]; [preempted] follows

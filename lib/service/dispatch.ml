@@ -46,3 +46,30 @@ let pick t ~n ~len =
       let a = Rng.int t.d_rng n in
       let b = Rng.int t.d_rng n in
       if len b < len a then b else a
+
+(* [pick] over an array of queues, probing lengths directly: same
+   draws and same choices as [pick] with a length callback, but
+   nothing to allocate at the call site. *)
+let pick_queues t (qs : Squeue.t array) =
+  let n = Array.length qs in
+  if n < 1 then invalid_arg "Dispatch.pick_queues: need at least one queue";
+  match t.d_policy with
+  | Round_robin ->
+      let i = t.d_next in
+      t.d_next <- (i + 1) mod n;
+      i
+  | Random -> Rng.int t.d_rng n
+  | Jsq ->
+      let best = ref 0 and best_len = ref (Squeue.length qs.(0)) in
+      for i = 1 to n - 1 do
+        let l = Squeue.length qs.(i) in
+        if l < !best_len then begin
+          best := i;
+          best_len := l
+        end
+      done;
+      !best
+  | Po2 ->
+      let a = Rng.int t.d_rng n in
+      let b = Rng.int t.d_rng n in
+      if Squeue.length qs.(b) < Squeue.length qs.(a) then b else a

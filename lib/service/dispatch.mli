@@ -26,3 +26,8 @@ val policy : t -> policy
 val pick : t -> n:int -> len:(int -> int) -> int
 (** Choose a queue index in [\[0, n)] given current queue lengths.
     @raise Invalid_argument when [n < 1]. *)
+
+val pick_queues : t -> Squeue.t array -> int
+(** {!pick} probing {!Squeue.length} directly — identical draws and
+    choices, no closure at the call site.
+    @raise Invalid_argument on an empty array. *)

@@ -41,12 +41,6 @@ let default ~plat =
     seed = 42;
   }
 
-type request = {
-  req_arrival : int;  (** Cycle of submission. *)
-  req_hi : bool;
-  req_reply : Sched.semaphore option;  (** Closed-loop completion signal. *)
-}
-
 type report = {
   rep_os : string;
   rep_backend : string;
@@ -67,6 +61,10 @@ type report = {
   rep_utilization : float;
   rep_pool_hits : int;
   rep_spawns : int;
+  rep_run_minor_words : float;
+  rep_run_major_words : float;
+  rep_arena_capacity : int;
+  rep_arena_grows : int;
   rep_queue : Hist.t;
   rep_service : Hist.t;
   rep_total : Hist.t;
@@ -79,6 +77,47 @@ let mean_us rep h = Hist.mean h /. (rep.rep_ghz *. 1e3)
 (* Dedicated stream roots: the plane's draws must not perturb (or be
    perturbed by) kernel-side draws from the boot seed. *)
 let rng_salt = 0x5E21CE
+
+(* 2^53, the mantissa divisor behind [Rng.float]. *)
+let two53 = 9007199254740992.0
+
+(* Max requests a worker drains per doorbell wake (Fifo only). *)
+let batch_k = 8
+
+(* A worker as a flat state machine: the closureiters-style
+   compilation of the old per-worker coroutine loop.  One record and
+   one step closure per worker, allocated at setup; from then on the
+   worker runs entirely on these mutable fields, so a steady-state
+   request costs zero minor-heap words.  [w_state] values: *)
+let st_start = 0 (* first activation: wait on the doorbell *)
+
+let st_pop = 1 (* own one doorbell count: pop and execute *)
+let st_staged = 2 (* sem cost paid: settle the lease, execute *)
+let st_vwork = 3 (* virtine overhead paid: run the body *)
+let st_done = 4 (* body finished: account and complete *)
+let st_replied = 5 (* reply posted: finish bookkeeping *)
+let st_bcast = 6 (* stop: posting every doorbell in turn *)
+
+type worker = {
+  w_id : int;
+  w_fl : Sched.flat;
+  mutable w_state : int;
+  mutable w_req : int;  (* arena index under execution *)
+  mutable w_start : int;  (* cycle execution started *)
+  w_scratch : int array;  (* leased arena indices (batched drain) *)
+  mutable w_sc_n : int;
+  mutable w_sc_i : int;
+  mutable w_bc : int;  (* stop-broadcast cursor *)
+}
+
+(* The open-loop load generator, same treatment.  [l_state]: 0 = draw
+   next arrival, 1 = woken at the arrival time, 2 = submit overhead
+   paid, 3 = stop broadcast. *)
+type loadgen = {
+  l_fl : Sched.flat;
+  mutable l_state : int;
+  mutable l_bc : int;
+}
 
 let run cfg =
   if cfg.workers < 1 then invalid_arg "Plane.run: need at least one worker";
@@ -101,6 +140,10 @@ let run cfg =
   let costs = plat.Iw_hw.Platform.costs in
   let cyc us = Iw_hw.Platform.cycles_of_us plat us in
   let duration_c = cyc (Workload.duration_us cfg.workload) in
+  let work_c = cyc cfg.work_us in
+  let submit_cost =
+    costs.Iw_hw.Platform.atomic_rmw + costs.Iw_hw.Platform.cache_line_remote
+  in
 
   let base = Rng.create ~seed:(cfg.seed lxor rng_salt) in
   let arrival_rng = Rng.split base in
@@ -118,6 +161,19 @@ let run cfg =
   let h_service = Array.init cfg.workers (fun _ -> Hist.create ()) in
   let h_total = Array.init cfg.workers (fun _ -> Hist.create ()) in
 
+  (* In-flight bound: every queue full plus one executing per worker,
+     plus one being submitted; closed loops are additionally bounded
+     by the client count.  The arena doubles if this guess is low. *)
+  let arena =
+    Request_arena.create ~cap:((cfg.workers * (cfg.queue_cap + 1)) + 1)
+  in
+  let replies =
+    match cfg.workload with
+    | Workload.Closed { clients; _ } ->
+        Array.init clients (fun _ -> Sched.semaphore ~init:0)
+    | _ -> [||]
+  in
+
   let arrivals = ref 0 and admitted = ref 0 and completed = ref 0 in
   let shed = ref 0 and backpressure = ref 0 in
   let busy = ref 0 in
@@ -130,101 +186,210 @@ let run cfg =
     | Fiber_exec -> None
   in
 
-  let initiate_stop () =
-    if not !stopping then begin
-      stopping := true;
-      Array.iter (fun d -> Api.sem_post d) doorbells
-    end
-  in
-  let maybe_finish () =
-    if !gen_done && !completed = !admitted then initiate_stop ()
+  (* Priority draw, shared verbatim between the flat and coroutine
+     submit paths: one [prio_rng] draw iff hi_frac > 0 ([Rng.float]
+     inlined via [raw53] so the flat path never boxes). *)
+  let draw_hi () =
+    cfg.hi_frac > 0.0
+    && float_of_int (Rng.raw53 prio_rng) /. two53 < cfg.hi_frac
   in
 
-  (* Submission path, on the frontend CPU: pick a queue, push, ring the
-     worker's doorbell.  Returns false on drop-tail refusal. *)
-  let submit ~reply =
-    incr arrivals;
-    Iw_obs.Counter.incr ctr Iw_obs.Counter.Service_arrivals;
-    Api.overhead (costs.Iw_hw.Platform.atomic_rmw + costs.Iw_hw.Platform.cache_line_remote);
-    let hi = cfg.hi_frac > 0.0 && Rng.float prio_rng 1.0 < cfg.hi_frac in
-    let qi = Dispatch.pick disp ~n:cfg.workers ~len:(fun i -> Squeue.length queues.(i)) in
-    let req = { req_arrival = Api.now (); req_hi = hi; req_reply = reply } in
-    if Squeue.try_push queues.(qi) ~hi req then begin
-      incr admitted;
-      Iw_obs.Counter.incr ctr Iw_obs.Counter.Service_admitted;
-      if hi then Iw_obs.Counter.incr ctr Iw_obs.Counter.Service_hi_prio;
-      Api.sem_post doorbells.(qi);
-      true
-    end
-    else false
+  (* ---------------------------------------------------------------- *)
+  (* Workers: flat state machines *)
+
+  let workers =
+    Array.init cfg.workers (fun w ->
+        {
+          w_id = w;
+          w_fl =
+            Sched.spawn_flat k
+              ~spec:
+                {
+                  Sched.sp_name = Printf.sprintf "serve-w%d" w;
+                  sp_cpu = Some w;
+                  sp_fp = false;
+                  sp_rt = false;
+                }
+              ();
+          w_state = st_start;
+          w_req = -1;
+          w_start = 0;
+          w_scratch = Array.make (batch_k - 1) (-1);
+          w_sc_n = 0;
+          w_sc_i = 0;
+          w_bc = 0;
+        })
   in
 
-  (* Request execution on worker [w]: route the body through the fiber
-     or virtine layer so their costs (and the OS personality's noise)
-     land on the latency distribution. *)
-  let exec w fs req =
-    let start = Api.now () in
-    Hist.record h_queue.(w) (start - req.req_arrival);
-    (match cfg.backend with
+  (* Batched drain (Fifo only): pop up to [batch_k - 1] extra requests
+     now, leased so length probes still see them, and consume their
+     doorbell counts one by one between executions — byte-identical to
+     popping them one at a time.  Priority queues drain per-item: a
+     high-priority arrival during execution must still overtake a
+     queued low one. *)
+  let stage_extras w =
+    w.w_sc_n <- 0;
+    w.w_sc_i <- 0;
+    match cfg.order with
+    | Squeue.Priority -> ()
+    | Squeue.Fifo ->
+        let q = queues.(w.w_id) and db = doorbells.(w.w_id) in
+        while
+          w.w_sc_n < batch_k - 1
+          && Sched.sem_value db > w.w_sc_n
+          && (let v = Squeue.lease_pop q in
+              v >= 0
+              && begin
+                   w.w_scratch.(w.w_sc_n) <- v;
+                   w.w_sc_n <- w.w_sc_n + 1;
+                   true
+                 end)
+        do
+          ()
+        done
+  in
+
+  let rec w_activation w =
+    if w.w_state = st_start then begin
+      w.w_state <- st_pop;
+      Sched.flat_sem_wait k w.w_fl doorbells.(w.w_id)
+    end
+    else if w.w_state = st_pop then begin
+      let v = Squeue.pop_idx queues.(w.w_id) in
+      if v >= 0 then begin
+        stage_extras w;
+        start_exec w v
+      end
+      else if !stopping then Sched.flat_exit k w.w_fl
+      else Sched.flat_sem_wait k w.w_fl doorbells.(w.w_id)
+    end
+    else if w.w_state = st_staged then begin
+      Squeue.settle queues.(w.w_id);
+      let v = w.w_scratch.(w.w_sc_i) in
+      w.w_sc_i <- w.w_sc_i + 1;
+      start_exec w v
+    end
+    else if w.w_state = st_vwork then begin
+      w.w_state <- st_done;
+      Sched.flat_work k w.w_fl work_c
+    end
+    else if w.w_state = st_done then finish_exec w
+    else if w.w_state = st_replied then after_reply w
+    else if w.w_state = st_bcast then begin
+      if w.w_bc < cfg.workers then begin
+        let i = w.w_bc in
+        w.w_bc <- i + 1;
+        Sched.flat_sem_post k w.w_fl doorbells.(i)
+      end
+      else next_item w
+    end
+    else assert false
+
+  (* Begin executing arena slot [v]: record queue wait, then route the
+     body through the backend exactly as the coroutine worker did —
+     fiber = one work grant; virtine = overhead (spawn latency above
+     the body) then work. *)
+  and start_exec w v =
+    let start = Sched.now k in
+    w.w_req <- v;
+    w.w_start <- start;
+    Hist.record h_queue.(w.w_id) (start - Request_arena.arrival arena v);
+    match cfg.backend with
     | Fiber_exec ->
-        let body = cyc cfg.work_us in
-        let fs = match fs with Some fs -> fs | None -> assert false in
-        ignore (Fiber.spawn fs (fun () -> Iw_engine.Coro.consume body));
-        Fiber.run fs
+        w.w_state <- st_done;
+        Sched.flat_work k w.w_fl work_c
     | Virtine_exec _ ->
         let w_ = match wasp with Some w_ -> w_ | None -> assert false in
         let now_us = Iw_hw.Platform.us_of_cycles plat start in
         let lat_us = Iw_virtine.Wasp.call_at w_ ~now_us ~work_us:cfg.work_us in
-        let work_c = cyc cfg.work_us in
-        Api.overhead (max 0 (cyc lat_us - work_c));
-        Api.work work_c);
-    let fin = Api.now () in
-    busy := !busy + (fin - start);
-    Hist.record h_service.(w) (fin - start);
-    Hist.record h_total.(w) (fin - req.req_arrival);
+        w.w_state <- st_vwork;
+        Sched.flat_overhead k w.w_fl (max 0 (cyc lat_us - work_c))
+
+  and finish_exec w =
+    let fin = Sched.now k in
+    busy := !busy + (fin - w.w_start);
+    Hist.record h_service.(w.w_id) (fin - w.w_start);
+    Hist.record h_total.(w.w_id) (fin - Request_arena.arrival arena w.w_req);
     incr completed;
     Iw_obs.Counter.incr ctr Iw_obs.Counter.Service_completions;
     if Iw_obs.Trace.enabled tr then
-      Iw_obs.Trace.span tr ~name:"service:exec" ~cat:"service" ~cpu:(Api.cpu_id ())
-        ~ts:start ~dur:(fin - start) ();
-    (match req.req_reply with Some sem -> Api.sem_post sem | None -> ());
-    maybe_finish ()
-  in
+      Iw_obs.Trace.span tr ~name:"service:exec" ~cat:"service" ~cpu:w.w_id
+        ~ts:w.w_start ~dur:(fin - w.w_start) ();
+    let r = Request_arena.reply arena w.w_req in
+    Request_arena.free arena w.w_req;
+    w.w_req <- -1;
+    if r >= 0 then begin
+      w.w_state <- st_replied;
+      Sched.flat_sem_post k w.w_fl replies.(r)
+    end
+    else after_reply w
 
-  for w = 0 to cfg.workers - 1 do
-    ignore
-      (Sched.spawn k
-         ~spec:
-           {
-             Sched.sp_name = Printf.sprintf "serve-w%d" w;
-             sp_cpu = Some w;
-             sp_fp = false;
-             sp_rt = false;
-           }
-         (fun () ->
-           let fs =
-             match cfg.backend with
-             | Fiber_exec ->
-                 Some (Fiber.create ~obs plat ~mode:Fiber.Cooperative ~fp:false)
-             | Virtine_exec _ -> None
-           in
-           let rec loop () =
-             Api.sem_wait doorbells.(w);
-             match Squeue.pop queues.(w) with
-             | Some req ->
-                 exec w fs req;
-                 loop ()
-             | None -> if not !stopping then loop ()
-           in
-           loop ()))
-  done;
+  and after_reply w =
+    if !gen_done && !completed = !admitted && not !stopping then begin
+      stopping := true;
+      w.w_bc <- 0;
+      w.w_state <- st_bcast;
+      w_activation w
+    end
+    else next_item w
+
+  and next_item w =
+    if w.w_sc_i < w.w_sc_n then begin
+      (* A staged request: its doorbell count is still outstanding, so
+         consume it now at the uncontended cost — when the coroutine
+         worker looped back to sem_wait here, the count was >= 1. *)
+      w.w_state <- st_staged;
+      Sched.flat_sem_take k w.w_fl doorbells.(w.w_id)
+    end
+    else begin
+      w.w_sc_n <- 0;
+      w.w_sc_i <- 0;
+      w.w_state <- st_pop;
+      Sched.flat_sem_wait k w.w_fl doorbells.(w.w_id)
+    end
+  in
+  Array.iter
+    (fun w ->
+      Sched.set_flat_step w.w_fl (fun () -> w_activation w))
+    workers;
+
+  (* ---------------------------------------------------------------- *)
+  (* Load generation *)
 
   (match cfg.workload with
   | Workload.Closed { clients; think_us; duration_us = _ } ->
+      (* Closed loops stay coroutines: client count is small and fixed,
+         and each client spends its life blocked on think or reply. *)
+      let submit_cl c =
+        incr arrivals;
+        Iw_obs.Counter.incr ctr Iw_obs.Counter.Service_arrivals;
+        Api.overhead submit_cost;
+        let hi = draw_hi () in
+        let qi = Dispatch.pick_queues disp queues in
+        let idx =
+          Request_arena.alloc arena ~arrival:(Api.now ()) ~hi ~reply:c
+        in
+        if Squeue.try_push queues.(qi) ~hi idx then begin
+          incr admitted;
+          Iw_obs.Counter.incr ctr Iw_obs.Counter.Service_admitted;
+          if hi then Iw_obs.Counter.incr ctr Iw_obs.Counter.Service_hi_prio;
+          Api.sem_post doorbells.(qi);
+          true
+        end
+        else begin
+          Request_arena.free arena idx;
+          false
+        end
+      in
+      let initiate_stop () =
+        if not !stopping then begin
+          stopping := true;
+          Array.iter (fun d -> Api.sem_post d) doorbells
+        end
+      in
       let live = ref clients in
       for c = 0 to clients - 1 do
         let crng = Rng.split think_rng in
-        let reply = Sched.semaphore ~init:0 in
         ignore
           (Sched.spawn k
              ~spec:
@@ -240,7 +405,7 @@ let run cfg =
                  Api.sleep (max 1 (cyc think));
                  if Api.now () <= duration_c then begin
                    let rec try_submit () =
-                     if not (submit ~reply:(Some reply)) then begin
+                     if not (submit_cl c) then begin
                        incr backpressure;
                        Iw_obs.Counter.incr ctr Iw_obs.Counter.Service_backpressure;
                        (* Closed loops back off instead of shedding. *)
@@ -249,7 +414,7 @@ let run cfg =
                      end
                    in
                    try_submit ();
-                   Api.sem_wait reply;
+                   Api.sem_wait replies.(c);
                    loop ()
                  end
                in
@@ -257,42 +422,100 @@ let run cfg =
                decr live;
                if !live = 0 then begin
                  gen_done := true;
-                 maybe_finish ()
+                 if !completed = !admitted then initiate_stop ()
                end))
       done
   | _ ->
       let g = Workload.gen cfg.workload ~rng:arrival_rng in
-      ignore
-        (Sched.spawn k
-           ~spec:
-             {
-               Sched.sp_name = "loadgen";
-               sp_cpu = Some frontend;
-               sp_fp = false;
-               sp_rt = false;
-             }
-           (fun () ->
-             let rec loop () =
-               match Workload.next g with
-               | None ->
-                   gen_done := true;
-                   maybe_finish ()
-               | Some at_us ->
-                   let target = cyc at_us in
-                   let now = Api.now () in
-                   if target > now then Api.sleep (target - now);
-                   if not (submit ~reply:None) then begin
-                     incr shed;
-                     Iw_obs.Counter.incr ctr Iw_obs.Counter.Service_shed;
-                     if Iw_obs.Trace.enabled tr then
-                       Iw_obs.Trace.instant tr ~name:"service:shed" ~cat:"service"
-                         ~cpu:(Api.cpu_id ()) ~ts:(Api.now ()) ()
-                   end;
-                   loop ()
-             in
-             loop ())));
+      Workload.set_ghz g plat.Iw_hw.Platform.ghz;
+      let lg =
+        {
+          l_fl =
+            Sched.spawn_flat k
+              ~spec:
+                {
+                  Sched.sp_name = "loadgen";
+                  sp_cpu = Some frontend;
+                  sp_fp = false;
+                  sp_rt = false;
+                }
+              ();
+          l_state = 0;
+          l_bc = 0;
+        }
+      in
+      let rec lg_activation lg =
+        if lg.l_state = 0 then begin
+          let target = Workload.next_cycles g in
+          if target < 0 then begin
+            gen_done := true;
+            if !completed = !admitted && not !stopping then begin
+              stopping := true;
+              lg.l_bc <- 0;
+              lg.l_state <- 3;
+              lg_activation lg
+            end
+            else Sched.flat_exit k lg.l_fl
+          end
+          else begin
+            let now = Sched.now k in
+            if target > now then begin
+              lg.l_state <- 1;
+              Sched.flat_sleep k lg.l_fl (target - now)
+            end
+            else lg_submit lg
+          end
+        end
+        else if lg.l_state = 1 then lg_submit lg
+        else if lg.l_state = 2 then lg_push lg
+        else if lg.l_state = 3 then begin
+          if lg.l_bc < cfg.workers then begin
+            let i = lg.l_bc in
+            lg.l_bc <- i + 1;
+            Sched.flat_sem_post k lg.l_fl doorbells.(i)
+          end
+          else Sched.flat_exit k lg.l_fl
+        end
+        else assert false
 
+      and lg_submit lg =
+        incr arrivals;
+        Iw_obs.Counter.incr ctr Iw_obs.Counter.Service_arrivals;
+        lg.l_state <- 2;
+        Sched.flat_overhead k lg.l_fl submit_cost
+
+      and lg_push lg =
+        let hi = draw_hi () in
+        let qi = Dispatch.pick_queues disp queues in
+        let now = Sched.now k in
+        let idx = Request_arena.alloc arena ~arrival:now ~hi ~reply:(-1) in
+        if Squeue.try_push queues.(qi) ~hi idx then begin
+          incr admitted;
+          Iw_obs.Counter.incr ctr Iw_obs.Counter.Service_admitted;
+          if hi then Iw_obs.Counter.incr ctr Iw_obs.Counter.Service_hi_prio;
+          lg.l_state <- 0;
+          Sched.flat_sem_post k lg.l_fl doorbells.(qi)
+        end
+        else begin
+          Request_arena.free arena idx;
+          incr shed;
+          Iw_obs.Counter.incr ctr Iw_obs.Counter.Service_shed;
+          if Iw_obs.Trace.enabled tr then
+            Iw_obs.Trace.instant tr ~name:"service:shed" ~cat:"service"
+              ~cpu:frontend ~ts:now ();
+          lg.l_state <- 0;
+          lg_activation lg
+        end
+      in
+      Sched.set_flat_step lg.l_fl (fun () -> lg_activation lg));
+
+  (* Steady-state allocation is the run phase's measured quantity:
+     everything above was setup, everything below is readout. *)
+  let st0 = Gc.quick_stat () in
   Sched.run k;
+  let st1 = Gc.quick_stat () in
+  let run_minor = st1.Gc.minor_words -. st0.Gc.minor_words in
+  let run_major = st1.Gc.major_words -. st0.Gc.major_words in
 
   let merge shards =
     let dst = Hist.create () in
@@ -325,6 +548,10 @@ let run cfg =
        else 0.0);
     rep_pool_hits = (match wasp with Some w -> Iw_virtine.Wasp.pool_hits w | None -> 0);
     rep_spawns = (match wasp with Some w -> Iw_virtine.Wasp.spawned w | None -> 0);
+    rep_run_minor_words = run_minor;
+    rep_run_major_words = run_major;
+    rep_arena_capacity = Request_arena.capacity arena;
+    rep_arena_grows = Request_arena.grows arena;
     rep_queue = merge h_queue;
     rep_service = merge h_service;
     rep_total = merge h_total;

@@ -70,6 +70,20 @@ type report = {
   rep_utilization : float;
   rep_pool_hits : int;  (** Virtine backend only. *)
   rep_spawns : int;
+  rep_run_minor_words : float;
+      (** OCaml minor-heap words allocated during the run phase (load
+          + service; setup and readout excluded).  Divide by
+          [rep_completed] for the per-request allocation profile.
+          Caveat: [Gc.quick_stat] folds in stats from terminated
+          sibling domains, so this is only a clean per-run figure
+          when nothing else runs concurrently in the process (the
+          [serve] CLI; not the [--jobs N] experiment driver). *)
+  rep_run_major_words : float;  (** Major-heap words, same window. *)
+  rep_arena_capacity : int;  (** Request-arena high-water capacity. *)
+  rep_arena_grows : int;
+      (** Times the request arena doubled — stops moving once the
+          in-flight high-water mark is reached, however many requests
+          flow through. *)
   rep_queue : Hist.t;  (** Queue-wait cycles. *)
   rep_service : Hist.t;  (** Service cycles. *)
   rep_total : Hist.t;  (** Arrival-to-completion cycles. *)

@@ -1,0 +1,41 @@
+(** In-flight requests as indices into preallocated flat arrays.
+
+    A request is an [int] handle into parallel arrays (arrival cycle,
+    priority bit, reply slot) recycled through a free list: {!alloc}
+    and {!free} are O(1) and allocation-free once the arena has grown
+    to the in-flight high-water mark (growth doubles capacity).
+
+    Invariants: every slot is live xor on the free list;
+    [live + free_count = capacity]; {!free} on a non-live slot
+    raises.  A recycled slot's fields are fully overwritten by the
+    {!alloc} that hands it out again. *)
+
+type t
+
+val create : cap:int -> t
+(** @raise Invalid_argument when [cap < 1]. *)
+
+val alloc : t -> arrival:int -> hi:bool -> reply:int -> int
+(** Claim a slot ([reply = -1] for no reply).  Grows (doubling) when
+    the arena is full. *)
+
+val free : t -> int -> unit
+(** Recycle a slot.  @raise Invalid_argument when it is not live. *)
+
+val arrival : t -> int -> int
+val is_hi : t -> int -> bool
+val reply : t -> int -> int
+
+val is_live : t -> int -> bool
+val capacity : t -> int
+val live : t -> int
+val free_count : t -> int
+
+val allocs : t -> int
+(** Total slots ever handed out (monotone). *)
+
+val grows : t -> int
+(** Times the arena doubled. *)
+
+val free_list_length : t -> int
+(** Walks the list — for tests, not hot paths. *)

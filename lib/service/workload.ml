@@ -35,13 +35,34 @@ let describe = function
   | Closed { clients; think_us; _ } ->
       Printf.sprintf "closed %d clients, think %.0f us" clients think_us
 
-type gen = {
-  g_spec : spec;
-  g_rng : Rng.t;
-  mutable g_t : float;  (** Clock of the last arrival (us). *)
-  mutable g_on : bool;
-  mutable g_state_end : float;  (** When the current MMPP phase flips. *)
-}
+(* All float state lives in one flat float array: reads and writes of
+   float-array elements are unboxed in OCaml, while a mutable float
+   field of this (mixed) record would allocate a box on every write.
+   Pulling an arrival touches only [g_f], the rng, and [g_on], so the
+   generator contributes nothing to the minor heap at steady state. *)
+let s_t = 0 (* clock of the last arrival (us) *)
+
+let s_out = 1 (* last arrival produced (us) *)
+let s_end = 2 (* when the current MMPP phase flips (us) *)
+let s_dur = 3
+let s_mean_on = 4 (* inter-arrival mean, on phase; <= 0 = silent *)
+let s_mean_off = 5 (* inter-arrival mean, off phase; <= 0 = silent *)
+let s_dwell_on = 6 (* phase-dwell means *)
+let s_dwell_off = 7
+let s_ghz = 8 (* clock rate for [next_cycles]; 0 = unset *)
+let s_scratch = 9
+let slots = 10
+
+type gen = { g_spec : spec; g_rng : Rng.t; g_f : float array; mutable g_on : bool }
+
+(* [Rng.exponential] with the mean read from, and the deviate written
+   to, slots of [f]: same draws, same float results, but no float
+   crosses a function boundary (which would box it in non-flambda
+   builds). *)
+let rec exp_into rng (f : float array) ~mean ~dst =
+  let u = float_of_int (Rng.raw53 rng) /. 9007199254740992.0 in
+  if u <= 1e-12 then exp_into rng f ~mean ~dst
+  else f.(dst) <- -.f.(mean) *. log u
 
 let gen spec ~rng =
   (match spec with
@@ -53,54 +74,87 @@ let gen spec ~rng =
       if mean_on_us <= 0.0 || mean_off_us <= 0.0 then
         invalid_arg "Workload.gen: bursty phase means must be positive"
   | _ -> ());
-  let g = { g_spec = spec; g_rng = rng; g_t = 0.0; g_on = true; g_state_end = 0.0 } in
+  let f = Array.make slots 0.0 in
+  f.(s_dur) <- duration_us spec;
   (match spec with
-  | Bursty { mean_on_us; _ } -> g.g_state_end <- Rng.exponential rng ~mean:mean_on_us
+  | Poisson { rps; _ } -> f.(s_mean_on) <- 1e6 /. rps
+  | Bursty { rps_on; rps_off; mean_on_us; mean_off_us; _ } ->
+      f.(s_mean_on) <- (if rps_on > 0.0 then 1e6 /. rps_on else -1.0);
+      f.(s_mean_off) <- (if rps_off > 0.0 then 1e6 /. rps_off else -1.0);
+      f.(s_dwell_on) <- mean_on_us;
+      f.(s_dwell_off) <- mean_off_us
+  | Closed _ -> ());
+  let g = { g_spec = spec; g_rng = rng; g_f = f; g_on = true } in
+  (match spec with
+  | Bursty _ ->
+      exp_into rng f ~mean:s_dwell_on ~dst:s_scratch;
+      f.(s_end) <- f.(s_scratch)
   | _ -> ());
   g
 
 let flip g =
-  match g.g_spec with
-  | Bursty { mean_on_us; mean_off_us; _ } ->
-      g.g_on <- not g.g_on;
-      let mean = if g.g_on then mean_on_us else mean_off_us in
-      g.g_state_end <- g.g_t +. Rng.exponential g.g_rng ~mean
-  | _ -> assert false
+  let f = g.g_f in
+  g.g_on <- not g.g_on;
+  exp_into g.g_rng f
+    ~mean:(if g.g_on then s_dwell_on else s_dwell_off)
+    ~dst:s_scratch;
+  f.(s_end) <- f.(s_t) +. f.(s_scratch)
 
-let next g =
+let rec bursty_next g =
+  let f = g.g_f in
+  if f.(s_t) > f.(s_dur) then false
+  else begin
+    let mslot = if g.g_on then s_mean_on else s_mean_off in
+    if f.(mslot) <= 0.0 then begin
+      (* Silent phase: jump to its end and flip. *)
+      f.(s_t) <- f.(s_end);
+      flip g;
+      bursty_next g
+    end
+    else begin
+      exp_into g.g_rng f ~mean:mslot ~dst:s_scratch;
+      let t = f.(s_t) +. f.(s_scratch) in
+      if t > f.(s_end) then begin
+        f.(s_t) <- f.(s_end);
+        flip g;
+        bursty_next g
+      end
+      else if t > f.(s_dur) then false
+      else begin
+        f.(s_t) <- t;
+        f.(s_out) <- t;
+        true
+      end
+    end
+  end
+
+let next_into g =
   match g.g_spec with
   | Closed _ -> invalid_arg "Workload.next: closed-loop spec has no open-loop arrivals"
-  | Poisson { rps; duration_us } ->
-      let t = g.g_t +. Rng.exponential g.g_rng ~mean:(1e6 /. rps) in
-      if t > duration_us then None
+  | Poisson _ ->
+      let f = g.g_f in
+      exp_into g.g_rng f ~mean:s_mean_on ~dst:s_scratch;
+      let t = f.(s_t) +. f.(s_scratch) in
+      if t > f.(s_dur) then false
       else begin
-        g.g_t <- t;
-        Some t
+        f.(s_t) <- t;
+        f.(s_out) <- t;
+        true
       end
-  | Bursty { rps_on; rps_off; duration_us; _ } ->
-      let rec step () =
-        if g.g_t > duration_us then None
-        else begin
-          let rate = if g.g_on then rps_on else rps_off in
-          if rate <= 0.0 then begin
-            (* Silent phase: jump to its end and flip. *)
-            g.g_t <- g.g_state_end;
-            flip g;
-            step ()
-          end
-          else begin
-            let t = g.g_t +. Rng.exponential g.g_rng ~mean:(1e6 /. rate) in
-            if t > g.g_state_end then begin
-              g.g_t <- g.g_state_end;
-              flip g;
-              step ()
-            end
-            else if t > duration_us then None
-            else begin
-              g.g_t <- t;
-              Some t
-            end
-          end
-        end
-      in
-      step ()
+  | Bursty _ -> bursty_next g
+
+let next g = if next_into g then Some g.g_f.(s_out) else None
+
+let set_ghz g ghz =
+  if ghz <= 0.0 then invalid_arg "Workload.set_ghz: rate must be positive";
+  g.g_f.(s_ghz) <- ghz
+
+(* Units.cycles_of_us inlined over the slot array (the [Units] call
+   would box the microsecond argument). *)
+let next_cycles g =
+  if not (next_into g) then -1
+  else begin
+    let f = g.g_f in
+    if f.(s_ghz) <= 0.0 then invalid_arg "Workload.next_cycles: call set_ghz first";
+    int_of_float (Float.round (f.(s_out) *. 1e3 *. f.(s_ghz)))
+  end

@@ -41,3 +41,18 @@ val gen : spec -> rng:Iw_engine.Rng.t -> gen
 val next : gen -> float option
 (** Next absolute arrival time in microseconds, strictly increasing;
     [None] once past the spec's duration. *)
+
+val next_into : gen -> bool
+(** Advance to the next arrival without returning it: [false] once
+    past the duration.  Identical draws to {!next}, nothing boxed;
+    read the arrival back with {!next_cycles}-style accessors. *)
+
+val set_ghz : gen -> float -> unit
+(** Set the clock rate used by {!next_cycles}.
+    @raise Invalid_argument on a non-positive rate. *)
+
+val next_cycles : gen -> int
+(** The next arrival as an absolute cycle count at the {!set_ghz}
+    clock ([Units.cycles_of_us] semantics), or [-1] once past the
+    duration.  Same draws as {!next}; allocation-free.
+    @raise Invalid_argument if the rate was never set. *)

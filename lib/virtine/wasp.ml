@@ -74,13 +74,24 @@ let spawn_latency_us ?jitter config =
   | None -> base
   | Some rng -> base *. (1.0 +. Rng.float rng 0.08)
 
+(* The call path is allocation-conscious: a serving plane makes one
+   [call_at] per request, so per-config latencies are computed once at
+   [create] (walking [stages] builds a record list every time) and the
+   in-flight refill times live in a float ring rather than a list. *)
 type t = {
   config : config;
+  cold_cfg : config;  (* config with pooling off, for cold launches *)
+  warm_base_us : float;  (* unjittered spawn latency, pooled path *)
+  cold_base_us : float;  (* unjittered spawn latency, cold path *)
   obs : Iw_obs.Obs.t;
   rng : Rng.t;
   pool_size : int;
   mutable pool : int;  (* warm contexts available *)
-  mutable refills : float list;  (* in-flight refill ready times, ascending *)
+  (* In-flight refill ready times: ascending ring, [rf_n] entries
+     starting at [rf_head]. *)
+  mutable rf_buf : float array;
+  mutable rf_head : int;
+  mutable rf_n : int;
   mutable n_spawned : int;
   mutable n_pool_hits : int;
   mutable vclock : int;  (* span clock in virtual cycles; see below *)
@@ -88,13 +99,19 @@ type t = {
 
 let create ?obs ?(seed = 7) ?(pool_size = 16) config =
   let obs = match obs with Some o -> o | None -> Iw_obs.Obs.inherit_trace () in
+  let cold_cfg = { config with pooled = false } in
   {
     config;
+    cold_cfg;
+    warm_base_us = spawn_latency_us config;
+    cold_base_us = spawn_latency_us cold_cfg;
     obs;
     rng = Rng.create ~seed;
     pool_size;
     pool = (if config.pooled then pool_size else 0);
-    refills = [];
+    rf_buf = Array.make 8 0.0;
+    rf_head = 0;
+    rf_n = 0;
     n_spawned = 0;
     n_pool_hits = 0;
     vclock = 0;
@@ -157,26 +174,101 @@ let fault_instant t name =
    instant-refill behavior; [call_at] threads the caller's clock
    through, so a burst can genuinely drain the pool and pay cold
    boots — which is what makes pool sizing a real knob. *)
-let refill_us t = spawn_latency_us { t.config with pooled = false }
+let refill_us t = t.cold_base_us
 
-let reclaim t now_us =
-  let ready, pending = List.partition (fun r -> r <= now_us) t.refills in
-  t.refills <- pending;
-  t.pool <- min t.pool_size (t.pool + List.length ready)
+(* Ready refill times form a prefix of the ascending ring; popping
+   them one by one (pool capped at pool_size) is what the old
+   List.partition computed, without the per-call closure and lists. *)
+let rec reclaim t now_us =
+  if t.rf_n > 0 && t.rf_buf.(t.rf_head) <= now_us then begin
+    t.rf_head <- (t.rf_head + 1) mod Array.length t.rf_buf;
+    t.rf_n <- t.rf_n - 1;
+    if t.pool < t.pool_size then t.pool <- t.pool + 1;
+    reclaim t now_us
+  end
 
-let schedule_refill t = function
-  | None -> if t.pool < t.pool_size then t.pool <- t.pool + 1
-  | Some now_us ->
-      let at = now_us +. refill_us t in
-      let rec ins = function
-        | x :: rest when x <= at -> x :: ins rest
-        | rest -> at :: rest
-      in
-      t.refills <- ins t.refills
+let rf_grow t =
+  let cap = Array.length t.rf_buf in
+  let nb = Array.make (2 * cap) 0.0 in
+  for i = 0 to t.rf_n - 1 do
+    nb.(i) <- t.rf_buf.((t.rf_head + i) mod cap)
+  done;
+  t.rf_buf <- nb;
+  t.rf_head <- 0
+
+(* Insert keeping ascending order.  Refill latency is a constant, so
+   [at] is monotone in practice and the backward sift never moves;
+   stability (new entry lands after equal ones) matches the old
+   sorted-list insert. *)
+let rec rf_sift buf cap head i at =
+  if i = head then Array.unsafe_set buf i at
+  else begin
+    let prev = (i + cap - 1) mod cap in
+    if Array.unsafe_get buf prev > at then begin
+      Array.unsafe_set buf i (Array.unsafe_get buf prev);
+      rf_sift buf cap head prev at
+    end
+    else Array.unsafe_set buf i at
+  end
+
+(* [now_us = nan] means the caller has no clock ([call]): consumed
+   entries refill instantly, the historical behavior.  The sentinel
+   (instead of a [float option]) keeps the per-request path from
+   boxing a [Some] per call. *)
+let schedule_refill t now_us =
+  if Float.is_nan now_us then begin
+    if t.pool < t.pool_size then t.pool <- t.pool + 1
+  end
+  else begin
+    let at = now_us +. refill_us t in
+      if t.rf_n = Array.length t.rf_buf then rf_grow t;
+      let cap = Array.length t.rf_buf in
+      let tail = (t.rf_head + t.rf_n) mod cap in
+      t.rf_n <- t.rf_n + 1;
+      rf_sift t.rf_buf cap t.rf_head tail at
+  end
+
+(* One launch attempt.  Top-level (passing [now] explicitly) so the
+   per-call closure the old inner definition allocated is gone; the
+   jitter expression replicates [spawn_latency_us ~jitter] exactly —
+   one RNG draw, same arithmetic — on the precomputed base. *)
+let launch_once t now =
+  if t.config.pooled && t.pool > 0 then begin
+    t.pool <- t.pool - 1;
+    t.n_pool_hits <- t.n_pool_hits + 1;
+    Iw_obs.Counter.incr t.obs.Iw_obs.Obs.counters
+      Iw_obs.Counter.Virtine_pool_hits;
+    (* Refill happens off the critical path. *)
+    schedule_refill t now;
+    trace_spawn t t.config;
+    t.warm_base_us *. (1.0 +. Rng.float t.rng 0.08)
+  end
+  else begin
+    trace_spawn t t.cold_cfg;
+    t.cold_base_us *. (1.0 +. Rng.float t.rng 0.08)
+  end
+
+(* Launch retry: a failed boot is detected, its partial cost paid,
+   and the launch repeated — the caller still gets a virtine, just
+   later. *)
+let rec launch t plan now attempts =
+  let us = launch_once t now in
+  if
+    attempts < relaunch_max
+    && Iw_faults.Plan.enabled plan
+    && Iw_faults.Plan.fire plan t.obs ~kind:Iw_faults.Plan.Virtine_fail
+         ~cpu:(-1) ~ts:t.vclock
+  then begin
+    Iw_obs.Counter.incr t.obs.Iw_obs.Obs.counters
+      Iw_obs.Counter.Virtine_relaunch;
+    fault_instant t "virtine_relaunch";
+    (failed_launch_fraction *. us) +. launch t plan now (attempts + 1)
+  end
+  else us
 
 let call_clocked t ~now ~work_us =
   if work_us < 0.0 then invalid_arg "Wasp.call: negative work";
-  (match now with Some n -> reclaim t n | None -> ());
+  if not (Float.is_nan now) then reclaim t now;
   t.n_spawned <- t.n_spawned + 1;
   Iw_obs.Counter.incr t.obs.Iw_obs.Obs.counters Iw_obs.Counter.Virtine_spawns;
   let plan = Iw_faults.Plan.ambient () in
@@ -197,50 +289,15 @@ let call_clocked t ~now ~work_us =
       (* With a clock, the evicted entry is re-provisioned in the
          background like any consumed one; without one, the pool
          shrinks (the historical behavior). *)
-      (match now with Some _ -> schedule_refill t now | None -> ());
+      if not (Float.is_nan now) then schedule_refill t now;
       poison_detect_us
     end
     else 0.0
   in
-  let launch_once () =
-    if t.config.pooled && t.pool > 0 then begin
-      t.pool <- t.pool - 1;
-      t.n_pool_hits <- t.n_pool_hits + 1;
-      Iw_obs.Counter.incr t.obs.Iw_obs.Obs.counters
-        Iw_obs.Counter.Virtine_pool_hits;
-      (* Refill happens off the critical path. *)
-      schedule_refill t now;
-      trace_spawn t t.config;
-      spawn_latency_us ~jitter:t.rng t.config
-    end
-    else begin
-      let cfg = { t.config with pooled = false } in
-      trace_spawn t cfg;
-      spawn_latency_us ~jitter:t.rng cfg
-    end
-  in
-  (* Launch retry: a failed boot is detected, its partial cost paid,
-     and the launch repeated — the caller still gets a virtine, just
-     later. *)
-  let rec launch attempts =
-    let us = launch_once () in
-    if
-      attempts < relaunch_max
-      && Iw_faults.Plan.enabled plan
-      && Iw_faults.Plan.fire plan t.obs ~kind:Iw_faults.Plan.Virtine_fail
-           ~cpu:(-1) ~ts:t.vclock
-    then begin
-      Iw_obs.Counter.incr t.obs.Iw_obs.Obs.counters
-        Iw_obs.Counter.Virtine_relaunch;
-      fault_instant t "virtine_relaunch";
-      (failed_launch_fraction *. us) +. launch (attempts + 1)
-    end
-    else us
-  in
-  evict_us +. launch 0 +. marshal_us +. work_us +. teardown_us
+  evict_us +. launch t plan now 0 +. marshal_us +. work_us +. teardown_us
 
-let call t ~work_us = call_clocked t ~now:None ~work_us
-let call_at t ~now_us ~work_us = call_clocked t ~now:(Some now_us) ~work_us
+let call t ~work_us = call_clocked t ~now:Float.nan ~work_us
+let call_at t ~now_us ~work_us = call_clocked t ~now:now_us ~work_us
 
 let spawned t = t.n_spawned
 let pool_hits t = t.n_pool_hits

@@ -24,6 +24,59 @@ let test_rng_split_independence () =
   ignore (Rng.bits64 a2);
   Alcotest.(check int64) "split stream stable" x (Rng.bits64 c2 |> fun _ -> x)
 
+(* The production Rng carries splitmix64 state as two 32-bit int limbs
+   to keep draws box-free.  Check it bit-for-bit against a direct
+   Int64 transcription of the algorithm, across seeds (including
+   negative), splits, and every derived draw. *)
+module Rng_ref = struct
+  type t = { mutable state : int64 }
+
+  let gamma = 0x9E3779B97F4A7C15L
+
+  let mix z =
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  let create ~seed = { state = Int64.of_int seed }
+
+  let bits64 t =
+    t.state <- Int64.add t.state gamma;
+    mix t.state
+
+  let split t = { state = bits64 t }
+  let int t bound = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) mod bound
+
+  let float t bound =
+    bound
+    *. (float_of_int (Int64.to_int (Int64.shift_right_logical (bits64 t) 11))
+       /. 9007199254740992.0)
+
+  let bool t = Int64.logand (bits64 t) 1L = 1L
+end
+
+let test_rng_limbs_vs_int64_reference () =
+  List.iter
+    (fun seed ->
+      let r = Rng.create ~seed and q = Rng_ref.create ~seed in
+      for _ = 1 to 500 do
+        Alcotest.(check int64) "bits64" (Rng_ref.bits64 q) (Rng.bits64 r)
+      done;
+      let r = Rng.split r and q = Rng_ref.split q in
+      for _ = 1 to 200 do
+        check_int "int" (Rng_ref.int q 9973) (Rng.int r 9973);
+        Alcotest.(check (float 0.0)) "float" (Rng_ref.float q 1.0) (Rng.float r 1.0);
+        check_bool "bool" (Rng_ref.bool q) (Rng.bool r)
+      done;
+      (* raw53 is float's mantissa source; raw62 is int's modulo source *)
+      check_int "raw53"
+        (Int64.to_int (Int64.shift_right_logical (Rng_ref.bits64 q) 11))
+        (Rng.raw53 r);
+      check_int "raw62"
+        (Int64.to_int (Int64.shift_right_logical (Rng_ref.bits64 q) 2))
+        (Rng.raw62 r))
+    [ 0; 1; 42; 0x5E21CE; -1; -123456789; max_int; min_int ]
+
 let test_rng_bounds () =
   let r = Rng.create ~seed:11 in
   for _ = 1 to 1000 do
@@ -200,17 +253,19 @@ let test_wheel_order () =
         (fun () -> fired := at :: !fired))
     times;
   let rec drain () =
-    match Timer_wheel.peek w with
-    | Timer_wheel.Nothing -> ()
-    | Timer_wheel.Advance b ->
-        Timer_wheel.advance w b;
-        drain ()
-    | Timer_wheel.Fire tm ->
-        Timer_wheel.advance w (Ekey.time (Timer_wheel.key tm));
-        let cb = Timer_wheel.callback tm in
-        Timer_wheel.take w tm;
-        cb ();
-        drain ()
+    let code = Timer_wheel.peek w in
+    if code = Timer_wheel.advance_over then begin
+      Timer_wheel.advance w (Timer_wheel.boundary w);
+      drain ()
+    end
+    else if code = Timer_wheel.fire then begin
+      let tm = Timer_wheel.due w in
+      Timer_wheel.advance w (Ekey.time (Timer_wheel.key tm));
+      let cb = Timer_wheel.callback tm in
+      Timer_wheel.take w tm;
+      cb ();
+      drain ()
+    end
   in
   drain ();
   Alcotest.(check (list int)) "fires in deadline order"
@@ -219,17 +274,19 @@ let test_wheel_order () =
 
 let drain_wheel w =
   let rec go () =
-    match Timer_wheel.peek w with
-    | Timer_wheel.Nothing -> ()
-    | Timer_wheel.Advance b ->
-        Timer_wheel.advance w b;
-        go ()
-    | Timer_wheel.Fire tm ->
-        Timer_wheel.advance w (Ekey.time (Timer_wheel.key tm));
-        let cb = Timer_wheel.callback tm in
-        Timer_wheel.take w tm;
-        cb ();
-        go ()
+    let code = Timer_wheel.peek w in
+    if code = Timer_wheel.advance_over then begin
+      Timer_wheel.advance w (Timer_wheel.boundary w);
+      go ()
+    end
+    else if code = Timer_wheel.fire then begin
+      let tm = Timer_wheel.due w in
+      Timer_wheel.advance w (Ekey.time (Timer_wheel.key tm));
+      let cb = Timer_wheel.callback tm in
+      Timer_wheel.take w tm;
+      cb ();
+      go ()
+    end
   in
   go ()
 
@@ -476,6 +533,8 @@ let () =
           Alcotest.test_case "determinism" `Quick test_rng_determinism;
           Alcotest.test_case "split independence" `Quick
             test_rng_split_independence;
+          Alcotest.test_case "limbs vs int64 reference" `Quick
+            test_rng_limbs_vs_int64_reference;
           Alcotest.test_case "bounds" `Quick test_rng_bounds;
           Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
           Alcotest.test_case "shuffle is a permutation" `Quick

@@ -18,9 +18,7 @@ let test_itimer_delivers_periodically () =
     Iw_linuxsim.Itimer.create k ~cpu:0 ~period:200_000
       ~handler:(fun ~preempted ->
         incr hits;
-        match preempted with
-        | Some r -> Sched.stash_preempted k 0 r
-        | None -> ())
+        if preempted >= 0 then Sched.stash_preempted k 0 preempted)
       ()
   in
   ignore
@@ -42,9 +40,7 @@ let test_itimer_jitter_positive () =
   let tm =
     Iw_linuxsim.Itimer.create k ~cpu:0 ~period:100_000
       ~handler:(fun ~preempted ->
-        match preempted with
-        | Some r -> Sched.stash_preempted k 0 r
-        | None -> ())
+        if preempted >= 0 then Sched.stash_preempted k 0 preempted)
       ()
   in
   Iw_linuxsim.Itimer.start tm;
@@ -67,9 +63,7 @@ let test_itimer_coalesces_overruns () =
   let tm =
     Iw_linuxsim.Itimer.create k ~cpu:0 ~period:1_000 ~handler_cost:4_000
       ~handler:(fun ~preempted ->
-        match preempted with
-        | Some r -> Sched.stash_preempted k 0 r
-        | None -> ())
+        if preempted >= 0 then Sched.stash_preempted k 0 preempted)
       ()
   in
   Iw_linuxsim.Itimer.start tm;

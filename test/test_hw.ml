@@ -16,7 +16,8 @@ let test_grant_completes () =
   let s = Sim.create () in
   let cpu = Cpu.create s ~id:0 in
   let completed_at = ref (-1) in
-  Cpu.grant cpu ~cycles:100 ~on_complete:(fun () -> completed_at := Sim.now s) ();
+  Cpu.grant cpu ~cycles:100 ~kind:Cpu.Work ~uninterruptible:false
+    ~on_complete:(fun () -> completed_at := Sim.now s);
   check_bool "busy during grant" true (Cpu.busy cpu);
   Sim.run s;
   check_int "completes on time" 100 !completed_at;
@@ -27,7 +28,8 @@ let test_grant_zero_cycles_async () =
   let s = Sim.create () in
   let cpu = Cpu.create s ~id:0 in
   let done_ = ref false in
-  Cpu.grant cpu ~cycles:0 ~on_complete:(fun () -> done_ := true) ();
+  Cpu.grant cpu ~cycles:0 ~kind:Cpu.Work ~uninterruptible:false
+    ~on_complete:(fun () -> done_ := true);
   check_bool "not synchronous" false !done_;
   Sim.run s;
   check_bool "completed via event" true !done_
@@ -35,9 +37,12 @@ let test_grant_zero_cycles_async () =
 let test_grant_while_busy_rejected () =
   let s = Sim.create () in
   let cpu = Cpu.create s ~id:0 in
-  Cpu.grant cpu ~cycles:100 ~on_complete:(fun () -> ()) ();
+  Cpu.grant cpu ~cycles:100 ~kind:Cpu.Work ~uninterruptible:false
+    ~on_complete:(fun () -> ());
   Alcotest.check_raises "busy" (Invalid_argument "Cpu.grant: core 0 is busy")
-    (fun () -> Cpu.grant cpu ~cycles:10 ~on_complete:(fun () -> ()) ())
+    (fun () ->
+      Cpu.grant cpu ~cycles:10 ~kind:Cpu.Work ~uninterruptible:false
+        ~on_complete:(fun () -> ()))
 
 let test_interrupt_preempts_grant () =
   let s = Sim.create () in
@@ -45,14 +50,14 @@ let test_interrupt_preempts_grant () =
   let grant_completed = ref false in
   let seen_remaining = ref (-1) in
   let after_at = ref (-1) in
-  Cpu.grant cpu ~cycles:1000 ~on_complete:(fun () -> grant_completed := true) ();
+  Cpu.grant cpu ~cycles:1000 ~kind:Cpu.Work ~uninterruptible:false
+    ~on_complete:(fun () -> grant_completed := true);
   ignore
     (Sim.schedule s ~at:400 (fun () ->
          Cpu.interrupt cpu ~dispatch:50 ~return_cost:10
            ~handler:(fun ~preempted ->
-             (match preempted with
-             | Some r -> seen_remaining := r
-             | None -> Alcotest.fail "expected preemption");
+             if preempted < 0 then Alcotest.fail "expected preemption"
+             else seen_remaining := preempted;
              20)
            ~after:(fun () -> after_at := Sim.now s)));
   Sim.run s;
@@ -66,31 +71,27 @@ let test_interrupt_preempts_grant () =
 let test_interrupt_on_idle_cpu () =
   let s = Sim.create () in
   let cpu = Cpu.create s ~id:0 in
-  let got = ref None in
+  let got = ref min_int in
   Cpu.interrupt cpu ~dispatch:30 ~return_cost:5
     ~handler:(fun ~preempted ->
-      got := Some preempted;
+      got := preempted;
       0)
     ~after:(fun () -> ());
   Sim.run s;
-  (match !got with
-  | Some None -> ()
-  | _ -> Alcotest.fail "expected delivery with no preemption")
+  if !got <> -1 then Alcotest.fail "expected delivery with no preemption"
 
 let test_uninterruptible_grant_defers_irq () =
   let s = Sim.create () in
   let cpu = Cpu.create s ~id:0 in
   let handler_at = ref (-1) in
-  Cpu.grant cpu ~cycles:100 ~uninterruptible:true
-    ~on_complete:(fun () -> ())
-    ();
+  Cpu.grant cpu ~cycles:100 ~kind:Cpu.Work ~uninterruptible:true
+    ~on_complete:(fun () -> ());
   ignore
     (Sim.schedule s ~at:20 (fun () ->
          Cpu.interrupt cpu ~dispatch:10 ~return_cost:0
            ~handler:(fun ~preempted ->
-             (match preempted with
-             | None -> ()
-             | Some _ -> Alcotest.fail "must not preempt uninterruptible");
+             if preempted >= 0 then
+               Alcotest.fail "must not preempt uninterruptible";
              handler_at := Sim.now s;
              0)
            ~after:(fun () -> ())));
@@ -123,14 +124,15 @@ let test_resume_after_preemption () =
   let finished_at = ref (-1) in
   let remaining = ref 0 in
   let give n =
-    Cpu.grant cpu ~cycles:n ~on_complete:(fun () -> finished_at := Sim.now s) ()
+    Cpu.grant cpu ~cycles:n ~kind:Cpu.Work ~uninterruptible:false
+      ~on_complete:(fun () -> finished_at := Sim.now s)
   in
   give 1000;
   ignore
     (Sim.schedule s ~at:300 (fun () ->
          Cpu.interrupt cpu ~dispatch:100 ~return_cost:0
            ~handler:(fun ~preempted ->
-             (match preempted with Some r -> remaining := r | None -> ());
+             if preempted >= 0 then remaining := preempted;
              0)
            ~after:(fun () -> give !remaining)));
   Sim.run s;

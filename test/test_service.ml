@@ -7,6 +7,7 @@ module Workload = Iw_service.Workload
 module Squeue = Iw_service.Squeue
 module Dispatch = Iw_service.Dispatch
 module Plane = Iw_service.Plane
+module Arena = Iw_service.Request_arena
 module Rng = Iw_engine.Rng
 
 let check_int = Alcotest.(check int)
@@ -119,6 +120,118 @@ let test_squeue_drop_tail () =
   check_int "len stays at cap" 2 (Squeue.length q);
   check_int "pushed" 2 (Squeue.pushed q);
   check_int "dropped" 1 (Squeue.dropped q)
+
+(* ------------------------------------------------------------------ *)
+(* Request arena *)
+
+(* Interpret a script of small ints as alloc/free ops against both the
+   arena and a shadow model (handle -> recorded fields).  The model is
+   the source of truth for what "live" means; the arena must agree
+   after every op, and a slot the model still holds must never be
+   handed out again or change under its holder. *)
+let run_arena_script ?(check_every = 1) ops =
+  let a = Arena.create ~cap:2 in
+  let model : (int, int * bool * int) Hashtbl.t = Hashtbl.create 64 in
+  let live_handles = ref [] in
+  let step opno v =
+    if v mod 3 < 2 || !live_handles = [] then begin
+      let arrival = v * 7 and hi = v mod 2 = 0 and reply = (v mod 5) - 1 in
+      let h = Arena.alloc a ~arrival ~hi ~reply in
+      if Hashtbl.mem model h then
+        QCheck.Test.fail_reportf
+          "op %d: alloc returned handle %d still live in the model" opno h;
+      Hashtbl.replace model h (arrival, hi, reply);
+      live_handles := h :: !live_handles
+    end
+    else begin
+      let n = List.length !live_handles in
+      let victim = List.nth !live_handles (v mod n) in
+      Arena.free a victim;
+      Hashtbl.remove model victim;
+      live_handles := List.filter (fun h -> h <> victim) !live_handles;
+      if Arena.is_live a victim then
+        QCheck.Test.fail_reportf "op %d: handle %d live after free" opno victim
+    end;
+    if opno mod check_every = 0 then begin
+      if Arena.live a <> Hashtbl.length model then
+        QCheck.Test.fail_reportf "op %d: live %d <> model %d" opno
+          (Arena.live a) (Hashtbl.length model);
+      if Arena.live a + Arena.free_count a <> Arena.capacity a then
+        QCheck.Test.fail_reportf "op %d: live + free <> capacity" opno;
+      Hashtbl.iter
+        (fun h (arrival, hi, reply) ->
+          if not (Arena.is_live a h) then
+            QCheck.Test.fail_reportf "op %d: model handle %d not live" opno h;
+          if
+            Arena.arrival a h <> arrival
+            || Arena.is_hi a h <> hi
+            || Arena.reply a h <> reply
+          then
+            QCheck.Test.fail_reportf
+              "op %d: handle %d fields changed under a live holder" opno h)
+        model
+    end
+  in
+  List.iteri step ops;
+  a
+
+let prop_arena_model =
+  QCheck.Test.make ~name:"arena agrees with a shadow model" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 200) (int_bound 999))
+    (fun ops ->
+      ignore (run_arena_script ops);
+      true)
+
+let prop_arena_free_list_conserved =
+  QCheck.Test.make ~name:"free list + live = capacity" ~count:50
+    QCheck.(list_of_size Gen.(int_range 1 150) (int_bound 999))
+    (fun ops ->
+      let a = run_arena_script ~check_every:max_int ops in
+      Arena.free_list_length a = Arena.free_count a
+      && Arena.live a + Arena.free_count a = Arena.capacity a)
+
+let test_arena_churn_100k () =
+  (* 100k random ops: conservation holds throughout, the arena only
+     grows to the high-water mark, and steady-state churn recycles
+     without growing. *)
+  let a = Arena.create ~cap:4 in
+  let rng = Rng.create ~seed:11 in
+  let live = ref [] in
+  let nlive = ref 0 in
+  for op = 1 to 100_000 do
+    if (!nlive < 64 && Rng.int rng 3 < 2) || !nlive = 0 then begin
+      let h = Arena.alloc a ~arrival:op ~hi:(op mod 2 = 0) ~reply:(-1) in
+      live := h :: !live;
+      incr nlive
+    end
+    else begin
+      let k = Rng.int rng !nlive in
+      let victim = List.nth !live k in
+      Arena.free a victim;
+      live := List.filter (fun h -> h <> victim) !live;
+      decr nlive
+    end;
+    if op mod 10_000 = 0 then begin
+      check_int "live tracked" !nlive (Arena.live a);
+      check_int "conserved"
+        (Arena.capacity a)
+        (Arena.live a + Arena.free_count a)
+    end
+  done;
+  check_int "free list walk agrees" (Arena.free_count a)
+    (Arena.free_list_length a);
+  (* Population is capped at 64, so doubling from 4 stops at 128. *)
+  check_bool "capacity bounded by high-water mark" true (Arena.capacity a <= 128);
+  check_bool "slots recycled, not grown" true (Arena.allocs a > Arena.capacity a)
+
+let test_arena_free_dead_raises () =
+  let a = Arena.create ~cap:2 in
+  let h = Arena.alloc a ~arrival:1 ~hi:false ~reply:(-1) in
+  Arena.free a h;
+  check_bool "double free rejected" true
+    (match Arena.free a h with
+    | () -> false
+    | exception Invalid_argument _ -> true)
 
 (* ------------------------------------------------------------------ *)
 (* Dispatch *)
@@ -320,6 +433,14 @@ let test_plane_zero_rate_faults_identical () =
   let zero = run_with_plan 0.0 in
   check_str "rate-0 plan is invisible" (fingerprint bare) (fingerprint zero)
 
+(* The arena-backed plane against pinned constants: any change to the
+   hot path's event order, RNG draws, or arena recycling shows up here
+   before it reaches the S1-S4 goldens. *)
+let test_plane_pinned_fingerprint () =
+  let r = Plane.run (small_cfg ()) in
+  check_str "pinned fingerprint" "393/393/393/0/12993247/10230330/51200/912"
+    (fingerprint r)
+
 (* S-experiment registry determinism: text out of the registry is
    byte-identical across repeated runs (the golden gate relies on
    this; here it guards the table text itself). *)
@@ -345,6 +466,15 @@ let () =
             test_hist_small_values_exact;
           Alcotest.test_case "quantize bounds" `Quick test_hist_quantize_bounds;
           Alcotest.test_case "empty" `Quick test_hist_empty;
+        ] );
+      ( "arena",
+        [
+          QCheck_alcotest.to_alcotest prop_arena_model;
+          QCheck_alcotest.to_alcotest prop_arena_free_list_conserved;
+          Alcotest.test_case "100k-op churn conserves" `Quick
+            test_arena_churn_100k;
+          Alcotest.test_case "free of dead slot raises" `Quick
+            test_arena_free_dead_raises;
         ] );
       ( "squeue",
         [
@@ -383,6 +513,8 @@ let () =
             test_plane_personality_gap;
           Alcotest.test_case "rate-0 faults identical" `Quick
             test_plane_zero_rate_faults_identical;
+          Alcotest.test_case "pinned fingerprint" `Quick
+            test_plane_pinned_fingerprint;
           Alcotest.test_case "S tables byte-identical" `Quick
             test_s_experiments_deterministic;
         ] );

@@ -1,7 +1,7 @@
 .PHONY: all build test bench bench-json perf-budget alloc-smoke check \
         trace-smoke sweep-smoke \
         profile-smoke profile-diff-smoke faults-smoke faults-csv-smoke \
-        serve-smoke golden-check golden-update examples csv \
+        serve-smoke fleet-smoke golden-check golden-update examples csv \
         clean
 
 all: build
@@ -17,14 +17,14 @@ bench:
 
 # Machine-readable perf report, tracked across PRs.
 bench-json:
-	dune exec bench/main.exe -- --json BENCH_6.json
+	dune exec bench/main.exe -- --json BENCH_7.json
 
 # Re-run the benchmark and gate wall time against the committed
 # baseline: any experiment more than 15% AND 0.3s slower fails.
 # After an intentional perf change, re-baseline with `make bench-json`
-# and commit the new BENCH_6.json alongside the change.
+# and commit the new BENCH_7.json alongside the change.
 perf-budget:
-	dune exec bench/main.exe -- --json /tmp/bench.json --against BENCH_6.json
+	dune exec bench/main.exe -- --json /tmp/bench.json --against BENCH_7.json
 
 # A short serve run that fails if the hot path allocates more than the
 # committed budget of minor-heap words per completed request.  The
@@ -49,14 +49,17 @@ profile-smoke:
 	  --speedscope /tmp/profile_smoke.speedscope.json
 
 # Re-run every experiment under a counting context and gate against
-# the committed golden/ counter snapshots.  Fails (non-zero) naming
-# the drifted counter when the cost model or scheduling changes.
+# the committed golden/ counter snapshots AND the per-category span
+# tallies (--spans), so a silently-dead trace probe fails the gate
+# even when counters still balance.  Fails (non-zero) naming the
+# drifted counter or span category when the cost model, scheduling,
+# or probe coverage changes.
 golden-check:
-	dune exec bin/main.exe -- golden --check
+	dune exec bin/main.exe -- golden --check --spans
 
 # Refresh the snapshots after an intentional behavior change.
 golden-update:
-	dune exec bin/main.exe -- golden --update
+	dune exec bin/main.exe -- golden --update --spans
 
 # Exercise the cost-model sweep end to end on one hoisted field.
 sweep-smoke:
@@ -84,6 +87,18 @@ serve-smoke:
 	dune exec bin/main.exe -- serve --rps 20000 --rps 40000 \
 	  --duration 20 --csv /tmp/serve_smoke.csv
 
+# Drive a heterogeneous fleet twice -- one domain per machine, then
+# single-domain -- and fail unless the CSVs are byte-identical: the
+# conservative-window determinism claim, checked end to end.
+fleet-smoke:
+	dune exec bin/main.exe -- serve --hetero 1xknl:4+1xsrv:2 \
+	  --rps 100000 --rps 200000 --duration 10 --work-us 20 \
+	  --csv /tmp/fleet_par.csv
+	dune exec bin/main.exe -- serve --hetero 1xknl:4+1xsrv:2 \
+	  --rps 100000 --rps 200000 --duration 10 --work-us 20 \
+	  --fleet-serial --csv /tmp/fleet_ser.csv
+	cmp /tmp/fleet_par.csv /tmp/fleet_ser.csv
+
 # Everything CI needs: full build, tests, the wall-time perf budget,
 # the hot-path allocation budget, smoke runs of the harness (trace
 # exporter, profiler), and the golden-counter regression gate.
@@ -99,6 +114,7 @@ check:
 	$(MAKE) faults-smoke
 	$(MAKE) faults-csv-smoke
 	$(MAKE) serve-smoke
+	$(MAKE) fleet-smoke
 	$(MAKE) golden-check
 
 examples:

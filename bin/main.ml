@@ -325,7 +325,17 @@ let golden_cmd =
       value & opt string "golden"
       & info [ "dir" ] ~docv:"DIR" ~doc:"Snapshot directory")
   in
-  let run ids update check dir jobs =
+  let spans =
+    Arg.(
+      value & flag
+      & info [ "spans" ]
+          ~doc:
+            "Also gate coarse trace shape: run each experiment under a \
+             counting trace sink and compare per-category span tallies \
+             against $(b,ID.spans.txt) snapshots, so a silently-dead probe \
+             is caught even when counters still balance")
+  in
+  let run ids update check dir spans jobs =
     if update && check then die "golden: pass at most one of --check / --update";
     let targets =
       match ids with
@@ -335,21 +345,35 @@ let golden_cmd =
     let path_of (e : Interweave.Experiments.experiment) =
       Filename.concat dir (e.id ^ ".txt")
     in
+    let spans_path_of (e : Interweave.Experiments.experiment) =
+      Filename.concat dir (e.id ^ ".spans.txt")
+    in
     (* Each worker runs its experiment under its own collecting ambient
        context (ambient state is domain-local), so the parallel fan-out
-       cannot mix counters across experiments. *)
+       cannot mix counters across experiments.  With --spans the run
+       additionally feeds a counting trace sink; tracing-on runs are
+       byte-identical to tracing-off ones (probes only tally), so one
+       run serves both gates. *)
     let results =
       Interweave.Driver.parallel_map ~jobs
         (fun (e : Interweave.Experiments.experiment) ->
-          let _, counters, _ = Interweave.Experiments.run_with_counters e in
-          (e, counters))
+          if spans then begin
+            let tr = Iw_obs.Trace.counting () in
+            let _, counters, _ =
+              Interweave.Experiments.run_with_counters ~trace:tr e
+            in
+            (e, counters, Some (Iw_obs.Trace.shape_counts tr))
+          end
+          else
+            let _, counters, _ = Interweave.Experiments.run_with_counters e in
+            (e, counters, None))
         targets
     in
     if update then begin
       (try Unix.mkdir dir 0o755
        with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
       List.iter
-        (fun ((e : Interweave.Experiments.experiment), counters) ->
+        (fun ((e : Interweave.Experiments.experiment), counters, shape) ->
           let path = path_of e in
           Iw_obs.Golden.write_file
             ~header:
@@ -358,43 +382,71 @@ let golden_cmd =
                 "regenerate with: interweave golden --update " ^ e.id;
               ]
             counters path;
-          Printf.printf "wrote %s (%d counters)\n" path (List.length counters))
+          Printf.printf "wrote %s (%d counters)\n" path (List.length counters);
+          match shape with
+          | None -> ()
+          | Some shape ->
+              let spath = spans_path_of e in
+              Iw_obs.Golden.write_file
+                ~header:
+                  [
+                    Printf.sprintf "golden span shape for %s (cat/name tallies)"
+                      e.id;
+                    "regenerate with: interweave golden --update --spans "
+                    ^ e.id;
+                  ]
+                shape spath;
+              Printf.printf "wrote %s (%d span categories)\n" spath
+                (List.length shape))
         results
     end
     else begin
       let failures = ref 0 in
+      let gate ~what ~tolerances e path actual =
+        match Iw_obs.Golden.read_file path with
+        | exception Sys_error _ ->
+            incr failures;
+            Printf.printf "%-4s MISSING %s (run 'golden --update%s %s')\n"
+              e.Interweave.Experiments.id path
+              (if what = "spans" then " --spans" else "")
+              e.id
+        | exception Invalid_argument msg ->
+            incr failures;
+            Printf.printf "%-4s UNREADABLE %s: %s\n" e.id path msg
+        | expected -> (
+            match Iw_obs.Golden.compare_counters ~tolerances ~expected actual with
+            | [] ->
+                Printf.printf "%-4s ok (%d %s)\n" e.id (List.length expected)
+                  what
+            | drifts ->
+                incr failures;
+                Printf.printf "%-4s DRIFT (%s)\n" e.id what;
+                List.iter
+                  (fun d ->
+                    Printf.printf "     %s\n" (Iw_obs.Golden.render_drift d))
+                  drifts)
+      in
       List.iter
-        (fun ((e : Interweave.Experiments.experiment), counters) ->
-          let path = path_of e in
-          match Iw_obs.Golden.read_file path with
-          | exception Sys_error _ ->
-              incr failures;
-              Printf.printf "%-4s MISSING %s (run 'golden --update %s')\n" e.id
-                path e.id
-          | exception Invalid_argument msg ->
-              incr failures;
-              Printf.printf "%-4s UNREADABLE %s: %s\n" e.id path msg
-          | expected -> (
-              match Iw_obs.Golden.compare_counters ~expected counters with
-              | [] -> Printf.printf "%-4s ok (%d counters)\n" e.id (List.length expected)
-              | drifts ->
-                  incr failures;
-                  Printf.printf "%-4s DRIFT\n" e.id;
-                  List.iter
-                    (fun d ->
-                      Printf.printf "     %s\n" (Iw_obs.Golden.render_drift d))
-                    drifts))
+        (fun ((e : Interweave.Experiments.experiment), counters, shape) ->
+          gate ~what:"counters" ~tolerances:Iw_obs.Golden.default_tolerances e
+            (path_of e) counters;
+          match shape with
+          | None -> ()
+          | Some shape ->
+              gate ~what:"spans" ~tolerances:Iw_obs.Golden.shape_tolerances e
+                (spans_path_of e) shape)
         results;
-      if !failures > 0 then die "golden: %d experiment(s) drifted" !failures
+      if !failures > 0 then die "golden: %d gate(s) drifted" !failures
     end
   in
   Cmd.v
     (Cmd.info "golden"
        ~doc:
          "Re-run experiments and compare their machine-wide counter totals \
-          against committed golden snapshots (or --update to regenerate); \
-          drift beyond per-counter tolerance fails the command")
-    Term.(const run $ ids $ update $ check $ dir $ jobs_arg)
+          (and with --spans, coarse trace shape) against committed golden \
+          snapshots (or --update to regenerate); drift beyond per-counter \
+          tolerance fails the command")
+    Term.(const run $ ids $ update $ check $ dir $ spans $ jobs_arg)
 
 let sweep_cmd =
   let field =
@@ -691,7 +743,7 @@ let serve_cmd =
     Arg.(
       value & opt string "po2"
       & info [ "policy" ] ~docv:"P"
-          ~doc:"Dispatch policy: rr, random, jsq or po2")
+          ~doc:"Dispatch policy: rr, random, jsq, po2 or wjsq")
   in
   let order_a =
     Arg.(
@@ -776,8 +828,52 @@ let serve_cmd =
       & info [ "plane-seed" ] ~docv:"N"
           ~doc:"Service-plane seed (arrivals, dispatch, kernel boot)")
   in
+  let machines_a =
+    Arg.(
+      value & opt int 0
+      & info [ "machines" ] ~docv:"N"
+          ~doc:
+            "Serve from a fleet of $(docv) identical knl-like machines \
+             behind a balancing front tier over a modeled network \
+             (0 = the single-machine plane)")
+  in
+  let hetero_a =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "hetero" ] ~docv:"SPEC"
+          ~doc:
+            "Heterogeneous fleet spec: COUNTxKIND[:WORKERS] joined by '+', \
+             e.g. 2xknl:4+2xsrv:2 (kinds: knl, srv); implies fleet mode")
+  in
+  let net_lat_a =
+    Arg.(
+      value & opt float 15.0
+      & info [ "net-lat" ] ~docv:"US"
+          ~doc:"Fleet link one-way latency (also the sync window)")
+  in
+  let net_bw_a =
+    Arg.(
+      value & opt float 10.0
+      & info [ "net-bw" ] ~docv:"GBPS" ~doc:"Fleet link bandwidth per direction")
+  in
+  let gossip_us_a =
+    Arg.(
+      value & opt float 50.0
+      & info [ "gossip-us" ] ~docv:"US"
+          ~doc:"Queue-depth gossip period for the fleet balancer (0 disables)")
+  in
+  let fleet_serial_a =
+    Arg.(
+      value & flag
+      & info [ "fleet-serial" ]
+          ~doc:
+            "Advance fleet machines on one domain instead of one domain each \
+             (byte-identical results; the smoke test compares both)")
+  in
   let run os backend policy order workers rpss duration_ms work_us cap pool
-      hi_frac bursty closed think_us csv alloc_budget seed jobs global_seed =
+      hi_frac bursty closed think_us csv alloc_budget seed machines hetero
+      net_lat net_bw gossip_us fleet_serial jobs global_seed =
     Iw_engine.Rng.set_global_seed global_seed;
     let os =
       match Iw_service.Plane.os_of_string os with
@@ -787,7 +883,7 @@ let serve_cmd =
     let policy =
       match Iw_service.Dispatch.of_string policy with
       | Some p -> p
-      | None -> die "serve: unknown --policy %s (rr, random, jsq, po2)" policy
+      | None -> die "serve: unknown --policy %s (rr, random, jsq, po2, wjsq)" policy
     in
     let order =
       match Iw_service.Squeue.order_of_string order with
@@ -828,6 +924,147 @@ let serve_cmd =
     in
     (* A closed loop has no offered rate to sweep: one row. *)
     let rpss = if closed > 0 then [ List.hd rpss ] else rpss in
+    let fleet_specs =
+      match hetero with
+      | Some s ->
+          let parse_tok tok =
+            let count, rest =
+              match String.index_opt tok 'x' with
+              | Some i ->
+                  ( (match int_of_string_opt (String.sub tok 0 i) with
+                    | Some c when c > 0 -> c
+                    | _ -> die "serve: bad count in --hetero token %s" tok),
+                    String.sub tok (i + 1) (String.length tok - i - 1) )
+              | None -> die "serve: --hetero token %s is not COUNTxKIND" tok
+            in
+            let kind, wk =
+              match String.index_opt rest ':' with
+              | Some i ->
+                  ( String.sub rest 0 i,
+                    match
+                      int_of_string_opt
+                        (String.sub rest (i + 1) (String.length rest - i - 1))
+                    with
+                    | Some w when w > 0 -> Some w
+                    | _ -> die "serve: bad worker count in --hetero token %s" tok
+                  )
+              | None -> (rest, None)
+            in
+            let spec =
+              match kind with
+              | "knl" -> Iw_service.Fleet.knl_spec ?workers:wk ()
+              | "srv" -> Iw_service.Fleet.server_spec ?workers:wk ()
+              | k -> die "serve: unknown machine kind %s in --hetero (knl, srv)" k
+            in
+            List.init count (fun _ -> spec)
+          in
+          Some
+            (List.concat_map parse_tok
+               (String.split_on_char '+' (String.trim s)))
+      | None ->
+          if machines > 0 then
+            Some (List.init machines (fun _ -> Iw_service.Fleet.knl_spec ~workers ()))
+          else None
+    in
+    match fleet_specs with
+    | Some specs ->
+        if closed > 0 then
+          die "serve: --closed is a single-machine mode (fleets are open-loop)";
+        if alloc_budget <> None then
+          die "serve: --alloc-budget applies to the single-machine plane only";
+        let fm = Array.of_list specs in
+        let net =
+          { Iw_service.Net.default with nc_lat_us = net_lat; nc_gbps = net_bw }
+        in
+        (* Fleet runs own their parallelism (one domain per machine),
+           so the rate sweep itself stays sequential. *)
+        let reports =
+          List.map
+            (fun rps ->
+              Iw_service.Fleet.run
+                ?parallel:(if fleet_serial then Some false else None)
+                {
+                  (Iw_service.Fleet.default ()) with
+                  Iw_service.Fleet.fc_machines = fm;
+                  fc_workload = workload_of rps;
+                  fc_policy = policy;
+                  fc_order = order;
+                  fc_queue_cap = cap;
+                  fc_backend = backend;
+                  fc_work_us = work_us;
+                  fc_hi_frac = hi_frac;
+                  fc_net = net;
+                  fc_gossip_us = gossip_us;
+                  fc_seed = seed;
+                })
+            rpss
+        in
+        let header =
+          [
+            "machines"; "policy"; "gossip_us"; "offered_rps"; "arrivals";
+            "completed"; "failed"; "retries"; "nacks"; "drops"; "ejects";
+            "thru_rps"; "util"; "p50_us"; "p99_us"; "p99.9_us";
+          ]
+        in
+        let cols (r : Iw_service.Fleet.report) =
+          let p pct = Iw_service.Fleet.percentile_us r r.fr_total pct in
+          [
+            string_of_int r.fr_machines;
+            r.fr_policy;
+            Printf.sprintf "%g" gossip_us;
+            Printf.sprintf "%.0f" r.fr_offered_rps;
+            string_of_int r.fr_arrivals;
+            string_of_int r.fr_completed;
+            string_of_int r.fr_failed;
+            string_of_int r.fr_retries;
+            string_of_int r.fr_nacks;
+            string_of_int r.fr_net_drops;
+            string_of_int r.fr_ejects;
+            Printf.sprintf "%.0f" r.fr_throughput_rps;
+            Printf.sprintf "%.2f" r.fr_utilization;
+            Printf.sprintf "%.1f" (p 50.0);
+            Printf.sprintf "%.1f" (p 99.0);
+            Printf.sprintf "%.1f" (p 99.9);
+          ]
+        in
+        let rows = header :: List.map cols reports in
+        let widths =
+          List.fold_left
+            (fun acc row -> List.map2 (fun w c -> max w (String.length c)) acc row)
+            (List.map (fun _ -> 0) header)
+            rows
+        in
+        List.iter
+          (fun row ->
+            List.iteri
+              (fun i c ->
+                Printf.printf "%s%*s" (if i = 0 then "" else "  ")
+                  (List.nth widths i) c)
+              row;
+            print_newline ())
+          rows;
+        let members (r : Iw_service.Fleet.report) =
+          Array.to_list
+            (Array.map2 (fun n c -> (n, c)) r.fr_m_names r.fr_m_counters)
+        in
+        (match reports with
+        | [ r ] when csv = None ->
+            (* A single fleet row gets the per-machine breakdown. *)
+            print_newline ();
+            print_string
+              (Interweave.Table.render
+                 (Interweave.Machine.Fleet.counter_table (members r)))
+        | _ -> ());
+        (match csv with
+        | None -> ()
+        | Some path ->
+            let oc = open_out path in
+            List.iter
+              (fun row -> output_string oc (String.concat "," row ^ "\n"))
+              rows;
+            close_out oc;
+            Printf.printf "wrote %s: %d rows\n" path (List.length reports))
+    | None ->
     let plat = Iw_hw.Platform.knl in
     let reports =
       Interweave.Driver.parallel_map ~jobs
@@ -938,7 +1175,9 @@ let serve_cmd =
     Term.(
       const run $ os_a $ backend_a $ policy_a $ order_a $ workers_a $ rps_a
       $ duration_a $ work_a $ cap_a $ pool_a $ hi_frac_a $ bursty_a $ closed_a
-      $ think_a $ csv_a $ alloc_budget_a $ seed_a $ jobs_arg $ seed_arg)
+      $ think_a $ csv_a $ alloc_budget_a $ seed_a $ machines_a $ hetero_a
+      $ net_lat_a $ net_bw_a $ gossip_us_a $ fleet_serial_a $ jobs_arg
+      $ seed_arg)
 
 let () =
   let doc =

@@ -1595,6 +1595,162 @@ let s5_tables () =
       rows;
   ]
 
+(* S6/S7: the fleet.  The service plane scaled out — N simulated
+   machines (mixed personalities and cost tables) behind a balancing
+   front tier, every signal and every request crossing a modeled
+   network.  The point of S6 is that *where a dispatch signal travels*
+   changes which policy wins: queue-aware policies act on gossip that
+   is one link latency plus one gossip period stale, and at high
+   staleness the herd effect hands the win back to signal-free
+   policies.  S7 runs the interweaving argument in reverse across the
+   network layer: drops, delays, and machine pauses become retries,
+   ejections, and tail latency, not errors. *)
+
+let s6_fleet ~policy ~gossip_us ~rps =
+  let open Iw_service in
+  {
+    (Fleet.default ()) with
+    Fleet.fc_machines =
+      [|
+        { (Fleet.knl_spec ~workers:4 ()) with Fleet.ms_name = "knl0" };
+        { (Fleet.knl_spec ~workers:4 ()) with Fleet.ms_name = "knl1" };
+        { (Fleet.server_spec ~workers:2 ()) with Fleet.ms_name = "srv0" };
+        { (Fleet.server_spec ~workers:2 ()) with Fleet.ms_name = "srv1" };
+      |];
+    fc_workload = Workload.Poisson { rps; duration_us = 30_000.0 };
+    fc_policy = policy;
+    fc_gossip_us = gossip_us;
+  }
+
+let s6_p (r : Iw_service.Fleet.report) pct =
+  Iw_service.Fleet.percentile_us r r.fr_total pct
+
+(* 2x knl-like (4 workers, 20us bodies) + 2x server-like (2 faster
+   workers, 8us bodies): fleet capacity ~0.9 req/us; drive 0.85. *)
+let s6_rps = 765_000.0
+let s6_staleness = [ 25.0; 100.0; 400.0 ]
+
+let s6_tables () =
+  let run policy gossip_us =
+    Iw_service.Fleet.run (s6_fleet ~policy ~gossip_us ~rps:s6_rps)
+  in
+  let row name gossip_us (r : Iw_service.Fleet.report) =
+    [
+      name;
+      f2 gossip_us;
+      i2 r.fr_completed;
+      i2 r.fr_retries;
+      i2 r.fr_nacks;
+      f2 (s6_p r 50.0);
+      f2 (s6_p r 99.0);
+      f2 (s6_p r 99.9);
+    ]
+  in
+  let blind =
+    List.map
+      (fun policy ->
+        let r = run policy 100.0 in
+        row (Iw_service.Dispatch.name policy) 100.0 r)
+      [ Iw_service.Dispatch.Round_robin; Iw_service.Dispatch.Random ]
+  in
+  let aware =
+    List.concat_map
+      (fun policy ->
+        List.map
+          (fun gossip_us ->
+            let r = run policy gossip_us in
+            row (Iw_service.Dispatch.name policy) gossip_us r)
+          s6_staleness)
+      [ Iw_service.Dispatch.Jsq; Iw_service.Dispatch.Po2; Iw_service.Dispatch.Wjsq ]
+  in
+  [
+    Table.make ~title:"S6: heterogeneous fleet dispatch vs gossip staleness"
+      ~headers:
+        [
+          "policy"; "gossip-us"; "completed"; "retries"; "nacks"; "p50us";
+          "p99us"; "p99.9us";
+        ]
+      ~notes:
+        [
+          "Poisson 765k rps (0.85 fleet load) over 2x knl-like (4 workers,";
+          "20us bodies) + 2x server-like (2 workers 2.5x faster) behind a";
+          "front tier; requests and queue-depth gossip cross a 15us/10Gbps";
+          "modeled network.  Queue-aware policies (jsq, po2, wjsq) see";
+          "depths one latency + one gossip period stale: fresh gossip";
+          "beats the blind policies, stale gossip herds the fleet into";
+          "whichever machine last reported shortest and pays in nacks and";
+          "tail; capacity weighting (wjsq) only redirects the herd toward";
+          "the faster boxes - it cannot repair a stale signal.";
+        ]
+      (blind @ aware);
+  ]
+
+let s7_machines () =
+  let open Iw_service in
+  [|
+    { (Fleet.knl_spec ~workers:4 ()) with Fleet.ms_name = "knl0" };
+    { (Fleet.knl_spec ~workers:4 ()) with Fleet.ms_name = "knl1" };
+    { (Fleet.server_spec ~workers:2 ()) with Fleet.ms_name = "srv0" };
+  |]
+
+let s7_tables () =
+  let open Iw_service in
+  let kinds = Plan.[ Link_drop; Link_delay; Machine_pause ] in
+  let cfg =
+    {
+      (Fleet.default ()) with
+      Fleet.fc_machines = s7_machines ();
+      fc_workload =
+        Workload.Poisson { rps = 390_000.0; duration_us = 30_000.0 };
+      fc_policy = Dispatch.Po2;
+      fc_gossip_us = 50.0;
+    }
+  in
+  let runs =
+    List.map
+      (fun rate ->
+        let r, c = run_faulted ~rate ~seed:42 ~kinds (fun () -> Fleet.run cfg) in
+        (rate, r, c))
+      s4_rates
+  in
+  let base = match runs with (_, r, _) :: _ -> s6_p r 99.0 | [] -> 1.0 in
+  let rows =
+    List.map
+      (fun (rate, (r : Fleet.report), c) ->
+        let g id = Iw_obs.Counter.get c id in
+        [
+          rate_cell rate;
+          i2 r.fr_completed;
+          i2 r.fr_failed;
+          i2 (g Iw_obs.Counter.Fault_injected);
+          i2 r.fr_net_drops;
+          i2 r.fr_retries;
+          i2 r.fr_ejects;
+          f2 (s6_p r 99.0);
+          f2 (s6_p r 99.0 /. base);
+        ])
+      runs
+  in
+  [
+    Table.make ~title:"S7: fleet degradation under network faults"
+      ~headers:
+        [
+          "fault-rate"; "completed"; "failed"; "faults"; "drops"; "retries";
+          "ejects"; "p99us"; "p99-slowdown";
+        ]
+      ~notes:
+        [
+          "Poisson 390k rps (0.65 load) over 2x knl-like + 1x server-like";
+          "while a scoped fault plan drops and delays link messages and";
+          "pauses whole machines for a sync window.  The front tier";
+          "recovers with per-attempt timeouts, nack-triggered fast";
+          "retries, and streak-based ejection; faults surface as retry";
+          "traffic and p99 growth, with requests failing outright only";
+          "once the retry budget is spent.";
+        ]
+      rows;
+  ]
+
 (* ================================================================== *)
 
 let all () =
@@ -1782,6 +1938,20 @@ let all () =
       paper_claim =
         "(service study; the stack drives realistic traffic volumes only if the hot path sheds allocation)";
       tables = s5_tables;
+    };
+    {
+      id = "S6";
+      title = "Fleet: heterogeneous dispatch vs gossip staleness";
+      paper_claim =
+        "(fleet study; where the dispatch signal travels decides which policy wins)";
+      tables = s6_tables;
+    };
+    {
+      id = "S7";
+      title = "Fleet: degradation under network faults";
+      paper_claim =
+        "(fleet study; the interweaving argument run in reverse across the network layer)";
+      tables = s7_tables;
     };
   ]
 

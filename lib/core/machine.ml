@@ -41,6 +41,54 @@ let counter_table t =
        (Iw_obs.Counter.to_list (counters t)))
 
 (* ------------------------------------------------------------------ *)
+(* Fleet container: per-machine identity over the same typed
+   counters.  A fleet run (Iw_service.Fleet) yields one counter list
+   per machine; this folds them into a single table keyed by machine
+   name, with a totals row, so cross-machine skew (one box shedding,
+   another idle) is visible at a glance. *)
+
+module Fleet = struct
+  let counter_table members =
+    let tally = Hashtbl.create 64 in
+    let order = ref [] in
+    List.iter
+      (fun (_, counters) ->
+        List.iter
+          (fun (name, v) ->
+            match Hashtbl.find_opt tally name with
+            | Some r -> r := !r + v
+            | None ->
+                Hashtbl.add tally name (ref v);
+                order := name :: !order)
+          counters)
+      members;
+    let rows =
+      List.concat_map
+        (fun (mname, counters) ->
+          List.map
+            (fun (name, v) -> [ mname; name; string_of_int v ])
+            counters)
+        members
+    in
+    let totals =
+      List.map
+        (fun name -> [ "total"; name; string_of_int !(Hashtbl.find tally name) ])
+        (List.sort compare (List.rev !order))
+    in
+    Table.make ~title:"fleet counters"
+      ~headers:[ "machine"; "counter"; "events" ]
+      (rows @ totals)
+
+  let total members name =
+    List.fold_left
+      (fun acc (_, counters) ->
+        List.fold_left
+          (fun acc (n, v) -> if String.equal n name then acc + v else acc)
+          acc counters)
+      0 members
+end
+
+(* ------------------------------------------------------------------ *)
 (* The sweepable cost model: every field of [Platform.costs] exposed
    by name, so experiments (and the `sweep` subcommand) can vary one
    hardware/OS cost and watch the whole stack respond. *)

@@ -32,6 +32,17 @@ val run : ?horizon:int -> t -> unit
 val counter_table : t -> Table.t
 (** Every counter that fired, rendered like the experiment tables. *)
 
+(** Per-machine identity over shared counter vocabulary: fold the
+    per-machine counter lists of a fleet run into one table (machine,
+    counter, events) plus a totals row. *)
+module Fleet : sig
+  val counter_table : (string * (string * int) list) list -> Table.t
+  (** [counter_table [(machine_name, Counter.to_list set); ...]]. *)
+
+  val total : (string * (string * int) list) list -> string -> int
+  (** Sum of one named counter across every machine. *)
+end
+
 (** The sweepable cost model: every [Platform.costs] field by name,
     with a pinned probe workload for sensitivity tables. *)
 module Sweep : sig

@@ -39,8 +39,11 @@ type kind =
   | Dir_drop_ack  (* an invalidation ack never reaches the directory *)
   | Dir_stale  (* the directory names an owner that silently evicted *)
   | Barrier_drop  (* an OMP barrier arrival increment is lost *)
+  | Link_drop  (* an inter-machine message vanishes on the wire *)
+  | Link_delay  (* the message lands, but late *)
+  | Machine_pause  (* a whole machine goes dark for one sync window *)
 
-let kind_count = 14
+let kind_count = 17
 
 let kind_index = function
   | Ipi_drop -> 0
@@ -57,6 +60,9 @@ let kind_index = function
   | Dir_drop_ack -> 11
   | Dir_stale -> 12
   | Barrier_drop -> 13
+  | Link_drop -> 14
+  | Link_delay -> 15
+  | Machine_pause -> 16
 
 (* CLI spelling, `--kinds ipi-drop,timer-late`. *)
 let kind_name = function
@@ -74,6 +80,9 @@ let kind_name = function
   | Dir_drop_ack -> "dir-drop-ack"
   | Dir_stale -> "dir-stale"
   | Barrier_drop -> "barrier-drop"
+  | Link_drop -> "link-drop"
+  | Link_delay -> "link-delay"
+  | Machine_pause -> "machine-pause"
 
 let all_kinds =
   [
@@ -91,6 +100,9 @@ let all_kinds =
     Dir_drop_ack;
     Dir_stale;
     Barrier_drop;
+    Link_drop;
+    Link_delay;
+    Machine_pause;
   ]
 
 let kind_of_string s = List.find_opt (fun k -> kind_name k = s) all_kinds
@@ -104,6 +116,7 @@ type t = {
   ipi_delay_cycles : int;
   timer_late_cycles : int;
   stall_cycles : int;
+  net_delay_cycles : int;
   mutable injected : int;
 }
 
@@ -117,11 +130,13 @@ let disabled =
     ipi_delay_cycles = 0;
     timer_late_cycles = 0;
     stall_cycles = 0;
+    net_delay_cycles = 0;
     injected = 0;
   }
 
 let create ?(kinds = all_kinds) ?(ipi_delay_cycles = 4_000)
-    ?(timer_late_cycles = 12_000) ?(stall_cycles = 25_000) ~rate ~seed () =
+    ?(timer_late_cycles = 12_000) ?(stall_cycles = 25_000)
+    ?(net_delay_cycles = 30_000) ~rate ~seed () =
   if rate < 0.0 || rate > 1.0 then
     invalid_arg "Plan.create: rate must be in [0,1]";
   let armed = Array.make kind_count false in
@@ -137,6 +152,7 @@ let create ?(kinds = all_kinds) ?(ipi_delay_cycles = 4_000)
     ipi_delay_cycles;
     timer_late_cycles;
     stall_cycles;
+    net_delay_cycles;
     injected = 0;
   }
 
@@ -147,6 +163,7 @@ let injected t = t.injected
 let ipi_delay_cycles t = t.ipi_delay_cycles
 let timer_late_cycles t = t.timer_late_cycles
 let stall_cycles t = t.stall_cycles
+let net_delay_cycles t = t.net_delay_cycles
 let armed t k = t.enabled && t.armed.(kind_index k)
 
 (* ------------------------------------------------------------------ *)

@@ -640,6 +640,15 @@ let flat_exit t f = finish t f.f_th.bound f.f_th
 
 let wake_thread t th = make_runnable t th
 
+(* Semaphore post from outside any thread (a device RX event, the
+   fleet's network delivery path): no requester to charge, so the
+   state transition is free — the woken waiter still pays its own
+   wake latency through [make_runnable]. *)
+let sem_signal t sem =
+  let w = tq_pop sem.swaiters in
+  if w == nil_thread then sem.count <- sem.count + 1
+  else make_runnable t w
+
 let current_thread t cid =
   let th = t.current.(cid) in
   if th == nil_thread then None else Some th

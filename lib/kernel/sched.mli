@@ -189,6 +189,12 @@ val wake_thread : t -> thread -> unit
 (** Make a blocked thread runnable (no-op on runnable/dead threads).
     Pays the personality's wake latency before the CPU notices. *)
 
+val sem_signal : t -> semaphore -> unit
+(** Post a semaphore from event context (a device RX path, a network
+    delivery): wakes one waiter or banks the count.  Unlike
+    {!flat_sem_post} there is no requesting thread, so no cost is
+    charged to any CPU — the waiter still pays its wake latency. *)
+
 val current_thread : t -> int -> thread option
 (** What is (or was) running on a CPU — valid inside interrupt
     handlers to identify the preempted thread. *)

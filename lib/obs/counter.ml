@@ -54,8 +54,16 @@ type id =
   | Service_shed
   | Service_backpressure
   | Service_hi_prio
+  (* fleet / inter-machine network *)
+  | Net_msgs
+  | Net_drops
+  | Net_retries
+  | Net_nacks
+  | Gossip_msgs
+  | Machine_ejects
+  | Service_failed
 
-let count = 39
+let count = 46
 
 let index = function
   | Context_switches -> 0
@@ -97,6 +105,13 @@ let index = function
   | Service_shed -> 36
   | Service_backpressure -> 37
   | Service_hi_prio -> 38
+  | Net_msgs -> 39
+  | Net_drops -> 40
+  | Net_retries -> 41
+  | Net_nacks -> 42
+  | Gossip_msgs -> 43
+  | Machine_ejects -> 44
+  | Service_failed -> 45
 
 (* Names match the strings the old hashtable counters used, so table
    rendering is unchanged. *)
@@ -140,6 +155,13 @@ let name = function
   | Service_shed -> "service_shed"
   | Service_backpressure -> "service_backpressure"
   | Service_hi_prio -> "service_hi_prio"
+  | Net_msgs -> "net_msgs"
+  | Net_drops -> "net_drops"
+  | Net_retries -> "net_retries"
+  | Net_nacks -> "net_nacks"
+  | Gossip_msgs -> "gossip_msgs"
+  | Machine_ejects -> "machine_ejects"
+  | Service_failed -> "service_failed"
 
 let all =
   [
@@ -182,6 +204,13 @@ let all =
     Service_shed;
     Service_backpressure;
     Service_hi_prio;
+    Net_msgs;
+    Net_drops;
+    Net_retries;
+    Net_nacks;
+    Gossip_msgs;
+    Machine_ejects;
+    Service_failed;
   ]
 
 type set = int array

@@ -45,6 +45,13 @@ type id =
   | Service_shed
   | Service_backpressure
   | Service_hi_prio
+  | Net_msgs
+  | Net_drops
+  | Net_retries
+  | Net_nacks
+  | Gossip_msgs
+  | Machine_ejects
+  | Service_failed
 
 val count : int
 (** Number of distinct counter ids. *)

@@ -27,6 +27,20 @@ let default_tolerances =
     ("lock_contended", Pct 10.0);
   ]
 
+(* Trace-shape keys are "cat/name" tallies from [Trace.counting];
+   the timing-noise-derived event families get the same slack their
+   counter twins do. *)
+let shape_tolerances =
+  [
+    ("hw/timer_fire", Pct 2.0);
+    ("hw/irq", Pct 2.0);
+    ("hw/ipi_send", Pct 2.0);
+    ("hw/ipi_recv", Pct 2.0);
+    ("sched/preempt", Pct 5.0);
+    ("kernel/device_irq", Pct 2.0);
+    ("fiber/fiber_switch", Pct 2.0);
+  ]
+
 let allowance tol expected =
   match tol with
   | Exact -> 0
@@ -57,7 +71,9 @@ let parse (s : string) : (string * int) list =
          let line = String.trim line in
          if line = "" || line.[0] = '#' then None
          else
-           match String.index_opt line ' ' with
+           (* Split on the last space: the value is always the trailing
+              token, and span names may themselves contain spaces. *)
+           match String.rindex_opt line ' ' with
            | None -> invalid_arg ("Golden.parse: malformed line: " ^ line)
            | Some i -> (
                let name = String.sub line 0 i in

@@ -8,6 +8,11 @@ val default_tolerances : (string * tolerance) list
 (** Percentage slack for the timing-derived scheduling-noise counters
     (ticks, timer fires, preemptions, ...); everything else is exact. *)
 
+val shape_tolerances : (string * tolerance) list
+(** Tolerances for trace-shape snapshots (["cat/name"] span tallies
+    from {!Trace.counting}): the timing-derived event families carry
+    the same slack their counter twins do. *)
+
 val allowance : tolerance -> int -> int
 (** Absolute drift allowed for an expected value: 0 for {!Exact},
     [ceil (p% of max 1 |expected|)] for [Pct p]. *)

@@ -18,15 +18,19 @@ type event = {
 
 type t = {
   mutable enabled : bool;
-  buf : event array;  (* [||] for the null sink *)
+  buf : event array;  (* [||] for the null and counting sinks *)
   cap : int;
   mutable pos : int;  (* next write slot *)
   mutable emitted : int;  (* total events ever pushed *)
+  mutable cpu_base : int;  (* added to every non-negative ev_cpu *)
+  shape : (string, int ref) Hashtbl.t option;  (* counting sink tallies *)
 }
 
 let null_event = { ev_name = ""; ev_cat = ""; ev_cpu = -1; ev_ts = 0; ev_dur = 0 }
 
-let null () = { enabled = false; buf = [||]; cap = 0; pos = 0; emitted = 0 }
+let null () =
+  { enabled = false; buf = [||]; cap = 0; pos = 0; emitted = 0; cpu_base = 0;
+    shape = None }
 
 let ring ?(capacity = 262_144) () =
   if capacity <= 0 then invalid_arg "Trace.ring: capacity <= 0";
@@ -36,22 +40,47 @@ let ring ?(capacity = 262_144) () =
     cap = capacity;
     pos = 0;
     emitted = 0;
+    cpu_base = 0;
+    shape = None;
   }
 
+let counting () =
+  { enabled = true; buf = [||]; cap = 0; pos = 0; emitted = 0; cpu_base = 0;
+    shape = Some (Hashtbl.create 64) }
+
 let enabled t = t.enabled
+let set_cpu_base t base = t.cpu_base <- base
 
 let push t ev =
-  t.buf.(t.pos) <- ev;
-  t.pos <- (if t.pos + 1 = t.cap then 0 else t.pos + 1);
+  (match t.shape with
+  | None -> ()
+  | Some tbl -> (
+      let key = ev.ev_cat ^ "/" ^ ev.ev_name in
+      match Hashtbl.find_opt tbl key with
+      | Some r -> incr r
+      | None -> Hashtbl.add tbl key (ref 1)));
+  if t.cap > 0 then begin
+    t.buf.(t.pos) <- ev;
+    t.pos <- (if t.pos + 1 = t.cap then 0 else t.pos + 1)
+  end;
   t.emitted <- t.emitted + 1
 
 let span t ~name ?(cat = "stack") ~cpu ~ts ~dur () =
   if t.enabled then
+    let cpu = if cpu >= 0 then cpu + t.cpu_base else cpu in
     push t { ev_name = name; ev_cat = cat; ev_cpu = cpu; ev_ts = ts; ev_dur = dur }
 
 let instant t ~name ?(cat = "stack") ~cpu ~ts () =
   if t.enabled then
+    let cpu = if cpu >= 0 then cpu + t.cpu_base else cpu in
     push t { ev_name = name; ev_cat = cat; ev_cpu = cpu; ev_ts = ts; ev_dur = 0 }
+
+let shape_counts t =
+  match t.shape with
+  | None -> []
+  | Some tbl ->
+      List.sort compare
+        (Hashtbl.fold (fun k r acc -> (k, !r) :: acc) tbl [])
 
 let emitted t = t.emitted
 

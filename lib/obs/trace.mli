@@ -19,6 +19,11 @@ type t = {
   cap : int;
   mutable pos : int;
   mutable emitted : int;
+  mutable cpu_base : int;
+      (** Added to every non-negative [ev_cpu] at emission: a fleet
+          coordinator sets this per machine so spans from N machines
+          land on disjoint CPU lanes of one shared sink. *)
+  shape : (string, int ref) Hashtbl.t option;
 }
 
 val null : unit -> t
@@ -28,7 +33,20 @@ val ring : ?capacity:int -> unit -> t
 (** Enabled bounded ring sink (default capacity 262144 events);
     oldest events are overwritten and counted as {!dropped}. *)
 
+val counting : unit -> t
+(** Enabled sink that stores no events, only per-["cat/name"] tallies
+    — the coarse trace *shape* of a run.  Golden-gating these counts
+    catches a probe that silently stops firing even when the counter
+    totals still agree. *)
+
+val shape_counts : t -> (string * int) list
+(** ["cat/name"] event tallies sorted by key; [[]] unless the sink
+    was built by {!counting}. *)
+
 val enabled : t -> bool
+
+val set_cpu_base : t -> int -> unit
+(** See [cpu_base]. *)
 
 val span : t -> name:string -> ?cat:string -> cpu:int -> ts:int -> dur:int -> unit -> unit
 (** Complete span: [ts .. ts + dur] on CPU [cpu]'s track. *)

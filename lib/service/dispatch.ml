@@ -1,20 +1,26 @@
 open Iw_engine
 
-type policy = Round_robin | Random | Jsq | Po2
+type policy = Round_robin | Random | Jsq | Po2 | Wjsq
 
+(* The single-box shootout set (S3's rows, golden-gated): [Wjsq] only
+   distinguishes itself across heterogeneous servers, so it joins the
+   fleet-level enumerations instead. *)
 let all = [ Round_robin; Random; Jsq; Po2 ]
+let all_weighted = [ Round_robin; Random; Jsq; Po2; Wjsq ]
 
 let name = function
   | Round_robin -> "rr"
   | Random -> "random"
   | Jsq -> "jsq"
   | Po2 -> "po2"
+  | Wjsq -> "wjsq"
 
 let of_string = function
   | "rr" | "round-robin" -> Some Round_robin
   | "random" | "rand" -> Some Random
   | "jsq" -> Some Jsq
   | "po2" | "p2c" -> Some Po2
+  | "wjsq" | "weighted" -> Some Wjsq
   | _ -> None
 
 type t = { d_policy : policy; d_rng : Rng.t; mutable d_next : int }
@@ -33,7 +39,24 @@ let argmin ~n ~len =
   done;
   !best
 
-let pick t ~n ~len =
+(* Weighted join-shortest-queue: argmin of (len i + 1) / weight i,
+   computed in scaled integers so the choice is exact and the path
+   stays float-free.  Lowest index wins ties, like [Jsq]. *)
+let argmin_weighted ~n ~len ~weight =
+  let score i = (len i + 1) * 1024 / max 1 (weight i) in
+  let best = ref 0 and best_score = ref (score 0) in
+  for i = 1 to n - 1 do
+    let s = score i in
+    if s < !best_score then begin
+      best := i;
+      best_score := s
+    end
+  done;
+  !best
+
+let unit_weight = fun (_ : int) -> 1
+
+let pick ?(weight = unit_weight) t ~n ~len =
   if n < 1 then invalid_arg "Dispatch.pick: need at least one queue";
   match t.d_policy with
   | Round_robin ->
@@ -46,10 +69,12 @@ let pick t ~n ~len =
       let a = Rng.int t.d_rng n in
       let b = Rng.int t.d_rng n in
       if len b < len a then b else a
+  | Wjsq -> argmin_weighted ~n ~len ~weight
 
 (* [pick] over an array of queues, probing lengths directly: same
    draws and same choices as [pick] with a length callback, but
-   nothing to allocate at the call site. *)
+   nothing to allocate at the call site.  [Wjsq] over homogeneous
+   local queues degenerates to [Jsq]. *)
 let pick_queues t (qs : Squeue.t array) =
   let n = Array.length qs in
   if n < 1 then invalid_arg "Dispatch.pick_queues: need at least one queue";
@@ -59,7 +84,7 @@ let pick_queues t (qs : Squeue.t array) =
       t.d_next <- (i + 1) mod n;
       i
   | Random -> Rng.int t.d_rng n
-  | Jsq ->
+  | Jsq | Wjsq ->
       let best = ref 0 and best_len = ref (Squeue.length qs.(0)) in
       for i = 1 to n - 1 do
         let l = Squeue.length qs.(i) in

@@ -1,4 +1,6 @@
 (** Dispatch policies: which worker queue an arriving request joins.
+    Reused one level up by the fleet balancer, where "queue" is a
+    whole machine and lengths come from gossiped depth signals.
 
     Each policy is a first-class value over queue lengths:
 
@@ -7,14 +9,23 @@
     - [Jsq]: join-shortest-queue, full scan, lowest index wins ties.
     - [Po2]: power-of-two-choices — sample two queues uniformly
       (with replacement), join the shorter; ties keep the first.
+    - [Wjsq]: weighted join-shortest-queue — argmin of
+      [(len i + 1) / weight i] in exact scaled-integer arithmetic,
+      for heterogeneous targets whose capacities differ.
 
     Randomized policies draw only from the [Rng.t] given at
     {!create}, so dispatch decisions are reproducible and independent
     of arrival-process draws. *)
 
-type policy = Round_robin | Random | Jsq | Po2
+type policy = Round_robin | Random | Jsq | Po2 | Wjsq
 
 val all : policy list
+(** The single-box set (rr/random/jsq/po2) — S3's golden-gated rows;
+    [Wjsq] needs heterogeneous targets to differ from [Jsq]. *)
+
+val all_weighted : policy list
+(** {!all} plus [Wjsq], for fleet-level enumerations. *)
+
 val name : policy -> string
 val of_string : string -> policy option
 
@@ -23,11 +34,13 @@ type t
 val create : policy -> rng:Iw_engine.Rng.t -> t
 val policy : t -> policy
 
-val pick : t -> n:int -> len:(int -> int) -> int
+val pick : ?weight:(int -> int) -> t -> n:int -> len:(int -> int) -> int
 (** Choose a queue index in [\[0, n)] given current queue lengths.
+    [weight] (default all-1) only affects [Wjsq].
     @raise Invalid_argument when [n < 1]. *)
 
 val pick_queues : t -> Squeue.t array -> int
 (** {!pick} probing {!Squeue.length} directly — identical draws and
-    choices, no closure at the call site.
+    choices, no closure at the call site ([Wjsq] over uniform local
+    queues degenerates to [Jsq]).
     @raise Invalid_argument on an empty array. *)

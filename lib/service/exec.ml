@@ -1,0 +1,332 @@
+(* The machine role of the service plane, shared by [Plane.run]
+   (standalone box) and [Fleet.run] (N machines behind a balancer).
+   See exec.mli for the contract; the worker state machines below are
+   the closureiters-style flat compilation from PR 6, moved here
+   verbatim so the standalone path stays byte-identical and
+   allocation-free. *)
+
+open Iw_kernel
+
+type backend =
+  | Fiber_exec
+  | Virtine_exec of { vconfig : Iw_virtine.Wasp.config; pool : int }
+
+let backend_name = function Fiber_exec -> "fiber" | Virtine_exec _ -> "virtine"
+
+type mode =
+  | Standalone of Sched.semaphore array
+  | Fleet of { fm_tx_c : int; fm_respond : reply:int -> unit }
+
+(* Max requests a worker drains per doorbell wake (Fifo only). *)
+let batch_k = 8
+
+(* [w_state] values: *)
+let st_start = 0 (* first activation: wait on the doorbell *)
+
+let st_pop = 1 (* own one doorbell count: pop and execute *)
+let st_staged = 2 (* sem cost paid: settle the lease, execute *)
+let st_vwork = 3 (* virtine overhead paid: run the body *)
+let st_done = 4 (* body finished: account and complete *)
+let st_replied = 5 (* reply posted: finish bookkeeping *)
+let st_bcast = 6 (* stop: posting every doorbell in turn *)
+let st_tx = 7 (* fleet: serialization paid, hand off the response *)
+
+type worker = {
+  w_id : int;
+  w_fl : Sched.flat;
+  mutable w_state : int;
+  mutable w_req : int;  (* arena index under execution *)
+  mutable w_start : int;  (* cycle execution started *)
+  mutable w_resp : int;  (* fleet: reply handle awaiting tx *)
+  w_scratch : int array;  (* leased arena indices (batched drain) *)
+  mutable w_sc_n : int;
+  mutable w_sc_i : int;
+  mutable w_bc : int;  (* stop-broadcast cursor *)
+}
+
+type t = {
+  ex_k : Sched.t;
+  ex_workers : int;
+  ex_order : Squeue.order;
+  ex_backend : backend;
+  ex_work_us : float;
+  ex_work_c : int;
+  ex_mode : mode;
+  ex_queues : Squeue.t array;
+  ex_doorbells : Sched.semaphore array;
+  ex_disp : Dispatch.t;
+  ex_h_queue : Hist.t array;
+  ex_h_service : Hist.t array;
+  ex_h_total : Hist.t array;
+  ex_arena : Request_arena.t;
+  ex_wasp : Iw_virtine.Wasp.t option;
+  ex_admitted : int ref;
+  ex_completed : int ref;
+  ex_busy : int ref;
+  ex_gen_done : bool ref;
+  ex_stopping : bool ref;
+  ex_ws : worker array;
+}
+
+(* Batched drain (Fifo only): pop up to [batch_k - 1] extra requests
+   now, leased so length probes still see them, and consume their
+   doorbell counts one by one between executions — byte-identical to
+   popping them one at a time.  Priority queues drain per-item: a
+   high-priority arrival during execution must still overtake a
+   queued low one. *)
+let stage_extras t w =
+  w.w_sc_n <- 0;
+  w.w_sc_i <- 0;
+  match t.ex_order with
+  | Squeue.Priority -> ()
+  | Squeue.Fifo ->
+      let q = t.ex_queues.(w.w_id) and db = t.ex_doorbells.(w.w_id) in
+      while
+        w.w_sc_n < batch_k - 1
+        && Sched.sem_value db > w.w_sc_n
+        && (let v = Squeue.lease_pop q in
+            v >= 0
+            && begin
+                 w.w_scratch.(w.w_sc_n) <- v;
+                 w.w_sc_n <- w.w_sc_n + 1;
+                 true
+               end)
+      do
+        ()
+      done
+
+let rec w_activation t w =
+  let k = t.ex_k in
+  if w.w_state = st_start then begin
+    w.w_state <- st_pop;
+    Sched.flat_sem_wait k w.w_fl t.ex_doorbells.(w.w_id)
+  end
+  else if w.w_state = st_pop then begin
+    let v = Squeue.pop_idx t.ex_queues.(w.w_id) in
+    if v >= 0 then begin
+      stage_extras t w;
+      start_exec t w v
+    end
+    else if !(t.ex_stopping) then Sched.flat_exit k w.w_fl
+    else Sched.flat_sem_wait k w.w_fl t.ex_doorbells.(w.w_id)
+  end
+  else if w.w_state = st_staged then begin
+    Squeue.settle t.ex_queues.(w.w_id);
+    let v = w.w_scratch.(w.w_sc_i) in
+    w.w_sc_i <- w.w_sc_i + 1;
+    start_exec t w v
+  end
+  else if w.w_state = st_vwork then begin
+    w.w_state <- st_done;
+    Sched.flat_work k w.w_fl t.ex_work_c
+  end
+  else if w.w_state = st_done then finish_exec t w
+  else if w.w_state = st_replied then after_reply t w
+  else if w.w_state = st_tx then begin
+    (match t.ex_mode with
+    | Fleet f -> f.fm_respond ~reply:w.w_resp
+    | Standalone _ -> assert false);
+    w.w_resp <- -1;
+    next_item t w
+  end
+  else if w.w_state = st_bcast then begin
+    if w.w_bc < t.ex_workers then begin
+      let i = w.w_bc in
+      w.w_bc <- i + 1;
+      Sched.flat_sem_post t.ex_k w.w_fl t.ex_doorbells.(i)
+    end
+    else next_item t w
+  end
+  else assert false
+
+(* Begin executing arena slot [v]: record queue wait, then route the
+   body through the backend — fiber = one work grant; virtine =
+   overhead (spawn latency above the body) then work. *)
+and start_exec t w v =
+  let k = t.ex_k in
+  let start = Sched.now k in
+  w.w_req <- v;
+  w.w_start <- start;
+  Hist.record t.ex_h_queue.(w.w_id) (start - Request_arena.arrival t.ex_arena v);
+  match t.ex_backend with
+  | Fiber_exec ->
+      w.w_state <- st_done;
+      Sched.flat_work k w.w_fl t.ex_work_c
+  | Virtine_exec _ ->
+      let w_ = match t.ex_wasp with Some w_ -> w_ | None -> assert false in
+      let plat = Sched.platform k in
+      let now_us = Iw_hw.Platform.us_of_cycles plat start in
+      let lat_us = Iw_virtine.Wasp.call_at w_ ~now_us ~work_us:t.ex_work_us in
+      w.w_state <- st_vwork;
+      Sched.flat_overhead k w.w_fl
+        (max 0 (Iw_hw.Platform.cycles_of_us plat lat_us - t.ex_work_c))
+
+and finish_exec t w =
+  let k = t.ex_k in
+  let obs = Sched.obs k in
+  let fin = Sched.now k in
+  t.ex_busy := !(t.ex_busy) + (fin - w.w_start);
+  Hist.record t.ex_h_service.(w.w_id) (fin - w.w_start);
+  Hist.record t.ex_h_total.(w.w_id) (fin - Request_arena.arrival t.ex_arena w.w_req);
+  incr t.ex_completed;
+  Iw_obs.Counter.incr obs.Iw_obs.Obs.counters Iw_obs.Counter.Service_completions;
+  let tr = obs.Iw_obs.Obs.trace in
+  if Iw_obs.Trace.enabled tr then
+    Iw_obs.Trace.span tr ~name:"service:exec" ~cat:"service" ~cpu:w.w_id
+      ~ts:w.w_start ~dur:(fin - w.w_start) ();
+  let r = Request_arena.reply t.ex_arena w.w_req in
+  Request_arena.free t.ex_arena w.w_req;
+  w.w_req <- -1;
+  match t.ex_mode with
+  | Standalone replies ->
+      if r >= 0 then begin
+        w.w_state <- st_replied;
+        Sched.flat_sem_post k w.w_fl replies.(r)
+      end
+      else after_reply t w
+  | Fleet f ->
+      w.w_resp <- r;
+      w.w_state <- st_tx;
+      Sched.flat_overhead k w.w_fl f.fm_tx_c
+
+and after_reply t w =
+  if
+    !(t.ex_gen_done)
+    && !(t.ex_completed) = !(t.ex_admitted)
+    && not !(t.ex_stopping)
+  then begin
+    t.ex_stopping := true;
+    w.w_bc <- 0;
+    w.w_state <- st_bcast;
+    w_activation t w
+  end
+  else next_item t w
+
+and next_item t w =
+  if w.w_sc_i < w.w_sc_n then begin
+    (* A staged request: its doorbell count is still outstanding, so
+       consume it now at the uncontended cost — when the coroutine
+       worker looped back to sem_wait here, the count was >= 1. *)
+    w.w_state <- st_staged;
+    Sched.flat_sem_take t.ex_k w.w_fl t.ex_doorbells.(w.w_id)
+  end
+  else begin
+    w.w_sc_n <- 0;
+    w.w_sc_i <- 0;
+    w.w_state <- st_pop;
+    Sched.flat_sem_wait t.ex_k w.w_fl t.ex_doorbells.(w.w_id)
+  end
+
+let create ~k ?(prefix = "serve") ~workers ~order ~queue_cap ~backend ~work_us
+    ~policy ~dispatch_rng ~wasp_seed ~mode () =
+  let plat = Sched.platform k in
+  let work_c = Iw_hw.Platform.cycles_of_us plat work_us in
+  let queues =
+    Array.init workers (fun _ -> Squeue.create ~order ~cap:queue_cap)
+  in
+  let doorbells = Array.init workers (fun _ -> Sched.semaphore ~init:0) in
+  let disp = Dispatch.create policy ~rng:dispatch_rng in
+  let h_queue = Array.init workers (fun _ -> Hist.create ()) in
+  let h_service = Array.init workers (fun _ -> Hist.create ()) in
+  let h_total = Array.init workers (fun _ -> Hist.create ()) in
+  (* In-flight bound: every queue full plus one executing per worker,
+     plus one being submitted; closed loops are additionally bounded
+     by the client count.  The arena doubles if this guess is low. *)
+  let arena = Request_arena.create ~cap:((workers * (queue_cap + 1)) + 1) in
+  let wasp =
+    match backend with
+    | Virtine_exec { vconfig; pool } ->
+        Some
+          (Iw_virtine.Wasp.create ~obs:(Sched.obs k) ~seed:wasp_seed
+             ~pool_size:pool vconfig)
+    | Fiber_exec -> None
+  in
+  let t =
+    {
+      ex_k = k;
+      ex_workers = workers;
+      ex_order = order;
+      ex_backend = backend;
+      ex_work_us = work_us;
+      ex_work_c = work_c;
+      ex_mode = mode;
+      ex_queues = queues;
+      ex_doorbells = doorbells;
+      ex_disp = disp;
+      ex_h_queue = h_queue;
+      ex_h_service = h_service;
+      ex_h_total = h_total;
+      ex_arena = arena;
+      ex_wasp = wasp;
+      ex_admitted = ref 0;
+      ex_completed = ref 0;
+      ex_busy = ref 0;
+      ex_gen_done = ref false;
+      ex_stopping = ref false;
+      ex_ws =
+        Array.init workers (fun w ->
+            {
+              w_id = w;
+              w_fl =
+                Sched.spawn_flat k
+                  ~spec:
+                    {
+                      Sched.sp_name = Printf.sprintf "%s-w%d" prefix w;
+                      sp_cpu = Some w;
+                      sp_fp = false;
+                      sp_rt = false;
+                    }
+                  ();
+              w_state = st_start;
+              w_req = -1;
+              w_start = 0;
+              w_resp = -1;
+              w_scratch = Array.make (batch_k - 1) (-1);
+              w_sc_n = 0;
+              w_sc_i = 0;
+              w_bc = 0;
+            });
+    }
+  in
+  Array.iter
+    (fun w -> Sched.set_flat_step w.w_fl (fun () -> w_activation t w))
+    t.ex_ws;
+  t
+
+let try_enqueue t ~hi ~arrival ~reply =
+  let qi = Dispatch.pick_queues t.ex_disp t.ex_queues in
+  let idx = Request_arena.alloc t.ex_arena ~arrival ~hi ~reply in
+  if Squeue.try_push t.ex_queues.(qi) ~hi idx then begin
+    incr t.ex_admitted;
+    let ctr = (Sched.obs t.ex_k).Iw_obs.Obs.counters in
+    Iw_obs.Counter.incr ctr Iw_obs.Counter.Service_admitted;
+    if hi then Iw_obs.Counter.incr ctr Iw_obs.Counter.Service_hi_prio;
+    qi
+  end
+  else begin
+    Request_arena.free t.ex_arena idx;
+    -1
+  end
+
+let doorbell t i = t.ex_doorbells.(i)
+let doorbells t = t.ex_doorbells
+
+let depth t =
+  let d = ref 0 in
+  for i = 0 to t.ex_workers - 1 do
+    d := !d + Squeue.length t.ex_queues.(i)
+  done;
+  !d
+
+let workers t = t.ex_workers
+let admitted_ref t = t.ex_admitted
+let completed_ref t = t.ex_completed
+let busy_cycles t = !(t.ex_busy)
+let gen_done_ref t = t.ex_gen_done
+let stopping_ref t = t.ex_stopping
+let h_queue t = t.ex_h_queue
+let h_service t = t.ex_h_service
+let h_total t = t.ex_h_total
+let arena_capacity t = Request_arena.capacity t.ex_arena
+let arena_grows t = Request_arena.grows t.ex_arena
+let wasp t = t.ex_wasp

@@ -1,0 +1,89 @@
+(** The machine role of the service plane: per-worker bounded queues,
+    doorbell semaphores, a local dispatch policy, the request arena,
+    and one flat-state-machine worker per CPU executing request
+    bodies through a backend (fiber or pooled virtines).
+
+    Extracted from [Plane] so the same executor serves two callers:
+
+    - {b Standalone} ([Plane.run]): the load generator lives on a
+      frontend CPU of the same kernel, replies go to closed-loop
+      client semaphores, and the stop protocol (generator done, all
+      admitted completed) broadcasts doorbells so workers exit.
+    - {b Fleet} ([Fleet.run]): requests arrive over the simulated
+      network (injected from event context via {!Sched.sem_signal}),
+      and completions pay a serialization cost then hand the reply to
+      the fleet's outbox; workers never exit — the fleet loop simply
+      stops advancing windows.
+
+    The standalone path is byte-identical to the pre-extraction
+    [Plane]: same creation order, same RNG streams, same flat-state
+    transitions, zero minor-heap words per steady-state request. *)
+
+open Iw_kernel
+
+type backend =
+  | Fiber_exec  (** Per-worker cooperative fiber runs each body. *)
+  | Virtine_exec of { vconfig : Iw_virtine.Wasp.config; pool : int }
+      (** Each request is a virtine call through one shared Wasp
+          instance with a warm pool of [pool] contexts. *)
+
+val backend_name : backend -> string
+
+type mode =
+  | Standalone of Sched.semaphore array
+      (** Per-client reply semaphores (empty for open loops). *)
+  | Fleet of { fm_tx_c : int; fm_respond : reply:int -> unit }
+      (** Completions pay [fm_tx_c] serialization cycles, then
+          [fm_respond] receives the arena's reply field (the front
+          tier's request handle) at the post-serialization time. *)
+
+type t
+
+val create :
+  k:Sched.t ->
+  ?prefix:string ->
+  workers:int ->
+  order:Squeue.order ->
+  queue_cap:int ->
+  backend:backend ->
+  work_us:float ->
+  policy:Dispatch.policy ->
+  dispatch_rng:Iw_engine.Rng.t ->
+  wasp_seed:int ->
+  mode:mode ->
+  unit ->
+  t
+(** Builds queues, doorbells, dispatch state, histograms, the arena,
+    the optional Wasp instance, and spawns [workers] flat worker
+    threads pinned to CPUs [0..workers-1] (named ["<prefix>-w<i>"],
+    default prefix ["serve"]). *)
+
+val try_enqueue : t -> hi:bool -> arrival:int -> reply:int -> int
+(** Pick a queue by the local policy, allocate an arena slot, push.
+    On success bumps admitted (and hi-priority) counters and returns
+    the queue index — the caller must post that doorbell ([flat]/
+    coroutine submit paths pay their own cost; network RX uses
+    {!Sched.sem_signal}).  On a full queue frees the slot and
+    returns [-1]. *)
+
+val doorbell : t -> int -> Sched.semaphore
+val doorbells : t -> Sched.semaphore array
+val depth : t -> int
+(** Sum of current queue lengths (leases included) — the signal a
+    machine gossips to the fleet balancer. *)
+
+val workers : t -> int
+val admitted_ref : t -> int ref
+val completed_ref : t -> int ref
+val busy_cycles : t -> int
+val gen_done_ref : t -> bool ref
+(** Standalone stop protocol: the generator sets this when arrivals
+    are exhausted; the last completion broadcasts doorbells. *)
+
+val stopping_ref : t -> bool ref
+val h_queue : t -> Hist.t array
+val h_service : t -> Hist.t array
+val h_total : t -> Hist.t array
+val arena_capacity : t -> int
+val arena_grows : t -> int
+val wasp : t -> Iw_virtine.Wasp.t option

@@ -1,0 +1,668 @@
+(* Fleet serving: N machines behind a balancing front tier.  See
+   fleet.mli for the model and the determinism argument. *)
+
+open Iw_engine
+open Iw_kernel
+module Plan = Iw_faults.Plan
+module Counter = Iw_obs.Counter
+
+type mspec = {
+  ms_name : string;
+  ms_os : Plane.os;
+  ms_plat : Iw_hw.Platform.t;
+  ms_workers : int;
+  ms_speed : float;
+}
+
+let knl_spec ?(workers = 8) () =
+  {
+    ms_name = "knl";
+    ms_os = Plane.Nk;
+    ms_plat = Iw_hw.Platform.knl;
+    ms_workers = workers;
+    ms_speed = 1.0;
+  }
+
+let server_spec ?(workers = 4) () =
+  {
+    ms_name = "srv";
+    ms_os = Plane.Linux;
+    ms_plat = Iw_hw.Platform.server_2x12;
+    ms_workers = workers;
+    ms_speed = 2.5;
+  }
+
+type config = {
+  fc_machines : mspec array;
+  fc_workload : Workload.spec;
+  fc_policy : Dispatch.policy;
+  fc_local_policy : Dispatch.policy;
+  fc_order : Squeue.order;
+  fc_queue_cap : int;
+  fc_backend : Exec.backend;
+  fc_work_us : float;
+  fc_hi_frac : float;
+  fc_net : Net.config;
+  fc_gossip_us : float;
+  fc_rto_us : float;
+  fc_max_retries : int;
+  fc_eject_streak : int;
+  fc_eject_us : float;
+  fc_seed : int;
+}
+
+let default () =
+  {
+    fc_machines = [| knl_spec (); knl_spec () |];
+    fc_workload = Workload.Poisson { rps = 100_000.0; duration_us = 50_000.0 };
+    fc_policy = Dispatch.Po2;
+    fc_local_policy = Dispatch.Po2;
+    fc_order = Squeue.Fifo;
+    fc_queue_cap = 64;
+    fc_backend = Exec.Fiber_exec;
+    fc_work_us = 20.0;
+    fc_hi_frac = 0.0;
+    fc_net = Net.default;
+    fc_gossip_us = 50.0;
+    fc_rto_us = 4_000.0;
+    fc_max_retries = 3;
+    fc_eject_streak = 3;
+    fc_eject_us = 2_000.0;
+    fc_seed = 42;
+  }
+
+type report = {
+  fr_machines : int;
+  fr_policy : string;
+  fr_local_policy : string;
+  fr_backend : string;
+  fr_workload : string;
+  fr_offered_rps : float;
+  fr_duration_us : float;
+  fr_ghz : float;
+  fr_window_cycles : int;
+  fr_windows : int;
+  fr_arrivals : int;
+  fr_completed : int;
+  fr_failed : int;
+  fr_retries : int;
+  fr_nacks : int;
+  fr_net_msgs : int;
+  fr_net_drops : int;
+  fr_gossip_msgs : int;
+  fr_ejects : int;
+  fr_elapsed_cycles : int;
+  fr_throughput_rps : float;
+  fr_utilization : float;
+  fr_total : Hist.t;
+  fr_queue : Hist.t;
+  fr_service : Hist.t;
+  fr_m_names : string array;
+  fr_m_completed : int array;
+  fr_m_busy : int array;
+  fr_m_counters : (string * int) list array;
+}
+
+let us_of_cycles rep c = float_of_int c /. (rep.fr_ghz *. 1e3)
+let percentile_us rep h p = us_of_cycles rep (Hist.percentile h p)
+
+(* Front-tier RNG streams live on their own salt so machine-side
+   draws (each kernel's own streams) can never perturb arrivals. *)
+let rng_salt = 0xF1EE7
+let two53 = 9007199254740992.0
+
+(* One machine of the fleet: a full Exec stack on its own kernel,
+   plus the front tier's view of it (links, health). *)
+type machine = {
+  m_spec : mspec;
+  m_k : Sched.t;
+  m_ex : Exec.t;
+  m_sim : Iw_engine.Sim.t;
+  m_outbox : Net.msgbuf;
+  m_up : Net.link;  (* front -> machine *)
+  m_down : Net.link;  (* machine -> front *)
+  m_cpu_base : int;  (* global CPU offset for trace identity *)
+  mutable m_paused : bool;  (* skip the next window (fault) *)
+  mutable m_streak : int;  (* consecutive front-side timeouts *)
+  mutable m_ejected_until : int;
+}
+
+(* The front tier's request table.  Monotone — slots are never
+   recycled, so a late duplicate response can never be misread as a
+   different request's.  Memory is linear in arrivals, which a
+   bounded-duration run keeps small. *)
+type ftab = {
+  mutable ft_n : int;
+  mutable ft_arrival : int array;
+  mutable ft_state : int array;  (* 0 in flight, 1 done, 2 failed *)
+  mutable ft_retries : int array;
+  mutable ft_machine : int array;
+  mutable ft_hi : int array;
+}
+
+let ftab_create () =
+  {
+    ft_n = 0;
+    ft_arrival = Array.make 1024 0;
+    ft_state = Array.make 1024 0;
+    ft_retries = Array.make 1024 0;
+    ft_machine = Array.make 1024 0;
+    ft_hi = Array.make 1024 0;
+  }
+
+let ftab_alloc ft ~arrival ~hi =
+  if ft.ft_n = Array.length ft.ft_arrival then begin
+    let g a = Array.append a (Array.make (Array.length a) 0) in
+    ft.ft_arrival <- g ft.ft_arrival;
+    ft.ft_state <- g ft.ft_state;
+    ft.ft_retries <- g ft.ft_retries;
+    ft.ft_machine <- g ft.ft_machine;
+    ft.ft_hi <- g ft.ft_hi
+  end;
+  let id = ft.ft_n in
+  ft.ft_arrival.(id) <- arrival;
+  ft.ft_state.(id) <- 0;
+  ft.ft_retries.(id) <- 0;
+  ft.ft_machine.(id) <- -1;
+  ft.ft_hi.(id) <- (if hi then 1 else 0);
+  ft.ft_n <- id + 1;
+  id
+
+(* A fault plan arming machine-internal kinds (TLB, IPI, virtine...)
+   draws from the plan's RNG inside machine kernels, which only stays
+   deterministic when machines share the coordinator's domain. *)
+let plan_needs_serial plan =
+  Plan.enabled plan
+  && List.exists
+       (fun k ->
+         Plan.armed plan k
+         &&
+         match k with
+         | Plan.Link_drop | Plan.Link_delay | Plan.Machine_pause -> false
+         | _ -> true)
+       Plan.all_kinds
+
+let run ?parallel cfg =
+  let n = Array.length cfg.fc_machines in
+  if n < 1 then invalid_arg "Fleet.run: empty machine array";
+  if not (Workload.is_open cfg.fc_workload) then
+    invalid_arg "Fleet.run: open-loop workloads only";
+  if cfg.fc_max_retries < 0 then invalid_arg "Fleet.run: fc_max_retries < 0";
+
+  (* One fleet clock: the first machine's.  Heterogeneity comes from
+     personalities, cost tables, worker counts, and body speed. *)
+  let ghz = cfg.fc_machines.(0).ms_plat.Iw_hw.Platform.ghz in
+  let plat0 =
+    Iw_hw.Platform.with_cores cfg.fc_machines.(0).ms_plat 1
+  in
+  let cyc us = Iw_hw.Platform.cycles_of_us plat0 us in
+  let w_c = Net.lat_cycles cfg.fc_net ~ghz in
+  let rto_c = max (w_c + 1) (cyc cfg.fc_rto_us) in
+  let eject_c = cyc cfg.fc_eject_us in
+  let gossip_c = if cfg.fc_gossip_us > 0.0 then cyc cfg.fc_gossip_us else 0 in
+
+  let front_obs = Iw_obs.Obs.inherit_trace () in
+  let fctr = front_obs.Iw_obs.Obs.counters in
+  let tr = front_obs.Iw_obs.Obs.trace in
+  let tracing = Iw_obs.Trace.enabled tr in
+  let plan = Plan.ambient () in
+  let parallel =
+    (match parallel with
+    | Some p -> p
+    | None -> Domain.is_main_domain () && not tracing)
+    && n > 1 && not tracing
+    && not (plan_needs_serial plan)
+  in
+
+  (* -------------------------------------------------------------- *)
+  (* Machines *)
+  let cpu_base = Array.make n 0 in
+  for m = 1 to n - 1 do
+    cpu_base.(m) <- cpu_base.(m - 1) + cfg.fc_machines.(m - 1).ms_workers
+  done;
+  let machines =
+    Array.init n (fun m ->
+        let spec = cfg.fc_machines.(m) in
+        if spec.ms_workers < 1 then invalid_arg "Fleet.run: machine without workers";
+        if spec.ms_speed <= 0.0 then invalid_arg "Fleet.run: non-positive speed";
+        let plat =
+          Iw_hw.Platform.with_cores
+            { spec.ms_plat with Iw_hw.Platform.ghz }
+            spec.ms_workers
+        in
+        let personality =
+          match spec.ms_os with
+          | Plane.Nk -> Os.nautilus plat
+          | Plane.Linux -> Os.linux plat
+        in
+        let k =
+          Sched.boot ~seed:(cfg.fc_seed + (101 * (m + 1))) ~personality plat
+        in
+        let costs = plat.Iw_hw.Platform.costs in
+        let tx_c =
+          costs.Iw_hw.Platform.atomic_rmw + costs.Iw_hw.Platform.cache_line_remote
+        in
+        let outbox = Net.mb_create () in
+        let sim = Sched.sim k in
+        let respond ~reply =
+          Net.mb_push outbox ~kind:Net.k_resp ~dst:(-1) ~a:reply ~b:m
+            ~t:(Iw_engine.Sim.now sim)
+        in
+        let dispatch_rng =
+          Rng.create ~seed:((cfg.fc_seed + (7919 * (m + 1))) lxor rng_salt)
+        in
+        let ex =
+          Exec.create ~k
+            ~prefix:(Printf.sprintf "m%d-%s" m spec.ms_name)
+            ~workers:spec.ms_workers ~order:cfg.fc_order
+            ~queue_cap:cfg.fc_queue_cap ~backend:cfg.fc_backend
+            ~work_us:(cfg.fc_work_us /. spec.ms_speed)
+            ~policy:cfg.fc_local_policy ~dispatch_rng
+            ~wasp_seed:(cfg.fc_seed + 17 + (1000 * (m + 1)))
+            ~mode:(Exec.Fleet { fm_tx_c = tx_c; fm_respond = respond })
+            ()
+        in
+        if gossip_c > 0 then begin
+          let rec tick () =
+            Net.mb_push outbox ~kind:Net.k_gossip ~dst:(-1) ~a:(Exec.depth ex)
+              ~b:m ~t:(Iw_engine.Sim.now sim);
+            Iw_engine.Sim.schedule_after_unit sim gossip_c tick
+          in
+          Iw_engine.Sim.schedule_unit sim ~at:gossip_c tick
+        end;
+        {
+          m_spec = spec;
+          m_k = k;
+          m_ex = ex;
+          m_sim = sim;
+          m_outbox = outbox;
+          m_up = Net.link cfg.fc_net ~ghz;
+          m_down = Net.link cfg.fc_net ~ghz;
+          m_cpu_base = cpu_base.(m);
+          m_paused = false;
+          m_streak = 0;
+          m_ejected_until = 0;
+        })
+  in
+
+  (* -------------------------------------------------------------- *)
+  (* Front tier *)
+  let fsim = Iw_engine.Sim.create ~seed:(cfg.fc_seed lxor 0xF401) () in
+  let base = Rng.create ~seed:(cfg.fc_seed lxor rng_salt) in
+  let arrival_rng = Rng.split base in
+  let balancer_rng = Rng.split base in
+  let prio_rng = Rng.split base in
+  let bdisp = Dispatch.create cfg.fc_policy ~rng:balancer_rng in
+  let front_outbox = Net.mb_create () in
+  let view = Array.make n 0 in
+  let weights =
+    Array.map
+      (fun s -> max 1 (int_of_float (float_of_int s.ms_workers *. s.ms_speed *. 16.0)))
+      cfg.fc_machines
+  in
+  let ft = ftab_create () in
+
+  let arrivals = ref 0 in
+  let completed = ref 0 in
+  let failed = ref 0 in
+  let retries = ref 0 in
+  let nacks = ref 0 in
+  let net_msgs = ref 0 in
+  let net_drops = ref 0 in
+  let gossip_msgs = ref 0 in
+  let ejects = ref 0 in
+  let outstanding = ref 0 in
+  let gen_done = ref false in
+  let h_e2e = Hist.create () in
+
+  let cand = Array.make n 0 in
+  let pick_machine now =
+    let nc = ref 0 in
+    for m = 0 to n - 1 do
+      if machines.(m).m_ejected_until <= now then begin
+        cand.(!nc) <- m;
+        incr nc
+      end
+    done;
+    if !nc = 0 then begin
+      (* everyone ejected: no choice but to try them all again *)
+      for m = 0 to n - 1 do
+        cand.(m) <- m
+      done;
+      nc := n
+    end;
+    let j =
+      Dispatch.pick bdisp ~n:!nc
+        ~len:(fun j -> view.(cand.(j)))
+        ~weight:(fun j -> weights.(cand.(j)))
+    in
+    cand.(j)
+  in
+
+  let rec send_attempt id attempt =
+    let now = Iw_engine.Sim.now fsim in
+    let m = pick_machine now in
+    ft.ft_machine.(id) <- m;
+    Net.mb_push front_outbox ~kind:Net.k_req ~dst:m ~a:id
+      ~b:((attempt lsl 1) lor ft.ft_hi.(id))
+      ~t:now;
+    Iw_engine.Sim.schedule_unit fsim ~at:(now + rto_c) (fun () ->
+        on_timeout id attempt)
+  and retry id =
+    if ft.ft_retries.(id) >= cfg.fc_max_retries then begin
+      ft.ft_state.(id) <- 2;
+      incr failed;
+      Counter.incr fctr Counter.Service_failed;
+      decr outstanding
+    end
+    else begin
+      ft.ft_retries.(id) <- ft.ft_retries.(id) + 1;
+      incr retries;
+      Counter.incr fctr Counter.Net_retries;
+      send_attempt id ft.ft_retries.(id)
+    end
+  and on_timeout id attempt =
+    (* Only the newest attempt can time out; a response or nack in
+       the meantime either finished the request or already retried. *)
+    if ft.ft_state.(id) = 0 && ft.ft_retries.(id) = attempt then begin
+      let mc = machines.(ft.ft_machine.(id)) in
+      mc.m_streak <- mc.m_streak + 1;
+      if cfg.fc_eject_streak > 0 && mc.m_streak >= cfg.fc_eject_streak then begin
+        mc.m_ejected_until <- Iw_engine.Sim.now fsim + eject_c;
+        mc.m_streak <- 0;
+        incr ejects;
+        Counter.incr fctr Counter.Machine_ejects
+      end;
+      retry id
+    end
+  in
+  let on_resp id m =
+    if ft.ft_state.(id) = 0 then begin
+      ft.ft_state.(id) <- 1;
+      machines.(m).m_streak <- 0;
+      incr completed;
+      Hist.record h_e2e (Iw_engine.Sim.now fsim - ft.ft_arrival.(id));
+      decr outstanding
+    end
+  in
+  let on_nack id attempt m =
+    incr nacks;
+    Counter.incr fctr Counter.Net_nacks;
+    machines.(m).m_streak <- 0;
+    (* a nack proves the machine is alive, just full — retry now
+       rather than waiting out the RTO *)
+    if ft.ft_state.(id) = 0 && ft.ft_retries.(id) = attempt then retry id
+  in
+
+  let g = Workload.gen cfg.fc_workload ~rng:arrival_rng in
+  Workload.set_ghz g ghz;
+  let draw_hi () =
+    cfg.fc_hi_frac > 0.0
+    && float_of_int (Rng.raw53 prio_rng) /. two53 < cfg.fc_hi_frac
+  in
+  let rec arrive () =
+    let now = Iw_engine.Sim.now fsim in
+    incr arrivals;
+    Counter.incr fctr Counter.Service_arrivals;
+    let id = ftab_alloc ft ~arrival:now ~hi:(draw_hi ()) in
+    incr outstanding;
+    send_attempt id 0;
+    schedule_next ()
+  and schedule_next () =
+    let at = Workload.next_cycles g in
+    if at < 0 then gen_done := true
+    else
+      Iw_engine.Sim.schedule_unit fsim
+        ~at:(max at (Iw_engine.Sim.now fsim))
+        arrive
+  in
+  schedule_next ();
+
+  (* -------------------------------------------------------------- *)
+  (* Barrier: route every outbox message in canonical order *)
+  let bytes_of kind =
+    if kind = Net.k_req then cfg.fc_net.Net.nc_req_bytes
+    else if kind = Net.k_gossip then cfg.fc_net.Net.nc_gossip_bytes
+    else cfg.fc_net.Net.nc_resp_bytes
+  in
+  let rx m id hi attempt =
+    let mc = machines.(m) in
+    let now = Iw_engine.Sim.now mc.m_sim in
+    let qi = Exec.try_enqueue mc.m_ex ~hi ~arrival:now ~reply:id in
+    if qi >= 0 then Sched.sem_signal mc.m_k (Exec.doorbell mc.m_ex qi)
+    else begin
+      Counter.incr (Sched.counters mc.m_k) Counter.Service_shed;
+      Net.mb_push mc.m_outbox ~kind:Net.k_nack ~dst:(-1) ~a:id ~b:attempt ~t:now
+    end
+  in
+  let route_one src buf i h =
+    let kind = buf.Net.mb_kind.(i) in
+    let dst = buf.Net.mb_dst.(i) in
+    let a = buf.Net.mb_a.(i) in
+    let b = buf.Net.mb_b.(i) in
+    let t = buf.Net.mb_t.(i) in
+    if Plan.enabled plan && Plan.fire plan front_obs ~kind:Plan.Link_drop ~cpu:src ~ts:t
+    then begin
+      incr net_drops;
+      Counter.incr fctr Counter.Net_drops
+    end
+    else begin
+      let extra =
+        if
+          Plan.enabled plan
+          && Plan.fire plan front_obs ~kind:Plan.Link_delay ~cpu:src ~ts:t
+        then Plan.net_delay_cycles plan
+        else 0
+      in
+      let link =
+        if kind = Net.k_req then machines.(dst).m_up else machines.(src - 1).m_down
+      in
+      let d = Net.route link ~send:t ~bytes:(bytes_of kind) ~extra in
+      (* conservative clamp: never deliver into the closing window *)
+      let at = if d < h then h else d in
+      incr net_msgs;
+      Counter.incr fctr Counter.Net_msgs;
+      if kind = Net.k_req then begin
+        let hi = b land 1 = 1 in
+        let attempt = b asr 1 in
+        Iw_engine.Sim.schedule_unit machines.(dst).m_sim ~at (fun () ->
+            rx dst a hi attempt)
+      end
+      else if kind = Net.k_resp then
+        Iw_engine.Sim.schedule_unit fsim ~at (fun () -> on_resp a b)
+      else if kind = Net.k_gossip then
+        Iw_engine.Sim.schedule_unit fsim ~at (fun () ->
+            view.(b) <- a;
+            incr gossip_msgs;
+            Counter.incr fctr Counter.Gossip_msgs)
+      else
+        Iw_engine.Sim.schedule_unit fsim ~at (fun () -> on_nack a b (src - 1))
+    end
+  in
+  let bufs = Array.make (n + 1) front_outbox in
+  for m = 0 to n - 1 do
+    bufs.(m + 1) <- machines.(m).m_outbox
+  done;
+  let barrier h =
+    (* machine pauses draw first, in machine order *)
+    if Plan.enabled plan then
+      for m = 0 to n - 1 do
+        if Plan.fire plan front_obs ~kind:Plan.Machine_pause ~cpu:m ~ts:h then
+          machines.(m).m_paused <- true
+      done;
+    let total = ref 0 in
+    Array.iter (fun b -> total := !total + b.Net.mb_n) bufs;
+    if !total > 0 then begin
+      (* canonical order: send time, then source (front first), then
+         per-source submission order — independent of how machine
+         domains were scheduled *)
+      let items = Array.make !total (0, 0, 0) in
+      let pos = ref 0 in
+      Array.iteri
+        (fun s b ->
+          for i = 0 to b.Net.mb_n - 1 do
+            items.(!pos) <- (b.Net.mb_t.(i), s, i);
+            incr pos
+          done)
+        bufs;
+      Array.sort compare items;
+      Array.iter (fun (_, s, i) -> route_one s bufs.(s) i h) items;
+      Array.iter Net.mb_clear bufs
+    end
+  in
+
+  (* -------------------------------------------------------------- *)
+  (* The conservative window loop *)
+  let advance_machine mc h =
+    if mc.m_paused then mc.m_paused <- false
+    else begin
+      if tracing then Iw_obs.Trace.set_cpu_base tr mc.m_cpu_base;
+      Sched.run ~horizon:h mc.m_k;
+      if tracing then Iw_obs.Trace.set_cpu_base tr 0
+    end
+  in
+  let windows = ref 0 in
+  let elapsed = ref 0 in
+  if not parallel then begin
+    while not (!gen_done && !outstanding = 0) do
+      let h = !elapsed + w_c in
+      Iw_engine.Sim.run fsim ~until:h;
+      Array.iter (fun mc -> advance_machine mc h) machines;
+      barrier h;
+      incr windows;
+      elapsed := h
+    done
+  end
+  else begin
+    (* One domain per machine; the coordinator runs the front tier
+       and the barrier.  Commands and completions hand off through a
+       mutex, which also publishes each side's writes to the other. *)
+    let ctl =
+      Array.init n (fun _ ->
+          (Mutex.create (), Condition.create (), ref 0, ref false))
+    in
+    let body m () =
+      let mu, cv, cmd, done_ = ctl.(m) in
+      let mc = machines.(m) in
+      let rec loop () =
+        Mutex.lock mu;
+        while !cmd = 0 do
+          Condition.wait cv mu
+        done;
+        let c = !cmd in
+        cmd := 0;
+        Mutex.unlock mu;
+        if c > 0 then begin
+          Sched.run ~horizon:c mc.m_k;
+          Mutex.lock mu;
+          done_ := true;
+          Condition.signal cv;
+          Mutex.unlock mu;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = Array.init n (fun m -> Domain.spawn (body m)) in
+    while not (!gen_done && !outstanding = 0) do
+      let h = !elapsed + w_c in
+      Iw_engine.Sim.run fsim ~until:h;
+      Array.iteri
+        (fun m mc ->
+          if not mc.m_paused then begin
+            let mu, cv, cmd, _ = ctl.(m) in
+            Mutex.lock mu;
+            cmd := h;
+            Condition.signal cv;
+            Mutex.unlock mu
+          end)
+        machines;
+      Array.iteri
+        (fun m mc ->
+          if mc.m_paused then mc.m_paused <- false
+          else begin
+            let mu, cv, _, done_ = ctl.(m) in
+            Mutex.lock mu;
+            while not !done_ do
+              Condition.wait cv mu
+            done;
+            done_ := false;
+            Mutex.unlock mu
+          end)
+        machines;
+      barrier h;
+      incr windows;
+      elapsed := h
+    done;
+    Array.iteri
+      (fun m _ ->
+        let mu, cv, cmd, _ = ctl.(m) in
+        Mutex.lock mu;
+        cmd := -1;
+        Condition.signal cv;
+        Mutex.unlock mu)
+      machines;
+    Array.iter Domain.join domains
+  end;
+
+  (* -------------------------------------------------------------- *)
+  (* Readout *)
+  let merge hs =
+    let dst = Hist.create () in
+    Array.iter (fun h -> Hist.merge_into ~dst h) hs;
+    dst
+  in
+  let q = Hist.create () in
+  let s = Hist.create () in
+  Array.iter
+    (fun mc ->
+      Hist.merge_into ~dst:q (merge (Exec.h_queue mc.m_ex));
+      Hist.merge_into ~dst:s (merge (Exec.h_service mc.m_ex)))
+    machines;
+  let duration_us = Workload.duration_us cfg.fc_workload in
+  let elapsed_s = Iw_hw.Platform.us_of_cycles plat0 !elapsed /. 1e6 in
+  let total_worker_cycles =
+    Array.fold_left
+      (fun acc mc -> acc + (mc.m_spec.ms_workers * !elapsed))
+      0 machines
+  in
+  let busy =
+    Array.fold_left (fun acc mc -> acc + Exec.busy_cycles mc.m_ex) 0 machines
+  in
+  {
+    fr_machines = n;
+    fr_policy = Dispatch.name cfg.fc_policy;
+    fr_local_policy = Dispatch.name cfg.fc_local_policy;
+    fr_backend = Exec.backend_name cfg.fc_backend;
+    fr_workload = Workload.describe cfg.fc_workload;
+    fr_offered_rps = Workload.offered_rps cfg.fc_workload;
+    fr_duration_us = duration_us;
+    fr_ghz = ghz;
+    fr_window_cycles = w_c;
+    fr_windows = !windows;
+    fr_arrivals = !arrivals;
+    fr_completed = !completed;
+    fr_failed = !failed;
+    fr_retries = !retries;
+    fr_nacks = !nacks;
+    fr_net_msgs = !net_msgs;
+    fr_net_drops = !net_drops;
+    fr_gossip_msgs = !gossip_msgs;
+    fr_ejects = !ejects;
+    fr_elapsed_cycles = !elapsed;
+    fr_throughput_rps =
+      (if elapsed_s > 0.0 then float_of_int !completed /. elapsed_s else 0.0);
+    fr_utilization =
+      (if total_worker_cycles > 0 then
+         float_of_int busy /. float_of_int total_worker_cycles
+       else 0.0);
+    fr_total = h_e2e;
+    fr_queue = q;
+    fr_service = s;
+    fr_m_names =
+      Array.mapi (fun m mc -> Printf.sprintf "m%d:%s" m mc.m_spec.ms_name) machines;
+    fr_m_completed = Array.map (fun mc -> !(Exec.completed_ref mc.m_ex)) machines;
+    fr_m_busy = Array.map (fun mc -> Exec.busy_cycles mc.m_ex) machines;
+    fr_m_counters =
+      Array.map (fun mc -> Counter.to_list (Sched.counters mc.m_k)) machines;
+  }

@@ -1,0 +1,105 @@
+(** Fleet serving: N simulated machines behind a load-balancing front
+    tier, connected by the {!Net} link model.
+
+    Each machine is a full {!Exec} stack (own kernel, OS personality,
+    platform costs, queues, workers) normalized onto one fleet clock;
+    heterogeneity comes from the personality, the cost tables, the
+    worker count, and a per-machine body-speed multiplier.  The front
+    tier turns {!Workload} arrivals into requests, picks a machine by
+    a {!Dispatch} policy over *gossiped* queue depths (the signal
+    itself travels over the modeled network, so queue-aware policies
+    act on stale information), and recovers from network faults with
+    timeout-driven retries and streak-based ejection.
+
+    {b Determinism.}  Machines advance in conservative time windows
+    of W = one link latency: no message sent inside a window can be
+    delivered in the same window, so each machine's event stream is
+    independent of the others' progress within a window.  At the
+    barrier the coordinator routes every outbox message in canonical
+    order (send time, source node, submission order) and schedules
+    deliveries into the next window.  Running machines on one domain
+    or N domains therefore produces byte-identical results; fault
+    draws happen only at barriers, on the coordinator.  See DESIGN §9. *)
+
+type mspec = {
+  ms_name : string;  (** per-machine identity in tables and spans *)
+  ms_os : Plane.os;
+  ms_plat : Iw_hw.Platform.t;  (** clock is overridden to the fleet's *)
+  ms_workers : int;
+  ms_speed : float;  (** request-body speedup vs the fleet baseline *)
+}
+
+val knl_spec : ?workers:int -> unit -> mspec
+(** KNL-like box: Nautilus personality, 8 workers, speed 1.0. *)
+
+val server_spec : ?workers:int -> unit -> mspec
+(** Server-like box: Linux personality on [server_2x12] costs,
+    4 workers, speed 2.5 (faster cores, fewer of them). *)
+
+type config = {
+  fc_machines : mspec array;
+  fc_workload : Workload.spec;  (** open-loop only *)
+  fc_policy : Dispatch.policy;  (** balancer, across machines *)
+  fc_local_policy : Dispatch.policy;  (** within each machine *)
+  fc_order : Squeue.order;
+  fc_queue_cap : int;
+  fc_backend : Exec.backend;
+  fc_work_us : float;
+  fc_hi_frac : float;
+  fc_net : Net.config;
+  fc_gossip_us : float;  (** queue-depth gossip period; 0 disables *)
+  fc_rto_us : float;  (** front-side retry timeout per attempt *)
+  fc_max_retries : int;
+  fc_eject_streak : int;  (** consecutive timeouts before ejection *)
+  fc_eject_us : float;  (** how long an ejected machine sits out *)
+  fc_seed : int;
+}
+
+val default : unit -> config
+(** Two KNL-like machines, Poisson 100k rps for 50 ms, po2 balancer,
+    po2 local dispatch, 20 us bodies, {!Net.default}, 50 us gossip,
+    4 ms RTO, 3 retries, eject after 3 strikes for 2 ms. *)
+
+type report = {
+  fr_machines : int;
+  fr_policy : string;
+  fr_local_policy : string;
+  fr_backend : string;
+  fr_workload : string;
+  fr_offered_rps : float;
+  fr_duration_us : float;
+  fr_ghz : float;
+  fr_window_cycles : int;  (** W, the conservative sync window *)
+  fr_windows : int;
+  fr_arrivals : int;
+  fr_completed : int;
+  fr_failed : int;  (** retries exhausted *)
+  fr_retries : int;
+  fr_nacks : int;  (** machine drop-tail refusals, retried *)
+  fr_net_msgs : int;
+  fr_net_drops : int;
+  fr_gossip_msgs : int;
+  fr_ejects : int;
+  fr_elapsed_cycles : int;
+  fr_throughput_rps : float;
+  fr_utilization : float;  (** busy cycles over fleet worker-cycles *)
+  fr_total : Hist.t;  (** end-to-end: arrival to front-side response *)
+  fr_queue : Hist.t;  (** machine-local queue wait, merged *)
+  fr_service : Hist.t;  (** machine-local service time, merged *)
+  fr_m_names : string array;
+  fr_m_completed : int array;
+  fr_m_busy : int array;
+  fr_m_counters : (string * int) list array;
+      (** per-machine nonzero counter totals, for
+          {!Interweave.Machine.Fleet.counter_table}-style views *)
+}
+
+val run : ?parallel:bool -> config -> report
+(** [parallel] defaults to one-domain-per-machine when called from
+    the main domain with tracing off, and serial otherwise (nested
+    experiment drivers, traced runs).  Both modes are byte-identical.
+    @raise Invalid_argument on a closed-loop workload or an empty
+    machine array. *)
+
+val us_of_cycles : report -> int -> float
+val percentile_us : report -> Hist.t -> float -> float

@@ -6,11 +6,11 @@ type os = Nk | Linux
 let os_name = function Nk -> "nk" | Linux -> "linux"
 let os_of_string = function "nk" -> Some Nk | "linux" -> Some Linux | _ -> None
 
-type backend =
+type backend = Exec.backend =
   | Fiber_exec
   | Virtine_exec of { vconfig : Iw_virtine.Wasp.config; pool : int }
 
-let backend_name = function Fiber_exec -> "fiber" | Virtine_exec _ -> "virtine"
+let backend_name = Exec.backend_name
 
 type config = {
   os : os;
@@ -81,38 +81,10 @@ let rng_salt = 0x5E21CE
 (* 2^53, the mantissa divisor behind [Rng.float]. *)
 let two53 = 9007199254740992.0
 
-(* Max requests a worker drains per doorbell wake (Fifo only). *)
-let batch_k = 8
-
-(* A worker as a flat state machine: the closureiters-style
-   compilation of the old per-worker coroutine loop.  One record and
-   one step closure per worker, allocated at setup; from then on the
-   worker runs entirely on these mutable fields, so a steady-state
-   request costs zero minor-heap words.  [w_state] values: *)
-let st_start = 0 (* first activation: wait on the doorbell *)
-
-let st_pop = 1 (* own one doorbell count: pop and execute *)
-let st_staged = 2 (* sem cost paid: settle the lease, execute *)
-let st_vwork = 3 (* virtine overhead paid: run the body *)
-let st_done = 4 (* body finished: account and complete *)
-let st_replied = 5 (* reply posted: finish bookkeeping *)
-let st_bcast = 6 (* stop: posting every doorbell in turn *)
-
-type worker = {
-  w_id : int;
-  w_fl : Sched.flat;
-  mutable w_state : int;
-  mutable w_req : int;  (* arena index under execution *)
-  mutable w_start : int;  (* cycle execution started *)
-  w_scratch : int array;  (* leased arena indices (batched drain) *)
-  mutable w_sc_n : int;
-  mutable w_sc_i : int;
-  mutable w_bc : int;  (* stop-broadcast cursor *)
-}
-
-(* The open-loop load generator, same treatment.  [l_state]: 0 = draw
-   next arrival, 1 = woken at the arrival time, 2 = submit overhead
-   paid, 3 = stop broadcast. *)
+(* The open-loop load generator as a flat state machine (the worker
+   side lives in [Exec]).  [l_state]: 0 = draw next arrival, 1 =
+   woken at the arrival time, 2 = submit overhead paid, 3 = stop
+   broadcast. *)
 type loadgen = {
   l_fl : Sched.flat;
   mutable l_state : int;
@@ -140,7 +112,6 @@ let run cfg =
   let costs = plat.Iw_hw.Platform.costs in
   let cyc us = Iw_hw.Platform.cycles_of_us plat us in
   let duration_c = cyc (Workload.duration_us cfg.workload) in
-  let work_c = cyc cfg.work_us in
   let submit_cost =
     costs.Iw_hw.Platform.atomic_rmw + costs.Iw_hw.Platform.cache_line_remote
   in
@@ -151,22 +122,6 @@ let run cfg =
   let prio_rng = Rng.split base in
   let think_rng = Rng.split base in
 
-  let queues =
-    Array.init cfg.workers (fun _ -> Squeue.create ~order:cfg.order ~cap:cfg.queue_cap)
-  in
-  let doorbells = Array.init cfg.workers (fun _ -> Sched.semaphore ~init:0) in
-  let disp = Dispatch.create cfg.policy ~rng:dispatch_rng in
-
-  let h_queue = Array.init cfg.workers (fun _ -> Hist.create ()) in
-  let h_service = Array.init cfg.workers (fun _ -> Hist.create ()) in
-  let h_total = Array.init cfg.workers (fun _ -> Hist.create ()) in
-
-  (* In-flight bound: every queue full plus one executing per worker,
-     plus one being submitted; closed loops are additionally bounded
-     by the client count.  The arena doubles if this guess is low. *)
-  let arena =
-    Request_arena.create ~cap:((cfg.workers * (cfg.queue_cap + 1)) + 1)
-  in
   let replies =
     match cfg.workload with
     | Workload.Closed { clients; _ } ->
@@ -174,17 +129,23 @@ let run cfg =
     | _ -> [||]
   in
 
-  let arrivals = ref 0 and admitted = ref 0 and completed = ref 0 in
-  let shed = ref 0 and backpressure = ref 0 in
-  let busy = ref 0 in
-  let gen_done = ref false and stopping = ref false in
-
-  let wasp =
-    match cfg.backend with
-    | Virtine_exec { vconfig; pool } ->
-        Some (Iw_virtine.Wasp.create ~obs ~seed:(cfg.seed + 17) ~pool_size:pool vconfig)
-    | Fiber_exec -> None
+  (* The machine role — queues, doorbells, dispatch, arena, backend,
+     flat workers — extracted to [Exec] (the fleet boots the same
+     executor once per machine). *)
+  let ex =
+    Exec.create ~k ~workers:cfg.workers ~order:cfg.order
+      ~queue_cap:cfg.queue_cap ~backend:cfg.backend ~work_us:cfg.work_us
+      ~policy:cfg.policy ~dispatch_rng ~wasp_seed:(cfg.seed + 17)
+      ~mode:(Exec.Standalone replies) ()
   in
+  let doorbells = Exec.doorbells ex in
+  let admitted = Exec.admitted_ref ex in
+  let completed = Exec.completed_ref ex in
+  let gen_done = Exec.gen_done_ref ex in
+  let stopping = Exec.stopping_ref ex in
+
+  let arrivals = ref 0 in
+  let shed = ref 0 and backpressure = ref 0 in
 
   (* Priority draw, shared verbatim between the flat and coroutine
      submit paths: one [prio_rng] draw iff hi_frac > 0 ([Rng.float]
@@ -193,165 +154,6 @@ let run cfg =
     cfg.hi_frac > 0.0
     && float_of_int (Rng.raw53 prio_rng) /. two53 < cfg.hi_frac
   in
-
-  (* ---------------------------------------------------------------- *)
-  (* Workers: flat state machines *)
-
-  let workers =
-    Array.init cfg.workers (fun w ->
-        {
-          w_id = w;
-          w_fl =
-            Sched.spawn_flat k
-              ~spec:
-                {
-                  Sched.sp_name = Printf.sprintf "serve-w%d" w;
-                  sp_cpu = Some w;
-                  sp_fp = false;
-                  sp_rt = false;
-                }
-              ();
-          w_state = st_start;
-          w_req = -1;
-          w_start = 0;
-          w_scratch = Array.make (batch_k - 1) (-1);
-          w_sc_n = 0;
-          w_sc_i = 0;
-          w_bc = 0;
-        })
-  in
-
-  (* Batched drain (Fifo only): pop up to [batch_k - 1] extra requests
-     now, leased so length probes still see them, and consume their
-     doorbell counts one by one between executions — byte-identical to
-     popping them one at a time.  Priority queues drain per-item: a
-     high-priority arrival during execution must still overtake a
-     queued low one. *)
-  let stage_extras w =
-    w.w_sc_n <- 0;
-    w.w_sc_i <- 0;
-    match cfg.order with
-    | Squeue.Priority -> ()
-    | Squeue.Fifo ->
-        let q = queues.(w.w_id) and db = doorbells.(w.w_id) in
-        while
-          w.w_sc_n < batch_k - 1
-          && Sched.sem_value db > w.w_sc_n
-          && (let v = Squeue.lease_pop q in
-              v >= 0
-              && begin
-                   w.w_scratch.(w.w_sc_n) <- v;
-                   w.w_sc_n <- w.w_sc_n + 1;
-                   true
-                 end)
-        do
-          ()
-        done
-  in
-
-  let rec w_activation w =
-    if w.w_state = st_start then begin
-      w.w_state <- st_pop;
-      Sched.flat_sem_wait k w.w_fl doorbells.(w.w_id)
-    end
-    else if w.w_state = st_pop then begin
-      let v = Squeue.pop_idx queues.(w.w_id) in
-      if v >= 0 then begin
-        stage_extras w;
-        start_exec w v
-      end
-      else if !stopping then Sched.flat_exit k w.w_fl
-      else Sched.flat_sem_wait k w.w_fl doorbells.(w.w_id)
-    end
-    else if w.w_state = st_staged then begin
-      Squeue.settle queues.(w.w_id);
-      let v = w.w_scratch.(w.w_sc_i) in
-      w.w_sc_i <- w.w_sc_i + 1;
-      start_exec w v
-    end
-    else if w.w_state = st_vwork then begin
-      w.w_state <- st_done;
-      Sched.flat_work k w.w_fl work_c
-    end
-    else if w.w_state = st_done then finish_exec w
-    else if w.w_state = st_replied then after_reply w
-    else if w.w_state = st_bcast then begin
-      if w.w_bc < cfg.workers then begin
-        let i = w.w_bc in
-        w.w_bc <- i + 1;
-        Sched.flat_sem_post k w.w_fl doorbells.(i)
-      end
-      else next_item w
-    end
-    else assert false
-
-  (* Begin executing arena slot [v]: record queue wait, then route the
-     body through the backend exactly as the coroutine worker did —
-     fiber = one work grant; virtine = overhead (spawn latency above
-     the body) then work. *)
-  and start_exec w v =
-    let start = Sched.now k in
-    w.w_req <- v;
-    w.w_start <- start;
-    Hist.record h_queue.(w.w_id) (start - Request_arena.arrival arena v);
-    match cfg.backend with
-    | Fiber_exec ->
-        w.w_state <- st_done;
-        Sched.flat_work k w.w_fl work_c
-    | Virtine_exec _ ->
-        let w_ = match wasp with Some w_ -> w_ | None -> assert false in
-        let now_us = Iw_hw.Platform.us_of_cycles plat start in
-        let lat_us = Iw_virtine.Wasp.call_at w_ ~now_us ~work_us:cfg.work_us in
-        w.w_state <- st_vwork;
-        Sched.flat_overhead k w.w_fl (max 0 (cyc lat_us - work_c))
-
-  and finish_exec w =
-    let fin = Sched.now k in
-    busy := !busy + (fin - w.w_start);
-    Hist.record h_service.(w.w_id) (fin - w.w_start);
-    Hist.record h_total.(w.w_id) (fin - Request_arena.arrival arena w.w_req);
-    incr completed;
-    Iw_obs.Counter.incr ctr Iw_obs.Counter.Service_completions;
-    if Iw_obs.Trace.enabled tr then
-      Iw_obs.Trace.span tr ~name:"service:exec" ~cat:"service" ~cpu:w.w_id
-        ~ts:w.w_start ~dur:(fin - w.w_start) ();
-    let r = Request_arena.reply arena w.w_req in
-    Request_arena.free arena w.w_req;
-    w.w_req <- -1;
-    if r >= 0 then begin
-      w.w_state <- st_replied;
-      Sched.flat_sem_post k w.w_fl replies.(r)
-    end
-    else after_reply w
-
-  and after_reply w =
-    if !gen_done && !completed = !admitted && not !stopping then begin
-      stopping := true;
-      w.w_bc <- 0;
-      w.w_state <- st_bcast;
-      w_activation w
-    end
-    else next_item w
-
-  and next_item w =
-    if w.w_sc_i < w.w_sc_n then begin
-      (* A staged request: its doorbell count is still outstanding, so
-         consume it now at the uncontended cost — when the coroutine
-         worker looped back to sem_wait here, the count was >= 1. *)
-      w.w_state <- st_staged;
-      Sched.flat_sem_take k w.w_fl doorbells.(w.w_id)
-    end
-    else begin
-      w.w_sc_n <- 0;
-      w.w_sc_i <- 0;
-      w.w_state <- st_pop;
-      Sched.flat_sem_wait k w.w_fl doorbells.(w.w_id)
-    end
-  in
-  Array.iter
-    (fun w ->
-      Sched.set_flat_step w.w_fl (fun () -> w_activation w))
-    workers;
 
   (* ---------------------------------------------------------------- *)
   (* Load generation *)
@@ -365,21 +167,12 @@ let run cfg =
         Iw_obs.Counter.incr ctr Iw_obs.Counter.Service_arrivals;
         Api.overhead submit_cost;
         let hi = draw_hi () in
-        let qi = Dispatch.pick_queues disp queues in
-        let idx =
-          Request_arena.alloc arena ~arrival:(Api.now ()) ~hi ~reply:c
-        in
-        if Squeue.try_push queues.(qi) ~hi idx then begin
-          incr admitted;
-          Iw_obs.Counter.incr ctr Iw_obs.Counter.Service_admitted;
-          if hi then Iw_obs.Counter.incr ctr Iw_obs.Counter.Service_hi_prio;
+        let qi = Exec.try_enqueue ex ~hi ~arrival:(Api.now ()) ~reply:c in
+        if qi >= 0 then begin
           Api.sem_post doorbells.(qi);
           true
         end
-        else begin
-          Request_arena.free arena idx;
-          false
-        end
+        else false
       in
       let initiate_stop () =
         if not !stopping then begin
@@ -486,18 +279,13 @@ let run cfg =
 
       and lg_push lg =
         let hi = draw_hi () in
-        let qi = Dispatch.pick_queues disp queues in
         let now = Sched.now k in
-        let idx = Request_arena.alloc arena ~arrival:now ~hi ~reply:(-1) in
-        if Squeue.try_push queues.(qi) ~hi idx then begin
-          incr admitted;
-          Iw_obs.Counter.incr ctr Iw_obs.Counter.Service_admitted;
-          if hi then Iw_obs.Counter.incr ctr Iw_obs.Counter.Service_hi_prio;
+        let qi = Exec.try_enqueue ex ~hi ~arrival:now ~reply:(-1) in
+        if qi >= 0 then begin
           lg.l_state <- 0;
           Sched.flat_sem_post k lg.l_fl doorbells.(qi)
         end
         else begin
-          Request_arena.free arena idx;
           incr shed;
           Iw_obs.Counter.incr ctr Iw_obs.Counter.Service_shed;
           if Iw_obs.Trace.enabled tr then
@@ -524,6 +312,7 @@ let run cfg =
   in
   let elapsed = Sched.now k in
   let elapsed_s = Iw_hw.Platform.us_of_cycles plat elapsed /. 1e6 in
+  let busy = Exec.busy_cycles ex in
   {
     rep_os = os_name cfg.os;
     rep_backend = backend_name cfg.backend;
@@ -539,20 +328,26 @@ let run cfg =
     rep_shed = !shed;
     rep_backpressure = !backpressure;
     rep_elapsed_cycles = elapsed;
-    rep_busy_cycles = !busy;
+    rep_busy_cycles = busy;
     rep_throughput_rps =
       (if elapsed_s > 0.0 then float_of_int !completed /. elapsed_s else 0.0);
     rep_utilization =
       (if elapsed > 0 then
-         float_of_int !busy /. float_of_int (cfg.workers * elapsed)
+         float_of_int busy /. float_of_int (cfg.workers * elapsed)
        else 0.0);
-    rep_pool_hits = (match wasp with Some w -> Iw_virtine.Wasp.pool_hits w | None -> 0);
-    rep_spawns = (match wasp with Some w -> Iw_virtine.Wasp.spawned w | None -> 0);
+    rep_pool_hits =
+      (match Exec.wasp ex with
+      | Some w -> Iw_virtine.Wasp.pool_hits w
+      | None -> 0);
+    rep_spawns =
+      (match Exec.wasp ex with
+      | Some w -> Iw_virtine.Wasp.spawned w
+      | None -> 0);
     rep_run_minor_words = run_minor;
     rep_run_major_words = run_major;
-    rep_arena_capacity = Request_arena.capacity arena;
-    rep_arena_grows = Request_arena.grows arena;
-    rep_queue = merge h_queue;
-    rep_service = merge h_service;
-    rep_total = merge h_total;
+    rep_arena_capacity = Exec.arena_capacity ex;
+    rep_arena_grows = Exec.arena_grows ex;
+    rep_queue = merge (Exec.h_queue ex);
+    rep_service = merge (Exec.h_service ex);
+    rep_total = merge (Exec.h_total ex);
   }

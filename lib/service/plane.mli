@@ -24,7 +24,7 @@ type os = Nk | Linux
 val os_name : os -> string
 val os_of_string : string -> os option
 
-type backend =
+type backend = Exec.backend =
   | Fiber_exec  (** Per-worker cooperative fiber runs each body. *)
   | Virtine_exec of { vconfig : Iw_virtine.Wasp.config; pool : int }
       (** Each request is a virtine call through one shared Wasp

@@ -453,6 +453,231 @@ let test_s_experiments_deterministic () =
       check_str (id ^ " byte-identical") a b)
     [ "S3" ]
 
+(* ------------------------------------------------------------------ *)
+(* The network model *)
+
+(* A canonical message sequence: nondecreasing send times with random
+   gaps, random payload sizes. *)
+let net_script =
+  QCheck.(
+    list_of_size
+      Gen.(int_range 1 300)
+      (pair (int_bound 2_000) (int_range 1 1_500)))
+
+let net_cfg = { Iw_service.Net.default with nc_inflight = 8 }
+
+let route_all script =
+  let lk = Iw_service.Net.link net_cfg ~ghz:1.4 in
+  let t = ref 0 in
+  List.map
+    (fun (gap, bytes) ->
+      t := !t + gap;
+      (!t, Iw_service.Net.route lk ~send:!t ~bytes ~extra:0))
+    script
+
+let prop_net_replay_identical =
+  QCheck.Test.make ~name:"link routing is a pure function of the call sequence"
+    ~count:200 net_script (fun script -> route_all script = route_all script)
+
+let prop_net_delivery_bounds =
+  QCheck.Test.make ~name:"delivery >= send + tx + latency, FIFO monotone"
+    ~count:200 net_script (fun script ->
+      let lat = Iw_service.Net.lat_cycles net_cfg ~ghz:1.4 in
+      let deliveries = route_all script in
+      let last = ref 0 in
+      List.for_all
+        (fun (send, d) ->
+          let ok = d >= send + lat && d >= !last in
+          last := d;
+          ok)
+        deliveries)
+
+let prop_net_inflight_bound =
+  QCheck.Test.make ~name:"message i waits for delivery of message i-bound"
+    ~count:200 net_script (fun script ->
+      let deliveries = Array.of_list (List.map snd (route_all script)) in
+      let bound = net_cfg.Iw_service.Net.nc_inflight in
+      let lat = Iw_service.Net.lat_cycles net_cfg ~ghz:1.4 in
+      let ok = ref true in
+      Array.iteri
+        (fun i d ->
+          if i >= bound && d < deliveries.(i - bound) + lat then ok := false)
+        deliveries;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Weighted dispatch *)
+
+let test_dispatch_wjsq_weighted_argmin () =
+  let d =
+    Iw_service.Dispatch.create Iw_service.Dispatch.Wjsq
+      ~rng:(Iw_engine.Rng.create ~seed:7)
+  in
+  (* queue 1 is longer but four times as capable: (4+1)/4 < (2+1)/1 *)
+  let len = function 0 -> 2 | _ -> 4 in
+  let weight = function 0 -> 16 | _ -> 64 in
+  check_int "capacity-normalized shortest wins" 1
+    (Iw_service.Dispatch.pick d ~weight ~n:2 ~len);
+  (* equal weights degenerate to jsq *)
+  let j =
+    Iw_service.Dispatch.create Iw_service.Dispatch.Jsq
+      ~rng:(Iw_engine.Rng.create ~seed:7)
+  in
+  for _ = 0 to 50 do
+    let lens = Array.init 4 (fun i -> (i * 13 mod 7) + 1) in
+    check_int "uniform wjsq = jsq"
+      (Iw_service.Dispatch.pick j ~n:4 ~len:(fun i -> lens.(i)))
+      (Iw_service.Dispatch.pick d ~n:4 ~len:(fun i -> lens.(i)))
+  done
+
+let test_dispatch_wjsq_of_string () =
+  check_bool "wjsq parses" true
+    (Iw_service.Dispatch.of_string "wjsq" = Some Iw_service.Dispatch.Wjsq);
+  check_str "name round-trips" "wjsq"
+    (Iw_service.Dispatch.name Iw_service.Dispatch.Wjsq);
+  check_bool "all is unchanged (S3 shape)" true
+    (List.length Iw_service.Dispatch.all = 4);
+  check_bool "all_weighted includes wjsq" true
+    (List.mem Iw_service.Dispatch.Wjsq Iw_service.Dispatch.all_weighted)
+
+(* ------------------------------------------------------------------ *)
+(* The fleet *)
+
+let small_fleet ?(policy = Iw_service.Dispatch.Po2) ?(gossip_us = 30.0)
+    ?(rps = 150_000.0) ?(seed = 42) () =
+  let open Iw_service in
+  {
+    (Fleet.default ()) with
+    Fleet.fc_machines =
+      [| Fleet.knl_spec ~workers:2 (); Fleet.server_spec ~workers:2 () |];
+    fc_workload = Workload.Poisson { rps; duration_us = 5_000.0 };
+    fc_policy = policy;
+    fc_gossip_us = gossip_us;
+    fc_seed = seed;
+  }
+
+let fleet_fingerprint (r : Iw_service.Fleet.report) =
+  Printf.sprintf "%d/%d/%d/%d/%d/%d/%d/%d/%d" r.fr_arrivals r.fr_completed
+    r.fr_failed r.fr_retries r.fr_nacks r.fr_windows r.fr_elapsed_cycles
+    (Hist.percentile r.fr_total 99.0)
+    (Hist.percentile r.fr_queue 50.0)
+
+let test_fleet_conserves_requests () =
+  let r = Iw_service.Fleet.run (small_fleet ()) in
+  check_bool "arrivals happened" true (r.fr_arrivals > 0);
+  check_int "arrivals = completed + failed" r.fr_arrivals
+    (r.fr_completed + r.fr_failed);
+  check_int "every completion in the e2e histogram" r.fr_completed
+    (Hist.count r.fr_total);
+  check_int "machine completions sum to fleet" r.fr_completed
+    (Array.fold_left ( + ) 0 r.fr_m_completed)
+
+let test_fleet_parallel_serial_identical () =
+  let a = Iw_service.Fleet.run ~parallel:false (small_fleet ()) in
+  let b = Iw_service.Fleet.run ~parallel:true (small_fleet ()) in
+  check_str "fingerprints byte-identical" (fleet_fingerprint a)
+    (fleet_fingerprint b);
+  check_bool "e2e histograms equal" true (Hist.equal a.fr_total b.fr_total);
+  check_bool "queue histograms equal" true (Hist.equal a.fr_queue b.fr_queue);
+  check_bool "service histograms equal" true
+    (Hist.equal a.fr_service b.fr_service);
+  Array.iteri
+    (fun m c -> check_int "per-machine completions equal" c b.fr_m_completed.(m))
+    a.fr_m_completed;
+  Array.iteri
+    (fun m cs ->
+      check_bool "per-machine counters equal" true (cs = b.fr_m_counters.(m)))
+    a.fr_m_counters
+
+let test_fleet_deterministic () =
+  let a = Iw_service.Fleet.run (small_fleet ()) in
+  let b = Iw_service.Fleet.run (small_fleet ()) in
+  check_str "identical fingerprints" (fleet_fingerprint a) (fleet_fingerprint b);
+  let c = Iw_service.Fleet.run (small_fleet ~seed:43 ()) in
+  check_bool "different seed, different run" true
+    (fleet_fingerprint a <> fleet_fingerprint c)
+
+let test_fleet_po2_spreads_work () =
+  (* po2 across machines at moderate load: every machine serves a
+     share, the faster server-like box serves more per worker, and no
+     timeouts fire. *)
+  let r = Iw_service.Fleet.run (small_fleet ()) in
+  Array.iter
+    (fun c -> check_bool "every machine completed work" true (c > 0))
+    r.fr_m_completed;
+  check_int "no retries at moderate load" 0 r.fr_retries;
+  check_int "no ejections" 0 r.fr_ejects;
+  check_bool "faster box completes more" true
+    (r.fr_m_completed.(1) > r.fr_m_completed.(0))
+
+let test_fleet_gossip_flows () =
+  let r = Iw_service.Fleet.run (small_fleet ()) in
+  check_bool "gossip arrived" true (r.fr_gossip_msgs > 0);
+  check_bool "network carried messages" true
+    (r.fr_net_msgs > r.fr_arrivals + r.fr_completed)
+
+let test_fleet_zero_rate_faults_identical () =
+  (* A rate-0 network fault plan must not perturb the fleet by a
+     single byte. *)
+  let bare = Iw_service.Fleet.run (small_fleet ()) in
+  let plan =
+    Iw_faults.Plan.create ~rate:0.0 ~seed:42
+      ~kinds:Iw_faults.Plan.[ Link_drop; Link_delay; Machine_pause ]
+      ()
+  in
+  let zero =
+    Iw_faults.Plan.with_ambient plan (fun () ->
+        Iw_service.Fleet.run (small_fleet ()))
+  in
+  check_str "rate-0 plan is invisible" (fleet_fingerprint bare)
+    (fleet_fingerprint zero)
+
+let test_fleet_faults_recovered () =
+  (* Drops and pauses at a visible rate: recovery turns them into
+     retries, not conservation violations. *)
+  let plan =
+    Iw_faults.Plan.create ~rate:0.02 ~seed:7
+      ~kinds:Iw_faults.Plan.[ Link_drop; Machine_pause ]
+      ()
+  in
+  let r =
+    Iw_faults.Plan.with_ambient plan (fun () ->
+        Iw_service.Fleet.run (small_fleet ()))
+  in
+  check_bool "faults dropped messages" true (r.fr_net_drops > 0);
+  check_bool "retries recovered them" true (r.fr_retries > 0);
+  check_int "conservation still holds" r.fr_arrivals
+    (r.fr_completed + r.fr_failed)
+
+let test_fleet_counter_table () =
+  let r = Iw_service.Fleet.run (small_fleet ()) in
+  let members =
+    Array.to_list
+      (Array.map2 (fun n c -> (n, c)) r.fr_m_names r.fr_m_counters)
+  in
+  let t = Interweave.Machine.Fleet.counter_table members in
+  let rendered = Interweave.Table.render t in
+  let contains needle =
+    let nh = String.length rendered and nn = String.length needle in
+    let rec go i =
+      i + nn <= nh && (String.sub rendered i nn = needle || go (i + 1))
+    in
+    go 0
+  in
+  check_bool "table mentions both machines" true
+    (contains "m0:knl" && contains "m1:srv");
+  let sum_admitted =
+    List.fold_left
+      (fun acc (_, cs) ->
+        acc
+        + List.fold_left
+            (fun a (n, v) -> if n = "service_admitted" then a + v else a)
+            0 cs)
+      0 members
+  in
+  check_int "totals fold across machines" sum_admitted
+    (Interweave.Machine.Fleet.total members "service_admitted")
+
 let () =
   Alcotest.run "service"
     [
@@ -490,6 +715,32 @@ let () =
             test_dispatch_po2_prefers_shorter;
           Alcotest.test_case "random deterministic" `Quick
             test_dispatch_deterministic;
+          Alcotest.test_case "wjsq weighted argmin" `Quick
+            test_dispatch_wjsq_weighted_argmin;
+          Alcotest.test_case "wjsq naming" `Quick test_dispatch_wjsq_of_string;
+        ] );
+      ( "net",
+        [
+          QCheck_alcotest.to_alcotest prop_net_replay_identical;
+          QCheck_alcotest.to_alcotest prop_net_delivery_bounds;
+          QCheck_alcotest.to_alcotest prop_net_inflight_bound;
+        ] );
+      ( "fleet",
+        [
+          Alcotest.test_case "conserves requests" `Quick
+            test_fleet_conserves_requests;
+          Alcotest.test_case "parallel = serial, byte-identical" `Quick
+            test_fleet_parallel_serial_identical;
+          Alcotest.test_case "deterministic" `Quick test_fleet_deterministic;
+          Alcotest.test_case "po2 spreads work" `Quick
+            test_fleet_po2_spreads_work;
+          Alcotest.test_case "gossip flows" `Quick test_fleet_gossip_flows;
+          Alcotest.test_case "rate-0 faults identical" `Quick
+            test_fleet_zero_rate_faults_identical;
+          Alcotest.test_case "faults recovered" `Quick
+            test_fleet_faults_recovered;
+          Alcotest.test_case "fleet counter table" `Quick
+            test_fleet_counter_table;
         ] );
       ( "workload",
         [

@@ -1,8 +1,8 @@
 .PHONY: all build test bench bench-json perf-budget alloc-smoke check \
         trace-smoke sweep-smoke \
         profile-smoke profile-diff-smoke faults-smoke faults-csv-smoke \
-        serve-smoke fleet-smoke golden-check golden-update examples csv \
-        clean
+        serve-smoke fleet-smoke series-smoke series-update golden-check \
+        golden-update examples csv clean
 
 all: build
 
@@ -17,14 +17,14 @@ bench:
 
 # Machine-readable perf report, tracked across PRs.
 bench-json:
-	dune exec bench/main.exe -- --json BENCH_7.json
+	dune exec bench/main.exe -- --json BENCH_8.json
 
 # Re-run the benchmark and gate wall time against the committed
 # baseline: any experiment more than 15% AND 0.3s slower fails.
 # After an intentional perf change, re-baseline with `make bench-json`
-# and commit the new BENCH_7.json alongside the change.
+# and commit the new BENCH_8.json alongside the change.
 perf-budget:
-	dune exec bench/main.exe -- --json /tmp/bench.json --against BENCH_7.json
+	dune exec bench/main.exe -- --json /tmp/bench.json --against BENCH_8.json
 
 # A short serve run that fails if the hot path allocates more than the
 # committed budget of minor-heap words per completed request.  The
@@ -99,6 +99,33 @@ fleet-smoke:
 	  --fleet-serial --csv /tmp/fleet_ser.csv
 	cmp /tmp/fleet_par.csv /tmp/fleet_ser.csv
 
+# The telemetry gate, three claims end to end:
+#  1. the sampled fleet timeline is deterministic (CSV matches the
+#     committed golden, parallel and serial runs byte-identical);
+#  2. sampling never perturbs results (S6 output identical on/off);
+#  3. a flow-traced fleet run exports a valid Chrome trace whose
+#     request flows actually cross machine processes.
+SERIES_ARGS = --hetero 2xknl:4+2xsrv:2 --rps 300000 --duration 10 \
+  --work-us 20 --sample-us 100 --slo-us 400
+series-smoke:
+	dune exec bin/main.exe -- serve $(SERIES_ARGS) \
+	  --series-csv /tmp/series_par.csv > /dev/null
+	dune exec bin/main.exe -- serve $(SERIES_ARGS) \
+	  --fleet-serial --series-csv /tmp/series_ser.csv > /dev/null
+	cmp /tmp/series_par.csv /tmp/series_ser.csv
+	cmp /tmp/series_par.csv golden/fleet.series.csv
+	dune exec bin/main.exe -- run S6 > /tmp/series_s6_off.txt
+	dune exec bin/main.exe -- run S6 --sample-us 100 > /tmp/series_s6_on.txt
+	cmp /tmp/series_s6_off.txt /tmp/series_s6_on.txt
+	dune exec bin/main.exe -- trace S6 --flows --sample-us 100 \
+	  --ring-capacity 4194304 --out /tmp/series_s6.trace.json --check \
+	  > /dev/null
+
+# Refresh the committed fleet timeline after an intentional change.
+series-update:
+	dune exec bin/main.exe -- serve $(SERIES_ARGS) \
+	  --series-csv golden/fleet.series.csv > /dev/null
+
 # Everything CI needs: full build, tests, the wall-time perf budget,
 # the hot-path allocation budget, smoke runs of the harness (trace
 # exporter, profiler), and the golden-counter regression gate.
@@ -115,6 +142,7 @@ check:
 	$(MAKE) faults-csv-smoke
 	$(MAKE) serve-smoke
 	$(MAKE) fleet-smoke
+	$(MAKE) series-smoke
 	$(MAKE) golden-check
 
 examples:

@@ -49,8 +49,18 @@ let run_cmd =
   let markdown =
     Arg.(value & flag & info [ "markdown" ] ~doc:"Emit Markdown tables")
   in
-  let run ids markdown jobs seed =
+  let sample_us =
+    Arg.(
+      value & opt float 0.0
+      & info [ "sample-us" ] ~docv:"US"
+          ~doc:
+            "Sample windowed telemetry every $(docv) of virtual time in \
+             every service/fleet run (tables are byte-identical either \
+             way; the series ride along for exporters). 0 disables.")
+  in
+  let run ids markdown jobs seed sample_us =
     Iw_engine.Rng.set_global_seed seed;
+    Iw_obs.Series.set_period_us sample_us;
     let targets =
       if List.mem "all" ids then Interweave.Experiments.all ()
       else List.map find_experiment ids
@@ -70,7 +80,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run experiments and print their tables")
-    Term.(const run $ ids $ markdown $ jobs_arg $ seed_arg)
+    Term.(const run $ ids $ markdown $ jobs_arg $ seed_arg $ sample_us)
 
 let csv_cmd =
   let dir =
@@ -147,9 +157,13 @@ let trace_cmd =
   in
   let out =
     Arg.(
-      value & opt string "trace.json"
+      value
+      & opt (some string) None
       & info [ "out"; "o" ] ~docv:"PATH"
-          ~doc:"Chrome trace-event JSON output path (load it in Perfetto)")
+          ~doc:
+            "Chrome trace-event JSON output path (load it in Perfetto); \
+             defaults to $(i,ID).trace.json so traces of different \
+             experiments don't clobber each other")
   in
   let capacity =
     Arg.(
@@ -168,9 +182,34 @@ let trace_cmd =
             "Validate the written JSON and fail if malformed or if the ring \
              dropped events (a truncated ring corrupts the export)")
   in
-  let run id out capacity check =
+  let flows =
+    Arg.(
+      value & flag
+      & info [ "flows" ]
+          ~doc:
+            "Also emit Chrome flow events stitching each request's hops \
+             (front tier, machine, worker) into one causal arrow chain; \
+             only fleet experiments produce them")
+  in
+  let sample_us =
+    Arg.(
+      value & opt float 0.0
+      & info [ "sample-us" ] ~docv:"US"
+          ~doc:
+            "Sample windowed telemetry every $(docv) of virtual time and \
+             render the series as Perfetto counter lanes in the trace")
+  in
+  let run id out capacity check flows sample_us =
     let e = find_experiment id in
+    let out =
+      match out with
+      | Some p -> p
+      | None -> Printf.sprintf "%s.trace.json" id
+    in
     let tr = Iw_obs.Trace.ring ~capacity () in
+    Iw_obs.Trace.set_flows tr flows;
+    Iw_obs.Series.set_period_us sample_us;
+    Iw_obs.Series.clear_published ();
     let obs = Iw_obs.Obs.create ~trace:tr () in
     (* Run serially under an ambient traced context: every kernel,
        CPU, and runtime the experiment creates inherits the ring. *)
@@ -179,14 +218,22 @@ let trace_cmd =
           Interweave.Experiments.run_to_string e)
     in
     print_string text;
-    Iw_obs.Chrome.write_file tr out;
+    let series = Iw_obs.Series.published () in
+    Iw_obs.Series.set_period_us 0.0;
+    Iw_obs.Chrome.write_file ~series tr out;
     let dropped = Iw_obs.Trace.dropped tr in
-    Printf.printf "wrote %s: %d events (%d dropped)\n" out
-      (Iw_obs.Trace.length tr) dropped;
+    Printf.printf "wrote %s: %d events (%d dropped, %d series)\n" out
+      (Iw_obs.Trace.length tr) dropped (List.length series);
     if check then begin
       (match Iw_obs.Chrome.validate_file out with
       | Ok n -> Printf.printf "validated: %d events ok\n" n
       | Error msg -> die "invalid trace: %s" msg);
+      if flows then begin
+        match Iw_obs.Chrome.cross_process_flows_file out with
+        | Ok 0 -> die "no flow crosses two processes (machines) in %s" out
+        | Ok n -> Printf.printf "flows: %d cross-process request(s)\n" n
+        | Error msg -> die "invalid trace: %s" msg
+      end;
       if dropped > 0 then
         die
           "trace ring dropped %d events; rerun with --ring-capacity %d or more"
@@ -199,7 +246,7 @@ let trace_cmd =
        ~doc:
          "Run one experiment with the trace bus on and export a \
           Perfetto-loadable Chrome trace-event JSON file")
-    Term.(const run $ id $ out $ capacity $ check)
+    Term.(const run $ id $ out $ capacity $ check $ flows $ sample_us)
 
 let profile_cmd =
   let id =
@@ -871,10 +918,49 @@ let serve_cmd =
             "Advance fleet machines on one domain instead of one domain each \
              (byte-identical results; the smoke test compares both)")
   in
+  let sample_us_a =
+    Arg.(
+      value & opt float 0.0
+      & info [ "sample-us" ] ~docv:"US"
+          ~doc:
+            "Sample a windowed fleet timeline every $(docv) of virtual time \
+             at the conservative-window barrier (identical for serial and \
+             parallel fleets); 0 disables")
+  in
+  let series_csv_a =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "series-csv" ] ~docv:"PATH"
+          ~doc:
+            "Write the sampled fleet timeline as CSV (needs --sample-us and \
+             a single --rps)")
+  in
+  let slo_us_a =
+    Arg.(
+      value & opt float 0.0
+      & info [ "slo-us" ] ~docv:"US"
+          ~doc:
+            "End-to-end latency SLO: responses within $(docv) count as good, \
+             slower ones and exhausted retries as bad; adds slo_good, \
+             slo_total and burn_x1000 columns. 0 disables")
+  in
+  let slo_target_a =
+    Arg.(
+      value & opt float 0.999
+      & info [ "slo-target" ] ~docv:"F"
+          ~doc:
+            "Good-fraction target the burn rate is measured against \
+             (burn_x1000 = 1000 means exactly exhausting the error budget)")
+  in
   let run os backend policy order workers rpss duration_ms work_us cap pool
       hi_frac bursty closed think_us csv alloc_budget seed machines hetero
-      net_lat net_bw gossip_us fleet_serial jobs global_seed =
+      net_lat net_bw gossip_us fleet_serial sample_us series_csv slo_us
+      slo_target jobs global_seed =
     Iw_engine.Rng.set_global_seed global_seed;
+    (* The single-machine plane samples off the ambient period; the
+       fleet takes it explicitly through its config. *)
+    Iw_obs.Series.set_period_us sample_us;
     let os =
       match Iw_service.Plane.os_of_string os with
       | Some os -> os
@@ -995,16 +1081,24 @@ let serve_cmd =
                   fc_hi_frac = hi_frac;
                   fc_net = net;
                   fc_gossip_us = gossip_us;
+                  fc_sample_us = sample_us;
+                  fc_slo_us = slo_us;
+                  fc_slo_target = slo_target;
                   fc_seed = seed;
                 })
             rpss
         in
+        (* SLO columns appear only when accounting is on, so default
+           runs (and the fleet smoke's par-vs-serial cmp) keep their
+           existing shape. *)
         let header =
           [
             "machines"; "policy"; "gossip_us"; "offered_rps"; "arrivals";
             "completed"; "failed"; "retries"; "nacks"; "drops"; "ejects";
             "thru_rps"; "util"; "p50_us"; "p99_us"; "p99.9_us";
           ]
+          @ (if slo_us > 0.0 then [ "slo_good"; "slo_total"; "burn_x1000" ]
+             else [])
         in
         let cols (r : Iw_service.Fleet.report) =
           let p pct = Iw_service.Fleet.percentile_us r r.fr_total pct in
@@ -1026,6 +1120,22 @@ let serve_cmd =
             Printf.sprintf "%.1f" (p 99.0);
             Printf.sprintf "%.1f" (p 99.9);
           ]
+          @
+          if slo_us > 0.0 then
+            let burn =
+              if r.fr_slo_total > 0 && slo_target < 1.0 then
+                int_of_float
+                  (float_of_int (r.fr_slo_total - r.fr_slo_good)
+                  /. float_of_int r.fr_slo_total
+                  /. (1.0 -. slo_target) *. 1000.0)
+              else 0
+            in
+            [
+              string_of_int r.fr_slo_good;
+              string_of_int r.fr_slo_total;
+              string_of_int burn;
+            ]
+          else []
         in
         let rows = header :: List.map cols reports in
         let widths =
@@ -1063,7 +1173,19 @@ let serve_cmd =
               (fun row -> output_string oc (String.concat "," row ^ "\n"))
               rows;
             close_out oc;
-            Printf.printf "wrote %s: %d rows\n" path (List.length reports))
+            Printf.printf "wrote %s: %d rows\n" path (List.length reports));
+        (match series_csv with
+        | None -> ()
+        | Some path -> (
+            match reports with
+            | [ { Iw_service.Fleet.fr_series = Some s; _ } ] ->
+                Iw_obs.Series.write_csv s path;
+                Printf.printf "wrote %s: %d samples (%d dropped)\n" path
+                  (Iw_obs.Series.length s)
+                  (Iw_obs.Series.dropped s)
+            | [ { Iw_service.Fleet.fr_series = None; _ } ] ->
+                die "serve: --series-csv needs --sample-us > 0"
+            | _ -> die "serve: --series-csv needs a single --rps"))
     | None ->
     let plat = Iw_hw.Platform.knl in
     let reports =
@@ -1135,6 +1257,18 @@ let serve_cmd =
           rows;
         close_out oc;
         Printf.printf "wrote %s: %d rows\n" path (List.length reports));
+    (match series_csv with
+    | None -> ()
+    | Some path -> (
+        match reports with
+        | [ { Iw_service.Plane.rep_series = Some s; _ } ] ->
+            Iw_obs.Series.write_csv s path;
+            Printf.printf "wrote %s: %d samples (%d dropped)\n" path
+              (Iw_obs.Series.length s)
+              (Iw_obs.Series.dropped s)
+        | [ { Iw_service.Plane.rep_series = None; _ } ] ->
+            die "serve: --series-csv needs --sample-us > 0"
+        | _ -> die "serve: --series-csv needs a single --rps"));
     match alloc_budget with
     | None -> ()
     | Some budget ->
@@ -1176,8 +1310,8 @@ let serve_cmd =
       const run $ os_a $ backend_a $ policy_a $ order_a $ workers_a $ rps_a
       $ duration_a $ work_a $ cap_a $ pool_a $ hi_frac_a $ bursty_a $ closed_a
       $ think_a $ csv_a $ alloc_budget_a $ seed_a $ machines_a $ hetero_a
-      $ net_lat_a $ net_bw_a $ gossip_us_a $ fleet_serial_a $ jobs_arg
-      $ seed_arg)
+      $ net_lat_a $ net_bw_a $ gossip_us_a $ fleet_serial_a $ sample_us_a
+      $ series_csv_a $ slo_us_a $ slo_target_a $ jobs_arg $ seed_arg)
 
 let () =
   let doc =

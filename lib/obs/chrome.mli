@@ -1,16 +1,27 @@
 (** Chrome trace-event (Perfetto-loadable) export + validation. *)
 
-val to_json : Trace.t -> string
+val to_json : ?series:Series.t list -> Trace.t -> string
 (** Render the trace as Chrome trace-event JSON: one "process" per
     simulated CPU (pid = cpu + 1; pid 0 = machine-wide), complete
-    spans as [ph:"X"], instants as [ph:"i"], timestamps in virtual
-    cycles, sorted by [ts]. *)
+    spans as [ph:"X"], instants as [ph:"i"], flow points as
+    [ph:"s"/"t"/"f"] keyed by their flow id, timestamps in virtual
+    cycles, sorted by [ts].  Each [series] additionally renders as
+    [ph:"C"] counter tracks named ["<series>:<col>"] on pid 0, one
+    event per retained sample per column. *)
 
-val write_file : Trace.t -> string -> unit
+val write_file : ?series:Series.t list -> Trace.t -> string -> unit
 
 val validate : string -> (int, string) result
-(** Check a JSON string parses and every X/i event has non-negative
-    integral [ts]/[dur] with per-pid monotone timestamps.  Returns the
-    number of events checked. *)
+(** Check a JSON string parses and every X/i/s/t/f/C event has a
+    non-negative integral [ts] (and [dur]) with per-pid monotone
+    timestamps (per counter name for C events); flow events need a
+    numeric id whose "s" precedes any "t"/"f".  Returns the number of
+    events checked. *)
 
 val validate_file : string -> (int, string) result
+
+val cross_process_flows : string -> (int, string) result
+(** Number of flow ids whose points touch >= 2 distinct pids — flows
+    that actually crossed a machine boundary. *)
+
+val cross_process_flows_file : string -> (int, string) result

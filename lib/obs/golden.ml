@@ -65,22 +65,34 @@ let render ?(header = []) (counters : (string * int) list) =
     (List.sort (fun (a, _) (b, _) -> compare a b) counters);
   Buffer.contents b
 
+let is_sep c = c = ' ' || c = '\t'
+
 let parse (s : string) : (string * int) list =
   String.split_on_char '\n' s
   |> List.filter_map (fun line ->
+         (* Tolerate trailing whitespace, CRLF endings, and blank
+            lines from hand-edited snapshot files. *)
          let line = String.trim line in
          if line = "" || line.[0] = '#' then None
-         else
-           (* Split on the last space: the value is always the trailing
-              token, and span names may themselves contain spaces. *)
-           match String.rindex_opt line ' ' with
-           | None -> invalid_arg ("Golden.parse: malformed line: " ^ line)
-           | Some i -> (
-               let name = String.sub line 0 i in
-               let v = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
-               match int_of_string_opt v with
-               | Some v -> Some (name, v)
-               | None -> invalid_arg ("Golden.parse: bad value on line: " ^ line)))
+         else begin
+           (* The value is the trailing token; split on the last run
+              of spaces/tabs, since span names may themselves contain
+              spaces and editors may retab the separator. *)
+           let len = String.length line in
+           let vend = ref (len - 1) in
+           while !vend >= 0 && not (is_sep line.[!vend]) do decr vend done;
+           if !vend < 0 then
+             invalid_arg ("Golden.parse: malformed line: " ^ line);
+           let v = String.sub line (!vend + 1) (len - !vend - 1) in
+           let nend = ref !vend in
+           while !nend >= 0 && is_sep line.[!nend] do decr nend done;
+           if !nend < 0 then
+             invalid_arg ("Golden.parse: malformed line: " ^ line);
+           let name = String.sub line 0 (!nend + 1) in
+           match int_of_string_opt v with
+           | Some v -> Some (name, v)
+           | None -> invalid_arg ("Golden.parse: bad value on line: " ^ line)
+         end)
 
 (* Compare actual counters against a snapshot over the union of names
    (a counter missing on either side reads as 0, so both newly fired

@@ -54,7 +54,9 @@ let of_events ?(dropped = 0) (evs : Trace.event list) =
   let spans = ref [] and span_count = ref 0 and instant_count = ref 0 in
   List.iteri
     (fun idx (e : Trace.event) ->
-      if e.ev_dur > 0 then (
+      (* Flow points carry no duration and belong to no stack. *)
+      if e.ev_flow <> 0 then ()
+      else if e.ev_dur > 0 then (
         incr span_count;
         spans := (e, idx) :: !spans)
       else incr instant_count)

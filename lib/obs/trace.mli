@@ -11,10 +11,21 @@ type event = {
   ev_cpu : int;  (** simulated CPU = one Chrome "process"; -1 = machine-wide *)
   ev_ts : int;  (** virtual cycles *)
   ev_dur : int;  (** 0 for instants *)
+  ev_flow : int;
+      (** 0 for spans/instants; {!flow_start}/{!flow_step}/
+          {!flow_finish} for flow events (Chrome ph "s"/"t"/"f"). *)
+  ev_id : int;  (** flow id (request id); 0 unless [ev_flow <> 0] *)
 }
+
+val flow_start : int
+val flow_step : int
+val flow_finish : int
 
 type t = {
   mutable enabled : bool;
+  mutable flows : bool;
+      (** Flow probes need this additional opt-in ({!set_flows}), so
+          span-shape goldens and default traces never see them. *)
   buf : event array;
   cap : int;
   mutable pos : int;
@@ -23,6 +34,8 @@ type t = {
       (** Added to every non-negative [ev_cpu] at emission: a fleet
           coordinator sets this per machine so spans from N machines
           land on disjoint CPU lanes of one shared sink. *)
+  mutable flow_base : int;
+      (** Added to every flow id at emission; see {!new_flow_scope}. *)
   shape : (string, int ref) Hashtbl.t option;
 }
 
@@ -45,13 +58,32 @@ val shape_counts : t -> (string * int) list
 
 val enabled : t -> bool
 
+val set_flows : t -> bool -> unit
+val flows_enabled : t -> bool
+(** [enabled t && t.flows]: whether {!flow} probes record. *)
+
 val set_cpu_base : t -> int -> unit
 (** See [cpu_base]. *)
+
+val new_flow_scope : t -> unit
+(** Open a fresh flow-id namespace: every subsequent {!flow} id gets a
+    new per-scope base added.  Each service/fleet run calls this once
+    at start so request handles (which restart at 0 per run) stay
+    unique flow ids across an experiment sweep traced into one ring. *)
 
 val span : t -> name:string -> ?cat:string -> cpu:int -> ts:int -> dur:int -> unit -> unit
 (** Complete span: [ts .. ts + dur] on CPU [cpu]'s track. *)
 
 val instant : t -> name:string -> ?cat:string -> cpu:int -> ts:int -> unit -> unit
+
+val flow :
+  t -> name:string -> ?cat:string -> phase:int -> id:int -> cpu:int ->
+  ts:int -> unit -> unit
+(** One point of a causal flow (default cat ["flow"]): [phase] is
+    {!flow_start} at the origin, {!flow_step} at each hop, and
+    {!flow_finish} at the terminus; all points of one flow share
+    [id].  Recorded only when both [enabled] and [flows] are set.
+    @raise Invalid_argument on a phase outside [1..3]. *)
 
 val emitted : t -> int
 (** Total events ever pushed (including overwritten ones). *)

@@ -65,6 +65,7 @@ type t = {
   ex_busy : int ref;
   ex_gen_done : bool ref;
   ex_stopping : bool ref;
+  mutable ex_on_stop : unit -> unit;
   ex_ws : worker array;
 }
 
@@ -185,6 +186,12 @@ and finish_exec t w =
       end
       else after_reply t w
   | Fleet f ->
+      (* Cross-machine request tracing: [r] is the front tier's
+         request id, so this step stitches the worker's span into the
+         request's fleet-wide flow. *)
+      if r >= 0 && Iw_obs.Trace.flows_enabled tr then
+        Iw_obs.Trace.flow tr ~name:"req" ~phase:Iw_obs.Trace.flow_step ~id:r
+          ~cpu:w.w_id ~ts:fin ();
       w.w_resp <- r;
       w.w_state <- st_tx;
       Sched.flat_overhead k w.w_fl f.fm_tx_c
@@ -196,6 +203,7 @@ and after_reply t w =
     && not !(t.ex_stopping)
   then begin
     t.ex_stopping := true;
+    t.ex_on_stop ();
     w.w_bc <- 0;
     w.w_state <- st_bcast;
     w_activation t w
@@ -263,6 +271,7 @@ let create ~k ?(prefix = "serve") ~workers ~order ~queue_cap ~backend ~work_us
       ex_busy = ref 0;
       ex_gen_done = ref false;
       ex_stopping = ref false;
+      ex_on_stop = (fun () -> ());
       ex_ws =
         Array.init workers (fun w ->
             {
@@ -324,6 +333,7 @@ let completed_ref t = t.ex_completed
 let busy_cycles t = !(t.ex_busy)
 let gen_done_ref t = t.ex_gen_done
 let stopping_ref t = t.ex_stopping
+let set_on_stop t f = t.ex_on_stop <- f
 let h_queue t = t.ex_h_queue
 let h_service t = t.ex_h_service
 let h_total t = t.ex_h_total

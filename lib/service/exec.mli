@@ -81,6 +81,13 @@ val gen_done_ref : t -> bool ref
     are exhausted; the last completion broadcasts doorbells. *)
 
 val stopping_ref : t -> bool ref
+
+val set_on_stop : t -> (unit -> unit) -> unit
+(** Hook fired the moment the executor flips [stopping] (last
+    completion after the generator finished).  [Plane] uses it to
+    disarm its telemetry sampler timer, which would otherwise keep
+    the drained simulator alive past the run's natural end. *)
+
 val h_queue : t -> Hist.t array
 val h_service : t -> Hist.t array
 val h_total : t -> Hist.t array

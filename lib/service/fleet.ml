@@ -48,6 +48,9 @@ type config = {
   fc_max_retries : int;
   fc_eject_streak : int;
   fc_eject_us : float;
+  fc_sample_us : float;  (* telemetry period; 0 = ambient Series period *)
+  fc_slo_us : float;  (* end-to-end latency SLO; 0 disables accounting *)
+  fc_slo_target : float;  (* good fraction target, e.g. 0.999 *)
   fc_seed : int;
 }
 
@@ -68,6 +71,9 @@ let default () =
     fc_max_retries = 3;
     fc_eject_streak = 3;
     fc_eject_us = 2_000.0;
+    fc_sample_us = 0.0;
+    fc_slo_us = 0.0;
+    fc_slo_target = 0.999;
     fc_seed = 42;
   }
 
@@ -101,6 +107,9 @@ type report = {
   fr_m_completed : int array;
   fr_m_busy : int array;
   fr_m_counters : (string * int) list array;
+  fr_slo_good : int;
+  fr_slo_total : int;
+  fr_series : Iw_obs.Series.t option;
 }
 
 let us_of_cycles rep c = float_of_int c /. (rep.fr_ghz *. 1e3)
@@ -205,6 +214,7 @@ let run ?parallel cfg =
   let fctr = front_obs.Iw_obs.Obs.counters in
   let tr = front_obs.Iw_obs.Obs.trace in
   let tracing = Iw_obs.Trace.enabled tr in
+  if Iw_obs.Trace.flows_enabled tr then Iw_obs.Trace.new_flow_scope tr;
   let plan = Plan.ambient () in
   let parallel =
     (match parallel with
@@ -315,6 +325,14 @@ let run ?parallel cfg =
   let gen_done = ref false in
   let h_e2e = Hist.create () in
 
+  (* SLO accounting (off unless fc_slo_us > 0, so default runs keep
+     their goldens): a completion is good iff its end-to-end latency
+     met the bound; a failed request (retries exhausted) counts
+     against the SLO with no good side. *)
+  let slo_c = if cfg.fc_slo_us > 0.0 then cyc cfg.fc_slo_us else 0 in
+  let slo_good = ref 0 in
+  let slo_total = ref 0 in
+
   let cand = Array.make n 0 in
   let pick_machine now =
     let nc = ref 0 in
@@ -343,6 +361,15 @@ let run ?parallel cfg =
     let now = Iw_engine.Sim.now fsim in
     let m = pick_machine now in
     ft.ft_machine.(id) <- m;
+    (* The request id keys the Chrome flow: "s" here at the origin,
+       "t" at each retry hop, so the front tier anchors the causal
+       chain the machine-side steps extend. *)
+    if Iw_obs.Trace.flows_enabled tr then
+      Iw_obs.Trace.flow tr ~name:"req"
+        ~phase:
+          (if attempt = 0 then Iw_obs.Trace.flow_start
+           else Iw_obs.Trace.flow_step)
+        ~id ~cpu:(-1) ~ts:now ();
     Net.mb_push front_outbox ~kind:Net.k_req ~dst:m ~a:id
       ~b:((attempt lsl 1) lor ft.ft_hi.(id))
       ~t:now;
@@ -352,6 +379,7 @@ let run ?parallel cfg =
     if ft.ft_retries.(id) >= cfg.fc_max_retries then begin
       ft.ft_state.(id) <- 2;
       incr failed;
+      if slo_c > 0 then incr slo_total;
       Counter.incr fctr Counter.Service_failed;
       decr outstanding
     end
@@ -381,7 +409,16 @@ let run ?parallel cfg =
       ft.ft_state.(id) <- 1;
       machines.(m).m_streak <- 0;
       incr completed;
-      Hist.record h_e2e (Iw_engine.Sim.now fsim - ft.ft_arrival.(id));
+      let now = Iw_engine.Sim.now fsim in
+      let lat = now - ft.ft_arrival.(id) in
+      Hist.record h_e2e lat;
+      if slo_c > 0 then begin
+        incr slo_total;
+        if lat <= slo_c then incr slo_good
+      end;
+      if Iw_obs.Trace.flows_enabled tr then
+        Iw_obs.Trace.flow tr ~name:"req" ~phase:Iw_obs.Trace.flow_finish ~id
+          ~cpu:(-1) ~ts:now ();
       decr outstanding
     end
   in
@@ -428,6 +465,12 @@ let run ?parallel cfg =
   let rx m id hi attempt =
     let mc = machines.(m) in
     let now = Iw_engine.Sim.now mc.m_sim in
+    (* Runs inside the machine's window (cpu_base set for it), so
+       this step lands on the machine's first worker process — the
+       hop that carries the flow across the network boundary. *)
+    if Iw_obs.Trace.flows_enabled tr then
+      Iw_obs.Trace.flow tr ~name:"req" ~phase:Iw_obs.Trace.flow_step ~id ~cpu:0
+        ~ts:now ();
     let qi = Exec.try_enqueue mc.m_ex ~hi ~arrival:now ~reply:id in
     if qi >= 0 then Sched.sem_signal mc.m_k (Exec.doorbell mc.m_ex qi)
     else begin
@@ -512,6 +555,92 @@ let run ?parallel cfg =
   in
 
   (* -------------------------------------------------------------- *)
+  (* Fleet telemetry: one series sampled at conservative-window
+     barriers on the coordinator (machines quiescent, their writes
+     published by the mutex handoff in parallel mode), so parallel
+     and serial fleets sample byte-identical timelines.  Sampling is
+     pure reads; with it off the loop below is unchanged, so tables
+     and goldens cannot drift (DESIGN §10). *)
+  let sample_c =
+    let us =
+      if cfg.fc_sample_us > 0.0 then cfg.fc_sample_us
+      else Iw_obs.Series.period_us ()
+    in
+    if us > 0.0 then max 1 (cyc us) else 0
+  in
+  let series =
+    if sample_c = 0 then None
+    else begin
+      let ewin = Hist.window h_e2e in
+      (* Burn rate per window: (bad/total) / (1 - target), scaled to
+         an integer (x1000) so the CSV stays int-exact.  1000 = burning
+         exactly the error budget; above = eating into it. *)
+      let pg = ref 0 and pt = ref 0 in
+      let burn () =
+        let g = !slo_good and t = !slo_total in
+        let dg = g - !pg and dt = t - !pt in
+        pg := g;
+        pt := t;
+        if dt <= 0 || cfg.fc_slo_target >= 1.0 then 0
+        else
+          int_of_float
+            (float_of_int (dt - dg) /. float_of_int dt
+            /. (1.0 -. cfg.fc_slo_target) *. 1000.0)
+      in
+      let fixed =
+        [
+          Iw_obs.Series.dref ~name:"arrivals" arrivals;
+          Iw_obs.Series.dref ~name:"completed" completed;
+          Iw_obs.Series.dref ~name:"failed" failed;
+          Iw_obs.Series.dref ~name:"retries" retries;
+          Iw_obs.Series.dref ~name:"nacks" nacks;
+          Iw_obs.Series.dref ~name:"net_msgs" net_msgs;
+          Iw_obs.Series.dref ~name:"drops" net_drops;
+          Iw_obs.Series.dref ~name:"ejects" ejects;
+          Iw_obs.Series.dcol ~name:"faults" (fun () ->
+              Counter.get fctr Counter.Fault_injected);
+          Iw_obs.Series.dref ~name:"slo_good" slo_good;
+          Iw_obs.Series.dref ~name:"slo_total" slo_total;
+          Iw_obs.Series.col ~name:"burn_x1000" burn;
+          Iw_obs.Series.col ~name:"p50_cyc" (fun () ->
+              Hist.win_percentile ewin 50.0);
+          Iw_obs.Series.col ~name:"p99_cyc" (fun () ->
+              Hist.win_percentile ewin 99.0);
+        ]
+      in
+      let per_machine =
+        List.concat
+          (Array.to_list
+             (Array.mapi
+                (fun m mc ->
+                  [
+                    Iw_obs.Series.col ~name:(Printf.sprintf "m%d_depth" m)
+                      (fun () -> Exec.depth mc.m_ex);
+                    Iw_obs.Series.dcol ~name:(Printf.sprintf "m%d_completed" m)
+                      (fun () -> !(Exec.completed_ref mc.m_ex));
+                  ])
+                machines))
+      in
+      Some
+        (Iw_obs.Series.create ~name:"fleet" ~cols:(fixed @ per_machine)
+           ~post:[ (fun () -> Hist.win_advance ewin) ] ())
+    end
+  in
+  let next_sample = ref sample_c in
+  let sample_window h =
+    match series with
+    | None -> ()
+    | Some s ->
+        if h >= !next_sample then begin
+          Iw_obs.Series.sample s ~ts:h;
+          next_sample := !next_sample + sample_c;
+          while !next_sample <= h do
+            next_sample := !next_sample + sample_c
+          done
+        end
+  in
+
+  (* -------------------------------------------------------------- *)
   (* The conservative window loop *)
   let advance_machine mc h =
     if mc.m_paused then mc.m_paused <- false
@@ -529,6 +658,7 @@ let run ?parallel cfg =
       Iw_engine.Sim.run fsim ~until:h;
       Array.iter (fun mc -> advance_machine mc h) machines;
       barrier h;
+      sample_window h;
       incr windows;
       elapsed := h
     done
@@ -591,6 +721,7 @@ let run ?parallel cfg =
           end)
         machines;
       barrier h;
+      sample_window h;
       incr windows;
       elapsed := h
     done;
@@ -665,4 +796,12 @@ let run ?parallel cfg =
     fr_m_busy = Array.map (fun mc -> Exec.busy_cycles mc.m_ex) machines;
     fr_m_counters =
       Array.map (fun mc -> Counter.to_list (Sched.counters mc.m_k)) machines;
+    fr_slo_good = !slo_good;
+    fr_slo_total = !slo_total;
+    fr_series =
+      (match series with
+      | Some s ->
+          Iw_obs.Series.publish s;
+          Some s
+      | None -> None);
   }

@@ -52,6 +52,13 @@ type config = {
   fc_max_retries : int;
   fc_eject_streak : int;  (** consecutive timeouts before ejection *)
   fc_eject_us : float;  (** how long an ejected machine sits out *)
+  fc_sample_us : float;
+      (** Telemetry sampling period (virtual us).  0 falls back to the
+          ambient {!Iw_obs.Series.period_us}; both 0 disables the
+          fleet series entirely. *)
+  fc_slo_us : float;  (** end-to-end latency SLO; 0 disables accounting *)
+  fc_slo_target : float;
+      (** Good-fraction target for burn-rate columns (e.g. 0.999). *)
   fc_seed : int;
 }
 
@@ -92,6 +99,19 @@ type report = {
   fr_m_counters : (string * int) list array;
       (** per-machine nonzero counter totals, for
           {!Interweave.Machine.Fleet.counter_table}-style views *)
+  fr_slo_good : int;
+      (** Responses within [fc_slo_us] (0 when accounting is off). *)
+  fr_slo_total : int;
+      (** SLO-eligible outcomes: responses plus exhausted-retry
+          failures.  good/total is the achieved success fraction. *)
+  fr_series : Iw_obs.Series.t option;
+      (** Fleet timeline, sampled at conservative-window barriers on
+          the coordinator every [fc_sample_us] of virtual time:
+          arrival/completion/failure/retry/network deltas, SLO window
+          counts with burn rate, windowed e2e p50/p99 (cycles), and
+          per-machine depth gauges and completion deltas.  Identical
+          for serial and parallel runs (DESIGN §10).  Also
+          {!Iw_obs.Series.publish}ed for trace exporters. *)
 }
 
 val run : ?parallel:bool -> config -> report

@@ -106,3 +106,69 @@ let merge a b =
 let equal a b =
   a.count = b.count && a.sum = b.sum && a.min_v = b.min_v && a.max_v = b.max_v
   && a.buckets = b.buckets
+
+(* ------------------------------------------------------------------ *)
+(* Windows: rank-exact percentiles over "everything recorded since the
+   last [win_advance]", computed by diffing the live bucket vector
+   against a snapshot — the histogram itself is never touched, so an
+   online sampler can read percentiles without perturbing the run's
+   end-of-run readout. *)
+
+type window = {
+  w_src : t;
+  w_buckets : int array;  (* bucket snapshot at the last advance *)
+  mutable w_count : int;  (* count snapshot at the last advance *)
+}
+
+let window src =
+  { w_src = src; w_buckets = Array.make nbuckets 0; w_count = 0 }
+
+let win_advance w =
+  Array.blit w.w_src.buckets 0 w.w_buckets 0 nbuckets;
+  w.w_count <- w.w_src.count
+
+let win_count w = w.w_src.count - w.w_count
+
+let rank_of p count =
+  min count (max 1 (int_of_float (ceil (p /. 100.0 *. float_of_int count))))
+
+let win_percentile w p =
+  if p <= 0.0 || p > 100.0 then
+    invalid_arg "Hist.win_percentile: p outside (0,100]";
+  let c = win_count w in
+  if c = 0 then 0
+  else begin
+    let rank = rank_of p c in
+    let i = ref 0 and cum = ref 0 in
+    while !cum < rank do
+      cum := !cum + w.w_src.buckets.(!i) - w.w_buckets.(!i);
+      incr i
+    done;
+    value_at (!i - 1)
+  end
+
+(* Union of several windows (e.g. one per worker shard): equivalent to
+   [win_percentile] on their merged deltas, without materializing the
+   merge — bucket-delta addition is the same element-wise sum that
+   makes {!merge} associative. *)
+let win_percentile_many ws p =
+  if p <= 0.0 || p > 100.0 then
+    invalid_arg "Hist.win_percentile_many: p outside (0,100]";
+  let n = Array.length ws in
+  let c = ref 0 in
+  for j = 0 to n - 1 do
+    c := !c + win_count ws.(j)
+  done;
+  if !c = 0 then 0
+  else begin
+    let rank = rank_of p !c in
+    let i = ref 0 and cum = ref 0 in
+    while !cum < rank do
+      for j = 0 to n - 1 do
+        let w = ws.(j) in
+        cum := !cum + w.w_src.buckets.(!i) - w.w_buckets.(!i)
+      done;
+      incr i
+    done;
+    value_at (!i - 1)
+  end

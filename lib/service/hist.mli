@@ -36,3 +36,31 @@ val merge : t -> t -> t
 
 val equal : t -> t -> bool
 (** Structural equality on the full state (buckets + moments). *)
+
+(** {2 Windows}
+
+    Rank-exact percentiles over "everything recorded since the last
+    {!win_advance}", computed by diffing the live bucket vector
+    against a snapshot.  Pure reads of the source histogram: an
+    online sampler can take windowed percentiles without disturbing
+    the end-of-run readout. *)
+
+type window
+
+val window : t -> window
+(** Fresh window over [t], initially covering its whole history. *)
+
+val win_advance : window -> unit
+(** Snapshot the source's current state: the window now covers only
+    samples recorded after this call. *)
+
+val win_count : window -> int
+(** Samples recorded in the current window. *)
+
+val win_percentile : window -> float -> int
+(** Nearest-rank percentile over the window's samples, quantized like
+    {!percentile}; [0] on an empty window. *)
+
+val win_percentile_many : window array -> float -> int
+(** Percentile over the union of several windows (e.g. per-worker
+    shards) — identical to merging their deltas first. *)

@@ -68,6 +68,7 @@ type report = {
   rep_queue : Hist.t;
   rep_service : Hist.t;
   rep_total : Hist.t;
+  rep_series : Iw_obs.Series.t option;
 }
 
 let us_of_cycles rep c = float_of_int c /. (rep.rep_ghz *. 1e3)
@@ -147,6 +148,53 @@ let run cfg =
   let arrivals = ref 0 in
   let shed = ref 0 and backpressure = ref 0 in
 
+  (* Online telemetry (ambient --sample-us): every period of virtual
+     time, snapshot counter deltas, queue depth, and windowed latency
+     percentiles into a preallocated ring.  Sampling is pure reads
+     plus writes into the series' own ring, and the timer is disarmed
+     the moment the stop protocol fires (it would otherwise keep the
+     drained simulator alive), so elapsed time and every table stay
+     byte-identical with sampling off. *)
+  let sim = Sched.sim k in
+  let sample_c =
+    let us = Iw_obs.Series.period_us () in
+    if us > 0.0 then max 1 (cyc us) else 0
+  in
+  let stop_sampler = ref (fun () -> ()) in
+  let series =
+    if sample_c = 0 then None
+    else begin
+      let wins = Array.map Hist.window (Exec.h_total ex) in
+      let s =
+        Iw_obs.Series.create ~name:"plane"
+          ~cols:
+            [
+              Iw_obs.Series.dref ~name:"arrivals" arrivals;
+              Iw_obs.Series.dref ~name:"admitted" admitted;
+              Iw_obs.Series.dref ~name:"completed" completed;
+              Iw_obs.Series.dref ~name:"shed" shed;
+              Iw_obs.Series.col ~name:"depth" (fun () -> Exec.depth ex);
+              Iw_obs.Series.col ~name:"p50_cyc" (fun () ->
+                  Hist.win_percentile_many wins 50.0);
+              Iw_obs.Series.col ~name:"p99_cyc" (fun () ->
+                  Hist.win_percentile_many wins 99.0);
+            ]
+          ~post:[ (fun () -> Array.iter Hist.win_advance wins) ]
+          ()
+      in
+      let tm = Iw_engine.Sim.timer sim in
+      let rec fire () =
+        Iw_obs.Series.sample s ~ts:(Iw_engine.Sim.now sim);
+        Iw_engine.Sim.arm_after sim tm sample_c fire
+      in
+      Iw_engine.Sim.arm_after sim tm sample_c fire;
+      let disarm () = Iw_engine.Sim.disarm sim tm in
+      stop_sampler := disarm;
+      Exec.set_on_stop ex disarm;
+      Some s
+    end
+  in
+
   (* Priority draw, shared verbatim between the flat and coroutine
      submit paths: one [prio_rng] draw iff hi_frac > 0 ([Rng.float]
      inlined via [raw53] so the flat path never boxes). *)
@@ -177,6 +225,7 @@ let run cfg =
       let initiate_stop () =
         if not !stopping then begin
           stopping := true;
+          !stop_sampler ();
           Array.iter (fun d -> Api.sem_post d) doorbells
         end
       in
@@ -244,6 +293,7 @@ let run cfg =
             gen_done := true;
             if !completed = !admitted && not !stopping then begin
               stopping := true;
+              !stop_sampler ();
               lg.l_bc <- 0;
               lg.l_state <- 3;
               lg_activation lg
@@ -350,4 +400,10 @@ let run cfg =
     rep_queue = merge (Exec.h_queue ex);
     rep_service = merge (Exec.h_service ex);
     rep_total = merge (Exec.h_total ex);
+    rep_series =
+      (match series with
+      | Some s ->
+          Iw_obs.Series.publish s;
+          Some s
+      | None -> None);
   }

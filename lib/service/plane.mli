@@ -87,6 +87,12 @@ type report = {
   rep_queue : Hist.t;  (** Queue-wait cycles. *)
   rep_service : Hist.t;  (** Service cycles. *)
   rep_total : Hist.t;  (** Arrival-to-completion cycles. *)
+  rep_series : Iw_obs.Series.t option;
+      (** Windowed telemetry sampled every ambient
+          [Iw_obs.Series.period_us] of virtual time ([None] when the
+          period is 0): arrival/admission/completion/shed deltas,
+          queue depth, and windowed p50/p99 total latency (cycles).
+          Also {!Iw_obs.Series.publish}ed for trace exporters. *)
 }
 
 val run : config -> report

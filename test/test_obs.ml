@@ -170,6 +170,125 @@ let test_chrome_rejects_garbage () =
   | Ok _ -> Alcotest.fail "non-array traceEvents accepted"
   | Error _ -> ()
 
+let test_chrome_flow_round_trip () =
+  (* A two-hop request: start on the front tier (cpu -1 -> pid 0),
+     step on a machine worker (cpu 3 -> pid 4), finish back on the
+     front tier.  The export must validate and count it as crossing
+     processes. *)
+  let tr = Trace.ring ~capacity:64 () in
+  Trace.set_flows tr true;
+  Trace.span tr ~name:"exec" ~cpu:3 ~ts:10 ~dur:30 ();
+  Trace.flow tr ~name:"req" ~phase:Trace.flow_start ~id:7 ~cpu:(-1) ~ts:5 ();
+  Trace.flow tr ~name:"req" ~phase:Trace.flow_step ~id:7 ~cpu:3 ~ts:20 ();
+  Trace.flow tr ~name:"req" ~phase:Trace.flow_finish ~id:7 ~cpu:(-1) ~ts:50 ();
+  (* A flow that never leaves pid 0 must not count as cross-process. *)
+  Trace.flow tr ~name:"req" ~phase:Trace.flow_start ~id:8 ~cpu:(-1) ~ts:6 ();
+  Trace.flow tr ~name:"req" ~phase:Trace.flow_finish ~id:8 ~cpu:(-1) ~ts:9 ();
+  let json = Chrome.to_json tr in
+  (match Chrome.validate json with
+  | Ok n -> check_int "all events validated" 6 n
+  | Error msg -> Alcotest.fail ("flow trace failed validation: " ^ msg));
+  match Chrome.cross_process_flows json with
+  | Ok n -> check_int "one flow crosses processes" 1 n
+  | Error msg -> Alcotest.fail ("cross_process_flows: " ^ msg)
+
+let test_chrome_flow_gating_and_bad_sequences () =
+  (* Flows are double-gated: without the opt-in nothing records. *)
+  let tr = Trace.ring ~capacity:8 () in
+  Trace.flow tr ~name:"req" ~phase:Trace.flow_start ~id:1 ~cpu:0 ~ts:1 ();
+  check_int "flows off records nothing" 0 (Trace.length tr);
+  Trace.set_flows tr true;
+  (match Trace.flow tr ~name:"req" ~phase:9 ~id:1 ~cpu:0 ~ts:1 () with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "bad phase accepted");
+  (* Validator: a step or finish with no start, and a duplicate
+     start, are both malformed. *)
+  let ev ph id ts =
+    Printf.sprintf
+      "{\"name\":\"req\",\"cat\":\"flow\",\"ph\":\"%s\",\"id\":%d,\"pid\":0,\
+       \"tid\":0,\"ts\":%d}"
+      ph id ts
+  in
+  let doc evs =
+    "{\"traceEvents\":[" ^ String.concat "," evs ^ "]}"
+  in
+  (match Chrome.validate (doc [ ev "t" 3 1 ]) with
+  | Ok _ -> Alcotest.fail "step without start accepted"
+  | Error _ -> ());
+  (match Chrome.validate (doc [ ev "s" 3 1; ev "s" 3 2 ]) with
+  | Ok _ -> Alcotest.fail "duplicate start accepted"
+  | Error _ -> ());
+  match Chrome.validate (doc [ ev "s" 3 1; ev "t" 3 2; ev "f" 3 3 ]) with
+  | Ok 3 -> ()
+  | Ok n -> Alcotest.failf "expected 3 events, validated %d" n
+  | Error msg -> Alcotest.fail ("well-formed flow rejected: " ^ msg)
+
+let test_chrome_counter_round_trip () =
+  (* A sampled series rides along as ph:"C" counter lanes. *)
+  let hits = ref 0 in
+  let s =
+    Series.create ~capacity:8 ~name:"svc"
+      ~cols:[ Series.dref ~name:"hits" hits; Series.col ~name:"gauge" (fun () -> 42) ]
+      ()
+  in
+  hits := 5;
+  Series.sample s ~ts:100;
+  hits := 9;
+  Series.sample s ~ts:200;
+  let tr = Trace.ring ~capacity:8 () in
+  Trace.instant tr ~name:"mark" ~cpu:0 ~ts:150 ();
+  let json = Chrome.to_json ~series:[ s ] tr in
+  (match Chrome.validate json with
+  | Ok n -> check_int "instant + 2 samples x 2 cols" 5 n
+  | Error msg -> Alcotest.fail ("counter trace failed validation: " ^ msg));
+  (* Counter events must carry args.v and stay monotone per name. *)
+  let c name ts v =
+    Printf.sprintf
+      "{\"name\":\"%s\",\"cat\":\"series\",\"ph\":\"C\",\"pid\":0,\"ts\":%d,\
+       \"args\":{\"v\":%d}}"
+      name ts v
+  in
+  let doc evs = "{\"traceEvents\":[" ^ String.concat "," evs ^ "]}" in
+  (match Chrome.validate (doc [ c "a" 10 1; c "a" 5 2 ]) with
+  | Ok _ -> Alcotest.fail "non-monotone counter accepted"
+  | Error _ -> ());
+  (match
+     Chrome.validate
+       (doc
+          [ "{\"name\":\"a\",\"cat\":\"series\",\"ph\":\"C\",\"pid\":0,\"ts\":1}" ])
+   with
+  | Ok _ -> Alcotest.fail "counter without args accepted"
+  | Error _ -> ());
+  match Chrome.validate (doc [ c "a" 10 1; c "b" 5 2; c "a" 20 3 ]) with
+  | Ok 3 -> ()
+  | Ok n -> Alcotest.failf "expected 3 counter events, validated %d" n
+  | Error msg -> Alcotest.fail ("well-formed counters rejected: " ^ msg)
+
+let test_series_ring_and_csv () =
+  let v = ref 0 in
+  let posts = ref 0 in
+  let s =
+    Series.create ~capacity:3 ~name:"ring"
+      ~cols:[ Series.dref ~name:"d" v; Series.col ~name:"raw" (fun () -> !v) ]
+      ~post:[ (fun () -> incr posts) ]
+      ()
+  in
+  for i = 1 to 5 do
+    v := i * 10;
+    Series.sample s ~ts:(i * 100)
+  done;
+  check_int "ring keeps newest" 3 (Series.length s);
+  check_int "dropped counts overflow" 2 (Series.dropped s);
+  check_int "post hook per sample" 5 !posts;
+  check_int "oldest retained ts" 300 (Series.ts_at s 0);
+  (* d is a delta column: 30-20=10 at ts 300; raw is the level. *)
+  check_int "delta col" 10 (Series.get s 0 0);
+  check_int "raw col" 30 (Series.get s 0 1);
+  Alcotest.(check string)
+    "csv shape"
+    "ts_cycles,d,raw\n300,10,30\n400,10,40\n500,10,50\n"
+    (Series.to_csv s)
+
 (* ------------------------------------------------------------------ *)
 (* Stats.percentile regression (Float.compare, single sort) *)
 
@@ -240,7 +359,15 @@ let test_machine_boot_wiring () =
 (* Spans arrive emit-order = completion order, so children precede
    their parents; the profiler must invert that into containment. *)
 let sp ?(cat = "k") ?(cpu = 0) name ts dur : Trace.event =
-  { Trace.ev_name = name; ev_cat = cat; ev_cpu = cpu; ev_ts = ts; ev_dur = dur }
+  {
+    Trace.ev_name = name;
+    ev_cat = cat;
+    ev_cpu = cpu;
+    ev_ts = ts;
+    ev_dur = dur;
+    ev_flow = 0;
+    ev_id = 0;
+  }
 
 let find_row (p : Profile.t) name =
   match
@@ -381,6 +508,24 @@ let test_golden_render_parse_round_trip () =
     [ ("spawns", 4); ("steals", 0); ("ticks", 100) ]
     (Golden.parse text)
 
+let test_golden_parse_hardened () =
+  (* Hand-edited or re-encoded golden files arrive with tabs, trailing
+     whitespace, CRLF endings, and stray blank lines; none of that may
+     change what the gate compares. *)
+  let text =
+    "# comment\n\ntimer fires\t25\nticks   100   \n\r\nctx switches\t 9\t\n"
+  in
+  Alcotest.(check (list (pair string int)))
+    "separator and whitespace noise ignored"
+    [ ("timer fires", 25); ("ticks", 100); ("ctx switches", 9) ]
+    (Golden.parse text);
+  (match Golden.parse "lonely\n" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "value-less line accepted");
+  match Golden.parse "name not_a_number\n" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non-integer value accepted"
+
 let () =
   Alcotest.run "obs"
     [
@@ -404,6 +549,15 @@ let () =
         [
           Alcotest.test_case "export validates" `Quick test_chrome_json_validates;
           Alcotest.test_case "rejects garbage" `Quick test_chrome_rejects_garbage;
+          Alcotest.test_case "flow round trip" `Quick test_chrome_flow_round_trip;
+          Alcotest.test_case "flow gating + bad sequences" `Quick
+            test_chrome_flow_gating_and_bad_sequences;
+          Alcotest.test_case "counter round trip" `Quick
+            test_chrome_counter_round_trip;
+        ] );
+      ( "series",
+        [
+          Alcotest.test_case "ring + csv" `Quick test_series_ring_and_csv;
         ] );
       ( "pinned",
         [
@@ -450,5 +604,6 @@ let () =
           Alcotest.test_case "drift fails" `Quick test_golden_drift_fails;
           Alcotest.test_case "render/parse round trip" `Quick
             test_golden_render_parse_round_trip;
+          Alcotest.test_case "parse hardened" `Quick test_golden_parse_hardened;
         ] );
     ]

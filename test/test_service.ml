@@ -63,6 +63,36 @@ let prop_percentile_exact =
       in
       Hist.percentile h p = Hist.quantize (List.nth sorted (rank - 1)))
 
+(* Windowed readout: after an advance, the window's percentiles must
+   equal those of a fresh histogram holding only the post-snapshot
+   samples — the telemetry sampler's p50/p99 lanes are exactly the
+   per-window distribution, not an average contaminated by history. *)
+let prop_window_percentile_exact =
+  QCheck.Test.make ~name:"windowed percentile = fresh hist of the window"
+    ~count:200
+    QCheck.(
+      triple samples samples (float_range 0.001 100.0))
+    (fun (pre, post, p) ->
+      let h = hist_of pre in
+      let w = Hist.window h in
+      Hist.win_advance w;
+      List.iter (Hist.record h) post;
+      Hist.win_count w = List.length post
+      && Hist.win_percentile w p = Hist.percentile (hist_of post) p)
+
+let prop_window_union_percentile =
+  QCheck.Test.make ~name:"union window percentile = merged fresh hists"
+    ~count:100
+    QCheck.(
+      pair (pair samples samples) (pair samples (float_range 0.001 100.0)))
+    (fun ((pre1, post1), (post2, p)) ->
+      let h1 = hist_of pre1 and h2 = Hist.create () in
+      let ws = [| Hist.window h1; Hist.window h2 |] in
+      Array.iter Hist.win_advance ws;
+      List.iter (Hist.record h1) post1;
+      List.iter (Hist.record h2) post2;
+      Hist.win_percentile_many ws p = Hist.percentile (hist_of (post1 @ post2)) p)
+
 let test_hist_small_values_exact () =
   (* Everything below 64 is its own bucket: percentiles are exact, not
      just quantized-exact. *)
@@ -687,6 +717,8 @@ let () =
           QCheck_alcotest.to_alcotest prop_merge_associative;
           QCheck_alcotest.to_alcotest prop_merge_is_concat;
           QCheck_alcotest.to_alcotest prop_percentile_exact;
+          QCheck_alcotest.to_alcotest prop_window_percentile_exact;
+          QCheck_alcotest.to_alcotest prop_window_union_percentile;
           Alcotest.test_case "small values exact" `Quick
             test_hist_small_values_exact;
           Alcotest.test_case "quantize bounds" `Quick test_hist_quantize_bounds;

@@ -1,8 +1,8 @@
 .PHONY: all build test bench bench-json perf-budget alloc-smoke check \
         trace-smoke sweep-smoke \
         profile-smoke profile-diff-smoke faults-smoke faults-csv-smoke \
-        serve-smoke fleet-smoke series-smoke series-update golden-check \
-        golden-update examples csv clean
+        serve-smoke fleet-smoke series-smoke series-update degrade-smoke \
+        golden-check golden-update examples csv clean
 
 all: build
 
@@ -17,14 +17,14 @@ bench:
 
 # Machine-readable perf report, tracked across PRs.
 bench-json:
-	dune exec bench/main.exe -- --json BENCH_8.json
+	dune exec bench/main.exe -- --json BENCH_9.json
 
 # Re-run the benchmark and gate wall time against the committed
 # baseline: any experiment more than 15% AND 0.3s slower fails.
 # After an intentional perf change, re-baseline with `make bench-json`
-# and commit the new BENCH_8.json alongside the change.
+# and commit the new BENCH_9.json alongside the change.
 perf-budget:
-	dune exec bench/main.exe -- --json /tmp/bench.json --against BENCH_8.json
+	dune exec bench/main.exe -- --json /tmp/bench.json --against BENCH_9.json
 
 # A short serve run that fails if the hot path allocates more than the
 # committed budget of minor-heap words per completed request.  The
@@ -126,6 +126,23 @@ series-update:
 	dune exec bin/main.exe -- serve $(SERIES_ARGS) \
 	  --series-csv golden/fleet.series.csv > /dev/null
 
+# The graceful-degradation gate:
+#  1. the R5-R8 chaos curves match their committed goldens (counters
+#     AND span shapes), so every injection and every recovery stays
+#     visible to the trace plane;
+#  2. a recovery knob that is merely *present* (a deadline with
+#     hedging and admission off) leaves a fleet run byte-identical --
+#     the degradation machinery prices at zero until it engages.
+degrade-smoke:
+	dune exec bin/main.exe -- golden --check --spans R5 R6 R7 R8
+	dune exec bin/main.exe -- serve --hetero 1xknl:4+1xsrv:2 \
+	  --rps 150000 --duration 10 --work-us 20 \
+	  --csv /tmp/degrade_base.csv > /dev/null
+	dune exec bin/main.exe -- serve --hetero 1xknl:4+1xsrv:2 \
+	  --rps 150000 --duration 10 --work-us 20 --deadline-us 400 \
+	  --csv /tmp/degrade_inert.csv > /dev/null
+	cmp /tmp/degrade_base.csv /tmp/degrade_inert.csv
+
 # Everything CI needs: full build, tests, the wall-time perf budget,
 # the hot-path allocation budget, smoke runs of the harness (trace
 # exporter, profiler), and the golden-counter regression gate.
@@ -143,6 +160,7 @@ check:
 	$(MAKE) serve-smoke
 	$(MAKE) fleet-smoke
 	$(MAKE) series-smoke
+	$(MAKE) degrade-smoke
 	$(MAKE) golden-check
 
 examples:

@@ -679,6 +679,10 @@ let faults_cmd =
             ("dir_ack_retry", Iw_obs.Counter.Dir_ack_retry);
             ("dir_stale_refetch", Iw_obs.Counter.Dir_stale_refetch);
             ("barrier_recover", Iw_obs.Counter.Barrier_recover);
+            ("peer_steal", Iw_obs.Counter.Peer_steal);
+            ("hedge_sent", Iw_obs.Counter.Hedge_sent);
+            ("admission_shed", Iw_obs.Counter.Admission_shed);
+            ("corrupt_retry", Iw_obs.Counter.Corrupt_retry);
           ]
         in
         let rows =
@@ -746,7 +750,8 @@ let faults_cmd =
       "fault plan: rate %g, seed %d, kinds %s\n\
       \  injected %d | ipi-retries %d | watchdog %d | relaunches %d | \
        pool-evicts %d | rollbacks %d\n\
-      \  dir-ack-retries %d | dir-stale-refetches %d | barrier-recoveries %d\n"
+      \  dir-ack-retries %d | dir-stale-refetches %d | barrier-recoveries %d\n\
+      \  peer-steals %d | hedges %d | admission-sheds %d | corrupt-retries %d\n"
       rate seed
       (String.concat "," (List.map Iw_faults.Plan.kind_name kinds))
       (g Iw_obs.Counter.Fault_injected)
@@ -757,7 +762,11 @@ let faults_cmd =
       (g Iw_obs.Counter.Move_rollback)
       (g Iw_obs.Counter.Dir_ack_retry)
       (g Iw_obs.Counter.Dir_stale_refetch)
-      (g Iw_obs.Counter.Barrier_recover);
+      (g Iw_obs.Counter.Barrier_recover)
+      (g Iw_obs.Counter.Peer_steal)
+      (g Iw_obs.Counter.Hedge_sent)
+      (g Iw_obs.Counter.Admission_shed)
+      (g Iw_obs.Counter.Corrupt_retry);
     if check && rate > 0.0 && g Iw_obs.Counter.Fault_injected = 0 then
       die
         "faults --check: no faults injected at rate %g (injection points not \
@@ -953,10 +962,75 @@ let serve_cmd =
             "Good-fraction target the burn rate is measured against \
              (burn_x1000 = 1000 means exactly exhausting the error budget)")
   in
+  let faults_a =
+    Arg.(
+      value & opt float 0.0
+      & info [ "faults" ] ~docv:"RATE"
+          ~doc:
+            "Arm a service-level fault plan at $(docv): worker hangs, \
+             response corruption, machine brownouts and link drops \
+             (override the kinds with --fault-kinds); 0 disables")
+  in
+  let fault_kinds_a =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fault-kinds" ] ~docv:"K,K"
+          ~doc:"Comma-separated fault kinds for --faults")
+  in
+  let hedge_frac_a =
+    Arg.(
+      value & opt float 0.0
+      & info [ "hedge-frac" ] ~docv:"F"
+          ~doc:
+            "Fleet: hedge still-outstanding requests onto a second machine \
+             after $(docv) of --deadline-us; first response wins. 0 disables")
+  in
+  let hedge_budget_a =
+    Arg.(
+      value & opt float 0.1
+      & info [ "hedge-budget" ] ~docv:"F"
+          ~doc:"Fleet: global hedge budget as a fraction of arrivals")
+  in
+  let admit_a =
+    Arg.(
+      value & flag
+      & info [ "admit" ]
+          ~doc:
+            "Fleet: SLO-aware admission control - shed arrivals whose \
+             predicted wait (gossiped depth x EWMA sojourn) already exceeds \
+             --deadline-us (sheds count against the SLO)")
+  in
+  let deadline_us_a =
+    Arg.(
+      value & opt float 0.0
+      & info [ "deadline-us" ] ~docv:"US"
+          ~doc:"Fleet: per-request deadline driving --hedge-frac and --admit")
+  in
+  let wjsq_aware_a =
+    Arg.(
+      value & flag
+      & info [ "wjsq-aware" ]
+          ~doc:
+            "Fleet: weight wjsq by each machine's observed completion rate \
+             (a leaky per-window integrator) instead of nominal capacity - \
+             the brownout-aware balancer")
+  in
+  let tail_a =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tail" ] ~docv:"SPEC"
+          ~doc:
+            "Heavy-tailed per-request service demand: pareto:ALPHA:MIN:MAX \
+             or lognorm:MEDIAN:SIGMA (microseconds); default every request \
+             costs --work-us")
+  in
   let run os backend policy order workers rpss duration_ms work_us cap pool
       hi_frac bursty closed think_us csv alloc_budget seed machines hetero
       net_lat net_bw gossip_us fleet_serial sample_us series_csv slo_us
-      slo_target jobs global_seed =
+      slo_target faults_rate fault_kinds hedge_frac hedge_budget admit
+      deadline_us wjsq_aware tail jobs global_seed =
     Iw_engine.Rng.set_global_seed global_seed;
     (* The single-machine plane samples off the ambient period; the
        fleet takes it explicitly through its config. *)
@@ -992,6 +1066,55 @@ let serve_cmd =
               pool;
             }
       | b -> die "serve: unknown --backend %s (fiber or virtine)" b
+    in
+    let demand =
+      match tail with
+      | None -> Iw_service.Workload.Dfixed
+      | Some s -> (
+          let fl tok what =
+            match float_of_string_opt tok with
+            | Some f -> f
+            | None -> die "serve: bad %s %s in --tail" what tok
+          in
+          match String.split_on_char ':' (String.trim s) with
+          | [ "pareto"; a; mn; mx ] ->
+              Iw_service.Workload.Dpareto
+                {
+                  alpha = fl a "alpha";
+                  xmin_us = fl mn "min";
+                  xmax_us = fl mx "max";
+                }
+          | [ "lognorm"; med; sg ] ->
+              Iw_service.Workload.Dlognorm
+                { median_us = fl med "median"; sigma = fl sg "sigma" }
+          | _ ->
+              die
+                "serve: --tail wants pareto:ALPHA:MIN:MAX or \
+                 lognorm:MEDIAN:SIGMA")
+    in
+    (try Iw_service.Workload.validate_demand demand
+     with Invalid_argument m -> die "serve: %s" m);
+    if faults_rate < 0.0 || faults_rate > 1.0 then
+      die "serve: --faults must be in [0,1]";
+    let fault_kinds =
+      match fault_kinds with
+      | None ->
+          Iw_faults.Plan.
+            [ Worker_hang; Req_corrupt; Machine_brownout; Link_drop ]
+      | Some s ->
+          String.split_on_char ',' s
+          |> List.map (fun k ->
+                 let k = String.trim k in
+                 match Iw_faults.Plan.kind_of_string k with
+                 | Some k -> k
+                 | None -> die "serve: unknown fault kind %s" k)
+    in
+    let with_plan f =
+      if faults_rate > 0.0 then
+        Iw_faults.Plan.with_ambient
+          (Iw_faults.Plan.create ~rate:faults_rate ~seed ~kinds:fault_kinds ())
+          f
+      else f ()
     in
     let duration_us = duration_ms *. 1000.0 in
     let workload_of rps =
@@ -1065,28 +1188,35 @@ let serve_cmd =
         (* Fleet runs own their parallelism (one domain per machine),
            so the rate sweep itself stays sequential. *)
         let reports =
-          List.map
-            (fun rps ->
-              Iw_service.Fleet.run
-                ?parallel:(if fleet_serial then Some false else None)
-                {
-                  (Iw_service.Fleet.default ()) with
-                  Iw_service.Fleet.fc_machines = fm;
-                  fc_workload = workload_of rps;
-                  fc_policy = policy;
-                  fc_order = order;
-                  fc_queue_cap = cap;
-                  fc_backend = backend;
-                  fc_work_us = work_us;
-                  fc_hi_frac = hi_frac;
-                  fc_net = net;
-                  fc_gossip_us = gossip_us;
-                  fc_sample_us = sample_us;
-                  fc_slo_us = slo_us;
-                  fc_slo_target = slo_target;
-                  fc_seed = seed;
-                })
-            rpss
+          with_plan (fun () ->
+              List.map
+                (fun rps ->
+                  Iw_service.Fleet.run
+                    ?parallel:(if fleet_serial then Some false else None)
+                    {
+                      (Iw_service.Fleet.default ()) with
+                      Iw_service.Fleet.fc_machines = fm;
+                      fc_workload = workload_of rps;
+                      fc_policy = policy;
+                      fc_order = order;
+                      fc_queue_cap = cap;
+                      fc_backend = backend;
+                      fc_work_us = work_us;
+                      fc_hi_frac = hi_frac;
+                      fc_net = net;
+                      fc_gossip_us = gossip_us;
+                      fc_sample_us = sample_us;
+                      fc_slo_us = slo_us;
+                      fc_slo_target = slo_target;
+                      fc_hedge_frac = hedge_frac;
+                      fc_hedge_budget = hedge_budget;
+                      fc_admit = admit;
+                      fc_deadline_us = deadline_us;
+                      fc_bw_wjsq = wjsq_aware;
+                      fc_demand = demand;
+                      fc_seed = seed;
+                    })
+                rpss)
         in
         (* SLO columns appear only when accounting is on, so default
            runs (and the fleet smoke's par-vs-serial cmp) keep their
@@ -1099,6 +1229,11 @@ let serve_cmd =
           ]
           @ (if slo_us > 0.0 then [ "slo_good"; "slo_total"; "burn_x1000" ]
              else [])
+          @ (if faults_rate > 0.0 then [ "steals"; "reexecs"; "brownouts" ]
+             else [])
+          @ (if hedge_frac > 0.0 then [ "hedges"; "hedge_wins"; "hedge_late" ]
+             else [])
+          @ (if admit then [ "adm_shed" ] else [])
         in
         let cols (r : Iw_service.Fleet.report) =
           let p pct = Iw_service.Fleet.percentile_us r r.fr_total pct in
@@ -1135,6 +1270,26 @@ let serve_cmd =
               string_of_int r.fr_slo_total;
               string_of_int burn;
             ]
+          else []
+        in
+        let cols r =
+          cols r
+          @ (if faults_rate > 0.0 then
+               [
+                 string_of_int r.Iw_service.Fleet.fr_steals;
+                 string_of_int r.fr_corrupt_retries;
+                 string_of_int r.fr_brownouts;
+               ]
+             else [])
+          @ (if hedge_frac > 0.0 then
+               [
+                 string_of_int r.Iw_service.Fleet.fr_hedges;
+                 string_of_int r.fr_hedge_wins;
+                 string_of_int r.fr_hedge_cancels;
+               ]
+             else [])
+          @
+          if admit then [ string_of_int r.Iw_service.Fleet.fr_admission_shed ]
           else []
         in
         let rows = header :: List.map cols reports in
@@ -1188,24 +1343,29 @@ let serve_cmd =
             | _ -> die "serve: --series-csv needs a single --rps"))
     | None ->
     let plat = Iw_hw.Platform.knl in
+    (* The ambient fault plan is domain-local, so a faulted sweep runs
+       its rows on the coordinator. *)
+    let jobs = if faults_rate > 0.0 then 1 else jobs in
     let reports =
-      Interweave.Driver.parallel_map ~jobs
-        (fun rps ->
-          Iw_service.Plane.run
-            {
-              os;
-              plat;
-              workers;
-              workload = workload_of rps;
-              policy;
-              order;
-              queue_cap = cap;
-              backend;
-              work_us;
-              hi_frac;
-              seed;
-            })
-        rpss
+      with_plan (fun () ->
+          Interweave.Driver.parallel_map ~jobs
+            (fun rps ->
+              Iw_service.Plane.run
+                {
+                  os;
+                  plat;
+                  workers;
+                  workload = workload_of rps;
+                  policy;
+                  order;
+                  queue_cap = cap;
+                  backend;
+                  work_us;
+                  hi_frac;
+                  demand;
+                  seed;
+                })
+            rpss)
     in
     let cols r =
       let p pct = Iw_service.Plane.percentile_us r r.Iw_service.Plane.rep_total pct in
@@ -1223,14 +1383,22 @@ let serve_cmd =
         Printf.sprintf "%.1f" (p 90.0);
         Printf.sprintf "%.1f" (p 99.0);
         Printf.sprintf "%.1f" (p 99.9);
+        (* coordinated-omission-corrected p99: measured from each
+           request's intended (drawn) send time; equals raw p99 when
+           the generator never falls behind *)
+        Printf.sprintf "%.1f"
+          (Iw_service.Plane.percentile_us r r.rep_total_corrected 99.0);
       ]
+      @
+      if faults_rate > 0.0 then [ string_of_int r.rep_steals ] else []
     in
     let header =
       [
         "os"; "policy"; "backend"; "offered_rps"; "arrivals"; "shed";
         "thru_rps"; "util"; "q_mean_us"; "p50_us"; "p90_us"; "p99_us";
-        "p99.9_us";
+        "p99.9_us"; "p99c_us";
       ]
+      @ if faults_rate > 0.0 then [ "steals" ] else []
     in
     let rows = header :: List.map cols reports in
     let widths =
@@ -1311,7 +1479,9 @@ let serve_cmd =
       $ duration_a $ work_a $ cap_a $ pool_a $ hi_frac_a $ bursty_a $ closed_a
       $ think_a $ csv_a $ alloc_budget_a $ seed_a $ machines_a $ hetero_a
       $ net_lat_a $ net_bw_a $ gossip_us_a $ fleet_serial_a $ sample_us_a
-      $ series_csv_a $ slo_us_a $ slo_target_a $ jobs_arg $ seed_arg)
+      $ series_csv_a $ slo_us_a $ slo_target_a $ faults_a $ fault_kinds_a
+      $ hedge_frac_a $ hedge_budget_a $ admit_a $ deadline_us_a $ wjsq_aware_a
+      $ tail_a $ jobs_arg $ seed_arg)
 
 let () =
   let doc =

@@ -1305,8 +1305,8 @@ let s_duration_us = 50_000.0
 
 let s_run ?(os = Iw_service.Plane.Nk) ?(policy = Iw_service.Dispatch.Po2)
     ?(order = Iw_service.Squeue.Fifo) ?(cap = 64)
-    ?(backend = Iw_service.Plane.Fiber_exec) ?(work_us = 20.0) ?(seed = 42)
-    workload =
+    ?(backend = Iw_service.Plane.Fiber_exec) ?(work_us = 20.0)
+    ?(demand = Iw_service.Workload.Dfixed) ?(seed = 42) workload =
   Iw_service.Plane.run
     {
       os;
@@ -1319,6 +1319,7 @@ let s_run ?(os = Iw_service.Plane.Nk) ?(policy = Iw_service.Dispatch.Po2)
       backend;
       work_us;
       hi_frac = 0.0;
+      demand;
       seed;
     }
 
@@ -1751,6 +1752,238 @@ let s7_tables () =
       rows;
   ]
 
+(* ------------------------------------------------------------------ *)
+(* R5-R8: degradation curves with each recovery toggled on/off.  One
+   shared fleet (the S7 mix plus an SLO and a heavy-ish tail keeps the
+   curves honest: recoveries must buy goodput under load, not in an
+   idle fleet), one toggle per table, rows = fault rate x recovery. *)
+
+let deg_cfg () =
+  let open Iw_service in
+  {
+    (Fleet.default ()) with
+    Fleet.fc_machines = s7_machines ();
+    fc_workload = Workload.Poisson { rps = 300_000.0; duration_us = 20_000.0 };
+    fc_policy = Dispatch.Po2;
+    fc_gossip_us = 50.0;
+    fc_slo_us = 400.0;
+    fc_slo_target = 0.999;
+    fc_deadline_us = 400.0;
+    fc_demand =
+      Workload.Dpareto { alpha = 1.5; xmin_us = 12.0; xmax_us = 240.0 };
+  }
+
+(* Overall burn rate for the run: (bad/total) / (1 - target).  1.00 =
+   burning exactly the error budget. *)
+let deg_burn (r : Iw_service.Fleet.report) =
+  if r.fr_slo_total = 0 then "0"
+  else
+    f2
+      (float_of_int (r.fr_slo_total - r.fr_slo_good)
+      /. float_of_int r.fr_slo_total
+      /. (1.0 -. 0.999))
+
+let deg_runs ~kinds ~with_cfg =
+  let open Iw_service in
+  List.concat_map
+    (fun rate ->
+      List.map
+        (fun on ->
+          let r, c =
+            run_faulted ~rate ~seed:42 ~kinds (fun () ->
+                Fleet.run (with_cfg on))
+          in
+          (rate, on, (r : Fleet.report), c))
+        [ false; true ])
+    s4_rates
+
+let onoff on = if on then "on" else "off"
+
+let r5_tables () =
+  let open Iw_service in
+  let runs =
+    deg_runs
+      ~kinds:Plan.[ Worker_hang ]
+      ~with_cfg:(fun on -> { (deg_cfg ()) with Fleet.fc_watchdog = on })
+  in
+  let rows =
+    List.map
+      (fun (rate, on, (r : Fleet.report), c) ->
+        let g id = Iw_obs.Counter.get c id in
+        [
+          rate_cell rate;
+          onoff on;
+          i2 r.fr_completed;
+          i2 r.fr_failed;
+          i2 (g Iw_obs.Counter.Fault_injected);
+          i2 r.fr_steals;
+          i2 r.fr_slo_good;
+          f2 (s6_p r 99.0);
+          deg_burn r;
+        ])
+      runs
+  in
+  [
+    Table.make ~title:"R5: worker hangs vs the hang watchdog"
+      ~headers:
+        [
+          "fault-rate"; "watchdog"; "completed"; "failed"; "faults"; "steals";
+          "slo-good"; "p99us"; "burn";
+        ]
+      ~notes:
+        [
+          "Workers silently stop draining their queue (a quarter of the";
+          "hangs are permanent).  Off: queued requests sit until the";
+          "front tier's RTO re-sends them, and permanently hung workers";
+          "strand capacity for the rest of the run.  On: a per-machine";
+          "watchdog scans every quarter hang-period and steals the hung";
+          "worker's queue onto its shortest live peer.";
+        ]
+      rows;
+  ]
+
+let r6_tables () =
+  let open Iw_service in
+  let runs =
+    deg_runs
+      ~kinds:Plan.[ Req_corrupt ]
+      ~with_cfg:(fun on -> { (deg_cfg ()) with Fleet.fc_corrupt_retry = on })
+  in
+  let rows =
+    List.map
+      (fun (rate, on, (r : Fleet.report), c) ->
+        let g id = Iw_obs.Counter.get c id in
+        [
+          rate_cell rate;
+          onoff on;
+          i2 r.fr_completed;
+          i2 r.fr_failed;
+          i2 (g Iw_obs.Counter.Fault_injected);
+          i2 r.fr_corrupt_retries;
+          i2 r.fr_slo_good;
+          f2 (s6_p r 99.0);
+          deg_burn r;
+        ])
+      runs
+  in
+  [
+    Table.make ~title:"R6: response corruption vs re-execution"
+      ~headers:
+        [
+          "fault-rate"; "re-exec"; "completed"; "failed"; "faults"; "re-execs";
+          "slo-good"; "p99us"; "burn";
+        ]
+      ~notes:
+        [
+          "A completed response comes back garbage.  Off: the caller";
+          "accepts it (counted complete, never SLO-good).  On: the front";
+          "tier burns the work and re-executes through the ordinary";
+          "retry budget, trading p99 for goodput.";
+        ]
+      rows;
+  ]
+
+let r7_tables () =
+  let open Iw_service in
+  let runs =
+    deg_runs
+      ~kinds:Plan.[ Machine_brownout ]
+      ~with_cfg:(fun on ->
+        {
+          (deg_cfg ()) with
+          Fleet.fc_policy = Dispatch.Wjsq;
+          fc_bw_wjsq = on;
+        })
+  in
+  let rows =
+    List.map
+      (fun (rate, on, (r : Fleet.report), c) ->
+        let g id = Iw_obs.Counter.get c id in
+        [
+          rate_cell rate;
+          onoff on;
+          i2 r.fr_completed;
+          i2 (g Iw_obs.Counter.Fault_injected);
+          i2 r.fr_brownouts;
+          i2 r.fr_retries;
+          i2 r.fr_slo_good;
+          f2 (s6_p r 99.0);
+          deg_burn r;
+        ])
+      runs
+  in
+  [
+    Table.make ~title:"R7: machine brownouts vs observed-rate wjsq"
+      ~headers:
+        [
+          "fault-rate"; "bw-wjsq"; "completed"; "faults"; "brownouts";
+          "retries"; "slo-good"; "p99us"; "burn";
+        ]
+      ~notes:
+        [
+          "Machines drop to a third-to-half speed for a drawn interval.";
+          "Off: wjsq weights by nominal workers x speed, so the balancer";
+          "keeps feeding the slow machine.  On: weights come from a";
+          "leaky integrator of observed completions per window, so a";
+          "browned-out machine sheds load until it recovers.";
+        ]
+      rows;
+  ]
+
+let r8_tables () =
+  let open Iw_service in
+  let kinds =
+    Plan.[ Worker_hang; Req_corrupt; Machine_brownout; Link_drop ]
+  in
+  let with_cfg on =
+    {
+      (deg_cfg ()) with
+      Fleet.fc_watchdog = on;
+      fc_corrupt_retry = on;
+      fc_bw_wjsq = on;
+      fc_hedge_frac = (if on then 0.5 else 0.0);
+      fc_admit = on;
+    }
+  in
+  let runs = deg_runs ~kinds ~with_cfg in
+  let rows =
+    List.map
+      (fun (rate, on, (r : Fleet.report), c) ->
+        let g id = Iw_obs.Counter.get c id in
+        [
+          rate_cell rate;
+          onoff on;
+          i2 r.fr_completed;
+          i2 r.fr_failed;
+          i2 (g Iw_obs.Counter.Fault_injected);
+          i2 (r.fr_steals + r.fr_corrupt_retries);
+          i2 r.fr_hedges;
+          i2 r.fr_admission_shed;
+          i2 r.fr_slo_good;
+          f2 (s6_p r 99.0);
+          deg_burn r;
+        ])
+      runs
+  in
+  [
+    Table.make ~title:"R8: full chaos vs every recovery at once"
+      ~headers:
+        [
+          "fault-rate"; "recover"; "completed"; "failed"; "faults";
+          "steal+reexec"; "hedges"; "sheds"; "slo-good"; "p99us"; "burn";
+        ]
+      ~notes:
+        [
+          "Hangs, corruption, brownouts, and link drops together, against";
+          "the whole recovery ladder: watchdog stealing, re-execution,";
+          "observed-rate balancing, deadline-fraction hedging (budget 10%";
+          "of arrivals), and SLO-aware admission control.  Sheds count";
+          "against the SLO - graceful degradation flattens the burn";
+          "curve by finishing the requests it accepts.";
+        ]
+      rows;
+  ]
+
 (* ================================================================== *)
 
 let all () =
@@ -1952,6 +2185,34 @@ let all () =
       paper_claim =
         "(fleet study; the interweaving argument run in reverse across the network layer)";
       tables = s7_tables;
+    };
+    {
+      id = "R5";
+      title = "Chaos: worker hangs vs the hang watchdog";
+      paper_claim =
+        "(robustness study; recovery one layer up - the machine watches its own workers)";
+      tables = r5_tables;
+    };
+    {
+      id = "R6";
+      title = "Chaos: response corruption vs re-execution";
+      paper_claim =
+        "(robustness study; a wrong answer is a fault the service layer must spend work to mask)";
+      tables = r6_tables;
+    };
+    {
+      id = "R7";
+      title = "Chaos: machine brownouts vs observed-rate balancing";
+      paper_claim =
+        "(robustness study; trust what machines do, not what they claim)";
+      tables = r7_tables;
+    };
+    {
+      id = "R8";
+      title = "Chaos: everything at once vs the full recovery ladder";
+      paper_claim =
+        "(robustness study; graceful degradation as an end-to-end property of the stack)";
+      tables = r8_tables;
     };
   ]
 

@@ -42,8 +42,11 @@ type kind =
   | Link_drop  (* an inter-machine message vanishes on the wire *)
   | Link_delay  (* the message lands, but late *)
   | Machine_pause  (* a whole machine goes dark for one sync window *)
+  | Worker_hang  (* a worker silently stops draining its queue *)
+  | Req_corrupt  (* a completed response is garbage; re-execute *)
+  | Machine_brownout  (* a machine slows by a drawn factor for a while *)
 
-let kind_count = 17
+let kind_count = 20
 
 let kind_index = function
   | Ipi_drop -> 0
@@ -63,6 +66,9 @@ let kind_index = function
   | Link_drop -> 14
   | Link_delay -> 15
   | Machine_pause -> 16
+  | Worker_hang -> 17
+  | Req_corrupt -> 18
+  | Machine_brownout -> 19
 
 (* CLI spelling, `--kinds ipi-drop,timer-late`. *)
 let kind_name = function
@@ -83,6 +89,9 @@ let kind_name = function
   | Link_drop -> "link-drop"
   | Link_delay -> "link-delay"
   | Machine_pause -> "machine-pause"
+  | Worker_hang -> "worker-hang"
+  | Req_corrupt -> "req-corrupt"
+  | Machine_brownout -> "machine-brownout"
 
 let all_kinds =
   [
@@ -103,6 +112,9 @@ let all_kinds =
     Link_drop;
     Link_delay;
     Machine_pause;
+    Worker_hang;
+    Req_corrupt;
+    Machine_brownout;
   ]
 
 let kind_of_string s = List.find_opt (fun k -> kind_name k = s) all_kinds
@@ -117,6 +129,8 @@ type t = {
   timer_late_cycles : int;
   stall_cycles : int;
   net_delay_cycles : int;
+  hang_cycles : int;
+  brownout_cycles : int;
   mutable injected : int;
 }
 
@@ -131,12 +145,15 @@ let disabled =
     timer_late_cycles = 0;
     stall_cycles = 0;
     net_delay_cycles = 0;
+    hang_cycles = 0;
+    brownout_cycles = 0;
     injected = 0;
   }
 
 let create ?(kinds = all_kinds) ?(ipi_delay_cycles = 4_000)
     ?(timer_late_cycles = 12_000) ?(stall_cycles = 25_000)
-    ?(net_delay_cycles = 30_000) ~rate ~seed () =
+    ?(net_delay_cycles = 30_000) ?(hang_cycles = 60_000)
+    ?(brownout_cycles = 1_500_000) ~rate ~seed () =
   if rate < 0.0 || rate > 1.0 then
     invalid_arg "Plan.create: rate must be in [0,1]";
   let armed = Array.make kind_count false in
@@ -153,6 +170,8 @@ let create ?(kinds = all_kinds) ?(ipi_delay_cycles = 4_000)
     timer_late_cycles;
     stall_cycles;
     net_delay_cycles;
+    hang_cycles;
+    brownout_cycles;
     injected = 0;
   }
 
@@ -164,6 +183,8 @@ let ipi_delay_cycles t = t.ipi_delay_cycles
 let timer_late_cycles t = t.timer_late_cycles
 let stall_cycles t = t.stall_cycles
 let net_delay_cycles t = t.net_delay_cycles
+let hang_cycles t = t.hang_cycles
+let brownout_cycles t = t.brownout_cycles
 let armed t k = t.enabled && t.armed.(kind_index k)
 
 (* ------------------------------------------------------------------ *)
@@ -214,3 +235,25 @@ let count t obs ~kind ~opportunities ~cpu ~ts =
     if n > 0 then note t obs ~kind ~cpu ~ts n;
     n
   end
+
+(* ------------------------------------------------------------------ *)
+(* Severity draws.  A site that just saw [fire] return true for a
+   parameterized kind asks the plan how bad this instance is.  The
+   draws come from the same plan stream, immediately after the firing
+   draw, so the full schedule (when *and* how bad) is a pure function
+   of (rate, seed, kinds) — and a site that never fires never draws. *)
+
+(* One in four hangs never clears on its own; recovery must come from
+   the layer above (the watchdog), not from waiting. *)
+let draw_hang_permanent t = Rng.float t.rng 1.0 < 0.25
+
+(* A brownout multiplies service cost by 2-4x (fixed-point x1000) for
+   0.5-1.5x [brownout_cycles]. *)
+let draw_brownout t =
+  let slow_x1000 = 2_000 + int_of_float (Rng.float t.rng 1.0 *. 2_000.0) in
+  let dur =
+    max 1
+      (int_of_float
+         (float_of_int t.brownout_cycles *. (0.5 +. Rng.float t.rng 1.0)))
+  in
+  (slow_x1000, dur)

@@ -62,8 +62,15 @@ type id =
   | Gossip_msgs
   | Machine_ejects
   | Service_failed
+  (* service-level chaos + graceful degradation *)
+  | Peer_steal
+  | Hedge_sent
+  | Hedge_won
+  | Hedge_cancel
+  | Admission_shed
+  | Corrupt_retry
 
-let count = 46
+let count = 52
 
 let index = function
   | Context_switches -> 0
@@ -112,6 +119,12 @@ let index = function
   | Gossip_msgs -> 43
   | Machine_ejects -> 44
   | Service_failed -> 45
+  | Peer_steal -> 46
+  | Hedge_sent -> 47
+  | Hedge_won -> 48
+  | Hedge_cancel -> 49
+  | Admission_shed -> 50
+  | Corrupt_retry -> 51
 
 (* Names match the strings the old hashtable counters used, so table
    rendering is unchanged. *)
@@ -162,6 +175,12 @@ let name = function
   | Gossip_msgs -> "gossip_msgs"
   | Machine_ejects -> "machine_ejects"
   | Service_failed -> "service_failed"
+  | Peer_steal -> "peer_steal"
+  | Hedge_sent -> "hedge_sent"
+  | Hedge_won -> "hedge_won"
+  | Hedge_cancel -> "hedge_cancel"
+  | Admission_shed -> "admission_shed"
+  | Corrupt_retry -> "corrupt_retry"
 
 let all =
   [
@@ -211,6 +230,12 @@ let all =
     Gossip_msgs;
     Machine_ejects;
     Service_failed;
+    Peer_steal;
+    Hedge_sent;
+    Hedge_won;
+    Hedge_cancel;
+    Admission_shed;
+    Corrupt_retry;
   ]
 
 type set = int array

@@ -52,6 +52,12 @@ type id =
   | Gossip_msgs
   | Machine_ejects
   | Service_failed
+  | Peer_steal
+  | Hedge_sent
+  | Hedge_won
+  | Hedge_cancel
+  | Admission_shed
+  | Corrupt_retry
 
 val count : int
 (** Number of distinct counter ids. *)

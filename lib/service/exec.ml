@@ -30,6 +30,7 @@ let st_done = 4 (* body finished: account and complete *)
 let st_replied = 5 (* reply posted: finish bookkeeping *)
 let st_bcast = 6 (* stop: posting every doorbell in turn *)
 let st_tx = 7 (* fleet: serialization paid, hand off the response *)
+let st_unhang = 8 (* clocked hang served: clear the flag, resume *)
 
 type worker = {
   w_id : int;
@@ -42,6 +43,7 @@ type worker = {
   mutable w_sc_n : int;
   mutable w_sc_i : int;
   mutable w_bc : int;  (* stop-broadcast cursor *)
+  mutable w_hung : bool;  (* injected hang: not draining its queue *)
 }
 
 type t = {
@@ -66,6 +68,21 @@ type t = {
   ex_gen_done : bool ref;
   ex_stopping : bool ref;
   mutable ex_on_stop : unit -> unit;
+  (* Service-level chaos (ISSUE 9).  The plan is the one ambient at
+     creation; [ex_hang_armed] caches the arming check so the
+     unarmed hot path costs one immediate-bool test.  Machine-kernel
+     code only touches the (mutable) plan stream when the hang kind
+     is armed, which the fleet forces to single-domain execution. *)
+  ex_plan : Iw_faults.Plan.t;
+  ex_hang_armed : bool;
+  ex_perm_ok : bool;  (* permanent hangs allowed (fleet only) *)
+  mutable ex_slow_x1000 : int;  (* brownout work multiplier, 1000 = 1x *)
+  ex_demand : Workload.demand;
+  ex_demand_seed : int;
+  ex_demand_scale : float;  (* fleet: 1/speed, matching work_us *)
+  ex_h_corr : Hist.t;  (* coordinated-omission-corrected sojourn *)
+  ex_steals : int ref;
+  mutable ex_wd_stop : unit -> unit;
   ex_ws : worker array;
 }
 
@@ -96,6 +113,16 @@ let stage_extras t w =
         ()
       done
 
+(* The cycles one request body costs this worker right now: the
+   arena's per-request demand when one was drawn ([Dfixed] leaves the
+   slot at -1), scaled by the brownout multiplier.  The default path
+   (-1 demand, x1000 = 1000) reproduces the historical grant
+   exactly. *)
+let[@inline] work_grant t v =
+  let d = Request_arena.demand t.ex_arena v in
+  let base = if d >= 0 then d else t.ex_work_c in
+  if t.ex_slow_x1000 = 1000 then base else base * t.ex_slow_x1000 / 1000
+
 let rec w_activation t w =
   let k = t.ex_k in
   if w.w_state = st_start then begin
@@ -103,13 +130,41 @@ let rec w_activation t w =
     Sched.flat_sem_wait k w.w_fl t.ex_doorbells.(w.w_id)
   end
   else if w.w_state = st_pop then begin
-    let v = Squeue.pop_idx t.ex_queues.(w.w_id) in
-    if v >= 0 then begin
-      stage_extras t w;
-      start_exec t w v
+    (* Hang injection: drawn only with work waiting (an idle worker
+       "hanging" is unobservable), before the pop so no request or
+       lease is held while hung. *)
+    if
+      t.ex_hang_armed
+      && (not w.w_hung)
+      && (not (Squeue.is_empty t.ex_queues.(w.w_id)))
+      && Iw_faults.Plan.fire t.ex_plan (Sched.obs k)
+           ~kind:Iw_faults.Plan.Worker_hang ~cpu:w.w_id ~ts:(Sched.now k)
+    then begin
+      w.w_hung <- true;
+      if t.ex_perm_ok && Iw_faults.Plan.draw_hang_permanent t.ex_plan then
+        (* Permanent: the worker is gone; recovery is the watchdog's
+           job.  Only allowed in fleet mode — a standalone plane's
+           stop protocol needs every admitted request completed. *)
+        Sched.flat_exit k w.w_fl
+      else begin
+        w.w_state <- st_unhang;
+        Sched.flat_sleep k w.w_fl (Iw_faults.Plan.hang_cycles t.ex_plan)
+      end
     end
-    else if !(t.ex_stopping) then Sched.flat_exit k w.w_fl
-    else Sched.flat_sem_wait k w.w_fl t.ex_doorbells.(w.w_id)
+    else begin
+      let v = Squeue.pop_idx t.ex_queues.(w.w_id) in
+      if v >= 0 then begin
+        stage_extras t w;
+        start_exec t w v
+      end
+      else if !(t.ex_stopping) then Sched.flat_exit k w.w_fl
+      else Sched.flat_sem_wait k w.w_fl t.ex_doorbells.(w.w_id)
+    end
+  end
+  else if w.w_state = st_unhang then begin
+    w.w_hung <- false;
+    w.w_state <- st_pop;
+    w_activation t w
   end
   else if w.w_state = st_staged then begin
     Squeue.settle t.ex_queues.(w.w_id);
@@ -119,7 +174,7 @@ let rec w_activation t w =
   end
   else if w.w_state = st_vwork then begin
     w.w_state <- st_done;
-    Sched.flat_work k w.w_fl t.ex_work_c
+    Sched.flat_work k w.w_fl (work_grant t w.w_req)
   end
   else if w.w_state = st_done then finish_exec t w
   else if w.w_state = st_replied then after_reply t w
@@ -152,7 +207,7 @@ and start_exec t w v =
   match t.ex_backend with
   | Fiber_exec ->
       w.w_state <- st_done;
-      Sched.flat_work k w.w_fl t.ex_work_c
+      Sched.flat_work k w.w_fl (work_grant t v)
   | Virtine_exec _ ->
       let w_ = match t.ex_wasp with Some w_ -> w_ | None -> assert false in
       let plat = Sched.platform k in
@@ -175,6 +230,8 @@ and finish_exec t w =
   if Iw_obs.Trace.enabled tr then
     Iw_obs.Trace.span tr ~name:"service:exec" ~cat:"service" ~cpu:w.w_id
       ~ts:w.w_start ~dur:(fin - w.w_start) ();
+  let it = Request_arena.intended t.ex_arena w.w_req in
+  if it >= 0 then Hist.record t.ex_h_corr (fin - it);
   let r = Request_arena.reply t.ex_arena w.w_req in
   Request_arena.free t.ex_arena w.w_req;
   w.w_req <- -1;
@@ -204,6 +261,7 @@ and after_reply t w =
   then begin
     t.ex_stopping := true;
     t.ex_on_stop ();
+    t.ex_wd_stop ();
     w.w_bc <- 0;
     w.w_state <- st_bcast;
     w_activation t w
@@ -225,8 +283,61 @@ and next_item t w =
     Sched.flat_sem_wait t.ex_k w.w_fl t.ex_doorbells.(w.w_id)
   end
 
-let create ~k ?(prefix = "serve") ~workers ~order ~queue_cap ~backend ~work_us
-    ~policy ~dispatch_rng ~wasp_seed ~mode () =
+(* Recovery one layer up from a hung worker: the watchdog scans from
+   sim-timer context, and every queued request it finds behind a hung
+   worker is re-pushed onto the shortest live peer's queue (peer
+   stealing, counted).  Re-pushing appends at the tail, so a steal
+   trades strict FIFO order for liveness — exactly the price the real
+   recovery pays. *)
+let watchdog_scan t =
+  let k = t.ex_k in
+  let obs = Sched.obs k in
+  let ctr = obs.Iw_obs.Obs.counters in
+  let now = Sched.now k in
+  for i = 0 to t.ex_workers - 1 do
+    let w = t.ex_ws.(i) in
+    if w.w_hung && not (Squeue.is_empty t.ex_queues.(i)) then begin
+      Iw_obs.Counter.incr ctr Iw_obs.Counter.Watchdog_fire;
+      let tr = obs.Iw_obs.Obs.trace in
+      if Iw_obs.Trace.enabled tr then
+        Iw_obs.Trace.instant tr ~name:"recover:steal" ~cat:"service" ~cpu:i
+          ~ts:now ();
+      let go = ref true in
+      while !go do
+        let v = Squeue.pop_idx t.ex_queues.(i) in
+        if v < 0 then go := false
+        else begin
+          let best = ref (-1) and bestlen = ref max_int in
+          for j = 0 to t.ex_workers - 1 do
+            if j <> i && not t.ex_ws.(j).w_hung then begin
+              let l = Squeue.length t.ex_queues.(j) in
+              if l < !bestlen then begin
+                bestlen := l;
+                best := j
+              end
+            end
+          done;
+          let hi = Request_arena.is_hi t.ex_arena v in
+          if !best >= 0 && Squeue.try_push t.ex_queues.(!best) ~hi v then begin
+            incr t.ex_steals;
+            Iw_obs.Counter.incr ctr Iw_obs.Counter.Peer_steal;
+            Sched.sem_signal k t.ex_doorbells.(!best)
+          end
+          else begin
+            (* No live peer with room: put it back, retry next tick. *)
+            ignore (Squeue.try_push t.ex_queues.(i) ~hi v);
+            go := false
+          end
+        end
+      done
+    end
+  done
+
+let create ~k ?(prefix = "serve") ?(watchdog = true)
+    ?(demand = Workload.Dfixed) ?(demand_seed = 0) ?(demand_scale = 1.0)
+    ~workers ~order ~queue_cap ~backend ~work_us ~policy ~dispatch_rng
+    ~wasp_seed ~mode () =
+  Workload.validate_demand demand;
   let plat = Sched.platform k in
   let work_c = Iw_hw.Platform.cycles_of_us plat work_us in
   let queues =
@@ -249,6 +360,8 @@ let create ~k ?(prefix = "serve") ~workers ~order ~queue_cap ~backend ~work_us
              ~pool_size:pool vconfig)
     | Fiber_exec -> None
   in
+  let plan = Iw_faults.Plan.ambient () in
+  let hang_armed = Iw_faults.Plan.armed plan Iw_faults.Plan.Worker_hang in
   let t =
     {
       ex_k = k;
@@ -272,6 +385,16 @@ let create ~k ?(prefix = "serve") ~workers ~order ~queue_cap ~backend ~work_us
       ex_gen_done = ref false;
       ex_stopping = ref false;
       ex_on_stop = (fun () -> ());
+      ex_plan = plan;
+      ex_hang_armed = hang_armed;
+      ex_perm_ok = (match mode with Fleet _ -> true | Standalone _ -> false);
+      ex_slow_x1000 = 1000;
+      ex_demand = demand;
+      ex_demand_seed = demand_seed;
+      ex_demand_scale = demand_scale;
+      ex_h_corr = Hist.create ();
+      ex_steals = ref 0;
+      ex_wd_stop = (fun () -> ());
       ex_ws =
         Array.init workers (fun w ->
             {
@@ -294,17 +417,51 @@ let create ~k ?(prefix = "serve") ~workers ~order ~queue_cap ~backend ~work_us
               w_sc_n = 0;
               w_sc_i = 0;
               w_bc = 0;
+              w_hung = false;
             });
     }
   in
   Array.iter
     (fun w -> Sched.set_flat_step w.w_fl (fun () -> w_activation t w))
     t.ex_ws;
+  (* The hang watchdog: a periodic sim timer, armed only when the
+     plan can actually hang a worker, so unfaulted runs never see the
+     timer at all.  Like the plane's sampler, it is disarmed at stop
+     (an armed periodic timer would keep a drained standalone sim
+     alive forever). *)
+  if hang_armed && watchdog then begin
+    let sim = Sched.sim k in
+    let tm = Iw_engine.Sim.timer sim in
+    let period = max 1 (Iw_faults.Plan.hang_cycles plan / 4) in
+    let rec fire () =
+      watchdog_scan t;
+      Iw_engine.Sim.arm_after sim tm period fire
+    in
+    Iw_engine.Sim.arm_after sim tm period fire;
+    t.ex_wd_stop <- (fun () -> Iw_engine.Sim.disarm sim tm)
+  end;
   t
 
-let try_enqueue t ~hi ~arrival ~reply =
+let try_enqueue t ~intended ~hi ~arrival ~reply =
   let qi = Dispatch.pick_queues t.ex_disp t.ex_queues in
-  let idx = Request_arena.alloc t.ex_arena ~arrival ~hi ~reply in
+  let demand =
+    match t.ex_demand with
+    | Workload.Dfixed -> -1
+    | d ->
+        (* Hash key: the front tier's request id in a fleet (so a
+           retried or hedged copy of one request costs the same on
+           every machine), the local admission sequence otherwise. *)
+        let id =
+          match t.ex_mode with
+          | Fleet _ when reply >= 0 -> reply
+          | _ -> Request_arena.allocs t.ex_arena
+        in
+        let us =
+          Workload.demand_us d ~seed:t.ex_demand_seed ~id *. t.ex_demand_scale
+        in
+        max 1 (Iw_hw.Platform.cycles_of_us (Sched.platform t.ex_k) us)
+  in
+  let idx = Request_arena.alloc ~demand ~intended t.ex_arena ~arrival ~hi ~reply in
   if Squeue.try_push t.ex_queues.(qi) ~hi idx then begin
     incr t.ex_admitted;
     let ctr = (Sched.obs t.ex_k).Iw_obs.Obs.counters in
@@ -337,6 +494,16 @@ let set_on_stop t f = t.ex_on_stop <- f
 let h_queue t = t.ex_h_queue
 let h_service t = t.ex_h_service
 let h_total t = t.ex_h_total
+let h_corrected t = t.ex_h_corr
 let arena_capacity t = Request_arena.capacity t.ex_arena
 let arena_grows t = Request_arena.grows t.ex_arena
 let wasp t = t.ex_wasp
+let steals t = !(t.ex_steals)
+let hung t =
+  let n = ref 0 in
+  Array.iter (fun w -> if w.w_hung then incr n) t.ex_ws;
+  !n
+
+let set_slowdown t x1000 = t.ex_slow_x1000 <- max 1 x1000
+let slowdown t = t.ex_slow_x1000
+let stop_watchdog t = t.ex_wd_stop ()

@@ -42,6 +42,10 @@ type t
 val create :
   k:Sched.t ->
   ?prefix:string ->
+  ?watchdog:bool ->
+  ?demand:Workload.demand ->
+  ?demand_seed:int ->
+  ?demand_scale:float ->
   workers:int ->
   order:Squeue.order ->
   queue_cap:int ->
@@ -56,15 +60,30 @@ val create :
 (** Builds queues, doorbells, dispatch state, histograms, the arena,
     the optional Wasp instance, and spawns [workers] flat worker
     threads pinned to CPUs [0..workers-1] (named ["<prefix>-w<i>"],
-    default prefix ["serve"]). *)
+    default prefix ["serve"]).
 
-val try_enqueue : t -> hi:bool -> arrival:int -> reply:int -> int
+    Captures the ambient fault plan: when it arms [Worker_hang], a
+    worker about to pop with work waiting can hang (clocked sleep, or
+    — fleet mode only — permanently exit), and, if [watchdog] (the
+    default), a periodic sim timer scans for hung workers and steals
+    their queued requests onto the shortest live peer (counted as
+    [peer_steal], detection as [watchdog_fire]).  Unfaulted runs
+    never arm the timer.
+
+    [demand] (default [Dfixed]) draws a per-request service cost from
+    a stateless hash of [(demand_seed, request id)], scaled by
+    [demand_scale] (the fleet passes [1/speed], matching its scaled
+    [work_us]). *)
+
+val try_enqueue : t -> intended:int -> hi:bool -> arrival:int -> reply:int -> int
 (** Pick a queue by the local policy, allocate an arena slot, push.
     On success bumps admitted (and hi-priority) counters and returns
     the queue index — the caller must post that doorbell ([flat]/
     coroutine submit paths pay their own cost; network RX uses
     {!Sched.sem_signal}).  On a full queue frees the slot and
-    returns [-1]. *)
+    returns [-1].  [intended] (default -1 = none) is the open-loop
+    intended send cycle, recorded for coordinated-omission-corrected
+    latency ({!h_corrected}). *)
 
 val doorbell : t -> int -> Sched.semaphore
 val doorbells : t -> Sched.semaphore array
@@ -91,6 +110,30 @@ val set_on_stop : t -> (unit -> unit) -> unit
 val h_queue : t -> Hist.t array
 val h_service : t -> Hist.t array
 val h_total : t -> Hist.t array
+
+val h_corrected : t -> Hist.t
+(** Sojourn time measured from the *intended* send cycle for requests
+    that recorded one — the coordinated-omission-corrected view of
+    {!h_total}. *)
+
 val arena_capacity : t -> int
 val arena_grows : t -> int
 val wasp : t -> Iw_virtine.Wasp.t option
+
+val steals : t -> int
+(** Requests the watchdog moved off hung workers' queues. *)
+
+val hung : t -> int
+(** Workers currently hung (clocked hangs clear themselves). *)
+
+val set_slowdown : t -> int -> unit
+(** Brownout hook: multiply subsequent work grants by [x/1000]
+    (1000 = full speed).  Clamped to >= 1. *)
+
+val slowdown : t -> int
+
+val stop_watchdog : t -> unit
+(** Disarm the hang watchdog timer (idempotent).  The executor calls
+    this itself on its own stop path; external stop initiators (the
+    plane's closed-loop and generator-tail paths) must call it too,
+    like the sampler's disarm hook. *)

@@ -51,6 +51,16 @@ type config = {
   fc_sample_us : float;  (* telemetry period; 0 = ambient Series period *)
   fc_slo_us : float;  (* end-to-end latency SLO; 0 disables accounting *)
   fc_slo_target : float;  (* good fraction target, e.g. 0.999 *)
+  (* Graceful degradation (ISSUE 9).  Every knob defaults to the
+     PR 8 behavior so existing goldens cannot move. *)
+  fc_watchdog : bool;  (* hang watchdogs + peer stealing on machines *)
+  fc_corrupt_retry : bool;  (* re-execute corrupted responses *)
+  fc_bw_wjsq : bool;  (* weight wjsq by observed completion rate *)
+  fc_hedge_frac : float;  (* hedge at this fraction of the deadline; 0 off *)
+  fc_hedge_budget : float;  (* max hedges as a fraction of arrivals *)
+  fc_admit : bool;  (* SLO-aware admission control at the front tier *)
+  fc_deadline_us : float;  (* per-request deadline (hedging/admission) *)
+  fc_demand : Workload.demand;  (* per-request service cost distribution *)
   fc_seed : int;
 }
 
@@ -74,6 +84,14 @@ let default () =
     fc_sample_us = 0.0;
     fc_slo_us = 0.0;
     fc_slo_target = 0.999;
+    fc_watchdog = true;
+    fc_corrupt_retry = true;
+    fc_bw_wjsq = false;
+    fc_hedge_frac = 0.0;
+    fc_hedge_budget = 0.1;
+    fc_admit = false;
+    fc_deadline_us = 0.0;
+    fc_demand = Workload.Dfixed;
     fc_seed = 42;
   }
 
@@ -109,6 +127,13 @@ type report = {
   fr_m_counters : (string * int) list array;
   fr_slo_good : int;
   fr_slo_total : int;
+  fr_hedges : int;
+  fr_hedge_wins : int;
+  fr_hedge_cancels : int;
+  fr_admission_shed : int;
+  fr_corrupt_retries : int;
+  fr_steals : int;
+  fr_brownouts : int;
   fr_series : Iw_obs.Series.t option;
 }
 
@@ -134,6 +159,7 @@ type machine = {
   mutable m_paused : bool;  (* skip the next window (fault) *)
   mutable m_streak : int;  (* consecutive front-side timeouts *)
   mutable m_ejected_until : int;
+  mutable m_slow_until : int;  (* brownout expiry cycle; 0 = full speed *)
 }
 
 (* The front tier's request table.  Monotone — slots are never
@@ -146,6 +172,7 @@ type ftab = {
   mutable ft_state : int array;  (* 0 in flight, 1 done, 2 failed *)
   mutable ft_retries : int array;
   mutable ft_machine : int array;
+  mutable ft_hmachine : int array;  (* hedge copy's machine; -1 = none *)
   mutable ft_hi : int array;
 }
 
@@ -156,6 +183,7 @@ let ftab_create () =
     ft_state = Array.make 1024 0;
     ft_retries = Array.make 1024 0;
     ft_machine = Array.make 1024 0;
+    ft_hmachine = Array.make 1024 0;
     ft_hi = Array.make 1024 0;
   }
 
@@ -166,6 +194,7 @@ let ftab_alloc ft ~arrival ~hi =
     ft.ft_state <- g ft.ft_state;
     ft.ft_retries <- g ft.ft_retries;
     ft.ft_machine <- g ft.ft_machine;
+    ft.ft_hmachine <- g ft.ft_hmachine;
     ft.ft_hi <- g ft.ft_hi
   end;
   let id = ft.ft_n in
@@ -173,13 +202,17 @@ let ftab_alloc ft ~arrival ~hi =
   ft.ft_state.(id) <- 0;
   ft.ft_retries.(id) <- 0;
   ft.ft_machine.(id) <- -1;
+  ft.ft_hmachine.(id) <- -1;
   ft.ft_hi.(id) <- (if hi then 1 else 0);
   ft.ft_n <- id + 1;
   id
 
-(* A fault plan arming machine-internal kinds (TLB, IPI, virtine...)
-   draws from the plan's RNG inside machine kernels, which only stays
-   deterministic when machines share the coordinator's domain. *)
+(* A fault plan arming machine-internal kinds (TLB, IPI, virtine,
+   worker hangs...) draws from the plan's RNG inside machine kernels,
+   which only stays deterministic when machines share the
+   coordinator's domain.  Kinds drawn at the front tier or at
+   barriers (links, pauses, brownouts, response corruption) are
+   coordinator-only and stay parallel-safe. *)
 let plan_needs_serial plan =
   Plan.enabled plan
   && List.exists
@@ -187,7 +220,9 @@ let plan_needs_serial plan =
          Plan.armed plan k
          &&
          match k with
-         | Plan.Link_drop | Plan.Link_delay | Plan.Machine_pause -> false
+         | Plan.Link_drop | Plan.Link_delay | Plan.Machine_pause
+         | Plan.Machine_brownout | Plan.Req_corrupt ->
+             false
          | _ -> true)
        Plan.all_kinds
 
@@ -264,6 +299,11 @@ let run ?parallel cfg =
         let ex =
           Exec.create ~k
             ~prefix:(Printf.sprintf "m%d-%s" m spec.ms_name)
+            ~watchdog:cfg.fc_watchdog ~demand:cfg.fc_demand
+              (* one fleet-wide demand seed: a request costs the same
+                 cycles wherever a retry or hedge lands it *)
+            ~demand_seed:(cfg.fc_seed + 23)
+            ~demand_scale:(1.0 /. spec.ms_speed)
             ~workers:spec.ms_workers ~order:cfg.fc_order
             ~queue_cap:cfg.fc_queue_cap ~backend:cfg.fc_backend
             ~work_us:(cfg.fc_work_us /. spec.ms_speed)
@@ -292,6 +332,7 @@ let run ?parallel cfg =
           m_paused = false;
           m_streak = 0;
           m_ejected_until = 0;
+          m_slow_until = 0;
         })
   in
 
@@ -333,6 +374,35 @@ let run ?parallel cfg =
   let slo_good = ref 0 in
   let slo_total = ref 0 in
 
+  (* ---- graceful degradation state (all inert at the defaults) ---- *)
+  let deadline_c = if cfg.fc_deadline_us > 0.0 then cyc cfg.fc_deadline_us else 0 in
+  let hedge_c =
+    if cfg.fc_hedge_frac > 0.0 && deadline_c > 0 then
+      max 1 (int_of_float (float_of_int deadline_c *. cfg.fc_hedge_frac))
+    else 0
+  in
+  let admit_on = cfg.fc_admit && deadline_c > 0 in
+  let corrupt_armed = Plan.enabled plan && Plan.armed plan Plan.Req_corrupt in
+  let brownout_armed = Plan.enabled plan && Plan.armed plan Plan.Machine_brownout in
+  (* hedge copies carry a sentinel attempt so machine nacks for them
+     never feed the retry state machine *)
+  let hedge_att = 0x3FFFFF in
+  let hedges = ref 0 in
+  let hedge_wins = ref 0 in
+  let hedge_cancels = ref 0 in
+  let admission_shed = ref 0 in
+  let corrupt_retries = ref 0 in
+  let brownouts = ref 0 in
+  (* EWMA of end-to-end sojourn, the admission controller's service
+     time estimate; seeded with the nominal body cost *)
+  let ewma_svc_c = ref (max 1 (cyc cfg.fc_work_us)) in
+  (* brownout-aware wjsq: a leaky integrator of each machine's
+     completions per window — a machine running at 1/3 speed earns
+     1/3 the weight, whatever its gossiped depth claims *)
+  let obs_w = Array.make n 0 in
+  let prev_comp = Array.make n 0 in
+  let mweight m = if cfg.fc_bw_wjsq then max 1 obs_w.(m) else weights.(m) in
+
   let cand = Array.make n 0 in
   let pick_machine now =
     let nc = ref 0 in
@@ -352,7 +422,7 @@ let run ?parallel cfg =
     let j =
       Dispatch.pick bdisp ~n:!nc
         ~len:(fun j -> view.(cand.(j)))
-        ~weight:(fun j -> weights.(cand.(j)))
+        ~weight:(fun j -> mweight cand.(j))
     in
     cand.(j)
   in
@@ -374,7 +444,47 @@ let run ?parallel cfg =
       ~b:((attempt lsl 1) lor ft.ft_hi.(id))
       ~t:now;
     Iw_engine.Sim.schedule_unit fsim ~at:(now + rto_c) (fun () ->
-        on_timeout id attempt)
+        on_timeout id attempt);
+    if hedge_c > 0 && attempt = 0 then
+      Iw_engine.Sim.schedule_unit fsim ~at:(now + hedge_c) (fun () ->
+          maybe_hedge id)
+  and maybe_hedge id =
+    (* Hedge once per request, against a global budget (a fraction of
+       arrivals so far), onto a live machine other than the primary.
+       The hedge copy gets no RTO of its own: the primary's timeout
+       still guards the request. *)
+    if
+      ft.ft_state.(id) = 0
+      && ft.ft_hmachine.(id) < 0
+      && !hedges < int_of_float (cfg.fc_hedge_budget *. float_of_int !arrivals)
+    then begin
+      let now = Iw_engine.Sim.now fsim in
+      let primary = ft.ft_machine.(id) in
+      let nc = ref 0 in
+      for m = 0 to n - 1 do
+        if m <> primary && machines.(m).m_ejected_until <= now then begin
+          cand.(!nc) <- m;
+          incr nc
+        end
+      done;
+      if !nc > 0 then begin
+        let j =
+          Dispatch.pick bdisp ~n:!nc
+            ~len:(fun j -> view.(cand.(j)))
+            ~weight:(fun j -> mweight cand.(j))
+        in
+        let m = cand.(j) in
+        ft.ft_hmachine.(id) <- m;
+        incr hedges;
+        Counter.incr fctr Counter.Hedge_sent;
+        if tracing then
+          Iw_obs.Trace.instant tr ~name:"recover:hedge" ~cat:"service"
+            ~cpu:(-1) ~ts:now ();
+        Net.mb_push front_outbox ~kind:Net.k_req ~dst:m ~a:id
+          ~b:((hedge_att lsl 1) lor ft.ft_hi.(id))
+          ~t:now
+      end
+    end
   and retry id =
     if ft.ft_retries.(id) >= cfg.fc_max_retries then begin
       ft.ft_state.(id) <- 2;
@@ -404,22 +514,54 @@ let run ?parallel cfg =
       retry id
     end
   in
+  let complete ~corrupt id m =
+    ft.ft_state.(id) <- 1;
+    machines.(m).m_streak <- 0;
+    incr completed;
+    let now = Iw_engine.Sim.now fsim in
+    let lat = now - ft.ft_arrival.(id) in
+    Hist.record h_e2e lat;
+    if deadline_c > 0 then
+      ewma_svc_c := !ewma_svc_c + ((lat - !ewma_svc_c) asr 4);
+    if slo_c > 0 then begin
+      incr slo_total;
+      (* an accepted-but-corrupt response is never SLO-good *)
+      if (not corrupt) && lat <= slo_c then incr slo_good
+    end;
+    if ft.ft_hmachine.(id) >= 0 && m = ft.ft_hmachine.(id) then begin
+      incr hedge_wins;
+      Counter.incr fctr Counter.Hedge_won
+    end;
+    if Iw_obs.Trace.flows_enabled tr then
+      Iw_obs.Trace.flow tr ~name:"req" ~phase:Iw_obs.Trace.flow_finish ~id
+        ~cpu:(-1) ~ts:now ();
+    decr outstanding
+  in
   let on_resp id m =
     if ft.ft_state.(id) = 0 then begin
-      ft.ft_state.(id) <- 1;
-      machines.(m).m_streak <- 0;
-      incr completed;
-      let now = Iw_engine.Sim.now fsim in
-      let lat = now - ft.ft_arrival.(id) in
-      Hist.record h_e2e lat;
-      if slo_c > 0 then begin
-        incr slo_total;
-        if lat <= slo_c then incr slo_good
-      end;
-      if Iw_obs.Trace.flows_enabled tr then
-        Iw_obs.Trace.flow tr ~name:"req" ~phase:Iw_obs.Trace.flow_finish ~id
-          ~cpu:(-1) ~ts:now ();
-      decr outstanding
+      if
+        corrupt_armed
+        && Plan.fire plan front_obs ~kind:Plan.Req_corrupt ~cpu:m
+             ~ts:(Iw_engine.Sim.now fsim)
+      then begin
+        if cfg.fc_corrupt_retry then begin
+          (* garbage answer: burn the work and re-execute, bounded by
+             the ordinary retry budget *)
+          incr corrupt_retries;
+          Counter.incr fctr Counter.Corrupt_retry;
+          if tracing then
+            Iw_obs.Trace.instant tr ~name:"recover:reexec" ~cat:"service"
+              ~cpu:(-1) ~ts:(Iw_engine.Sim.now fsim) ();
+          retry id
+        end
+        else complete ~corrupt:true id m
+      end
+      else complete ~corrupt:false id m
+    end
+    else if ft.ft_state.(id) = 1 && ft.ft_hmachine.(id) >= 0 then begin
+      (* the losing copy of a hedged request coming home late *)
+      incr hedge_cancels;
+      Counter.incr fctr Counter.Hedge_cancel
     end
   in
   let on_nack id attempt m =
@@ -427,8 +569,10 @@ let run ?parallel cfg =
     Counter.incr fctr Counter.Net_nacks;
     machines.(m).m_streak <- 0;
     (* a nack proves the machine is alive, just full — retry now
-       rather than waiting out the RTO *)
-    if ft.ft_state.(id) = 0 && ft.ft_retries.(id) = attempt then retry id
+       rather than waiting out the RTO.  A nacked hedge copy just
+       dies: the primary attempt still owns the request. *)
+    if attempt <> hedge_att && ft.ft_state.(id) = 0 && ft.ft_retries.(id) = attempt
+    then retry id
   in
 
   let g = Workload.gen cfg.fc_workload ~rng:arrival_rng in
@@ -437,13 +581,41 @@ let run ?parallel cfg =
     cfg.fc_hi_frac > 0.0
     && float_of_int (Rng.raw53 prio_rng) /. two53 < cfg.fc_hi_frac
   in
+  let admitted now =
+    (not admit_on)
+    ||
+    (* predicted wait on the least-loaded live machine: gossiped depth
+       x EWMA sojourn / workers.  If even the best machine would blow
+       the deadline, shed at the door instead of queueing a request
+       that is already dead. *)
+    let best = ref max_int in
+    for m = 0 to n - 1 do
+      if machines.(m).m_ejected_until <= now then begin
+        let p = view.(m) * !ewma_svc_c / cfg.fc_machines.(m).ms_workers in
+        if p < !best then best := p
+      end
+    done;
+    !best = max_int || !best <= deadline_c
+  in
   let rec arrive () =
     let now = Iw_engine.Sim.now fsim in
     incr arrivals;
     Counter.incr fctr Counter.Service_arrivals;
-    let id = ftab_alloc ft ~arrival:now ~hi:(draw_hi ()) in
-    incr outstanding;
-    send_attempt id 0;
+    if admitted now then begin
+      let id = ftab_alloc ft ~arrival:now ~hi:(draw_hi ()) in
+      incr outstanding;
+      send_attempt id 0
+    end
+    else begin
+      incr admission_shed;
+      Counter.incr fctr Counter.Admission_shed;
+      if tracing then
+        Iw_obs.Trace.instant tr ~name:"recover:shed" ~cat:"service" ~cpu:(-1)
+          ~ts:now ();
+      (* a shed request is still an SLO miss: degradation must not
+         launder the error budget *)
+      if slo_c > 0 then incr slo_total
+    end;
     schedule_next ()
   and schedule_next () =
     let at = Workload.next_cycles g in
@@ -471,7 +643,9 @@ let run ?parallel cfg =
     if Iw_obs.Trace.flows_enabled tr then
       Iw_obs.Trace.flow tr ~name:"req" ~phase:Iw_obs.Trace.flow_step ~id ~cpu:0
         ~ts:now ();
-    let qi = Exec.try_enqueue mc.m_ex ~hi ~arrival:now ~reply:id in
+    let qi =
+      Exec.try_enqueue mc.m_ex ~intended:(-1) ~hi ~arrival:now ~reply:id
+    in
     if qi >= 0 then Sched.sem_signal mc.m_k (Exec.doorbell mc.m_ex qi)
     else begin
       Counter.incr (Sched.counters mc.m_k) Counter.Service_shed;
@@ -532,6 +706,35 @@ let run ?parallel cfg =
       for m = 0 to n - 1 do
         if Plan.fire plan front_obs ~kind:Plan.Machine_pause ~cpu:m ~ts:h then
           machines.(m).m_paused <- true
+      done;
+    (* brownout draws come after the pause draws so arming this kind
+       cannot shift an existing plan's schedule *)
+    if brownout_armed then
+      for m = 0 to n - 1 do
+        let mc = machines.(m) in
+        if mc.m_slow_until > 0 && mc.m_slow_until <= h then begin
+          mc.m_slow_until <- 0;
+          Exec.set_slowdown mc.m_ex 1000;
+          if tracing then
+            Iw_obs.Trace.instant tr ~name:"recover:brownout-clear"
+              ~cat:"service" ~cpu:(-1) ~ts:h ()
+        end;
+        if Plan.fire plan front_obs ~kind:Plan.Machine_brownout ~cpu:m ~ts:h
+        then begin
+          let slow_x1000, dur = Plan.draw_brownout plan in
+          incr brownouts;
+          mc.m_slow_until <- h + dur;
+          Exec.set_slowdown mc.m_ex slow_x1000
+        end
+      done;
+    (* observed completion rate per machine: what the brownout-aware
+       balancer weighs instead of trusting nominal speed *)
+    if cfg.fc_bw_wjsq then
+      for m = 0 to n - 1 do
+        let c = !(Exec.completed_ref machines.(m).m_ex) in
+        let d = c - prev_comp.(m) in
+        prev_comp.(m) <- c;
+        obs_w.(m) <- obs_w.(m) - (obs_w.(m) asr 3) + d
       done;
     let total = ref 0 in
     Array.iter (fun b -> total := !total + b.Net.mb_n) bufs;
@@ -798,6 +1001,13 @@ let run ?parallel cfg =
       Array.map (fun mc -> Counter.to_list (Sched.counters mc.m_k)) machines;
     fr_slo_good = !slo_good;
     fr_slo_total = !slo_total;
+    fr_hedges = !hedges;
+    fr_hedge_wins = !hedge_wins;
+    fr_hedge_cancels = !hedge_cancels;
+    fr_admission_shed = !admission_shed;
+    fr_corrupt_retries = !corrupt_retries;
+    fr_steals = Array.fold_left (fun acc mc -> acc + Exec.steals mc.m_ex) 0 machines;
+    fr_brownouts = !brownouts;
     fr_series =
       (match series with
       | Some s ->

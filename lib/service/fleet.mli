@@ -59,6 +59,36 @@ type config = {
   fc_slo_us : float;  (** end-to-end latency SLO; 0 disables accounting *)
   fc_slo_target : float;
       (** Good-fraction target for burn-rate columns (e.g. 0.999). *)
+  fc_watchdog : bool;
+      (** Arm per-machine hang watchdogs (peer stealing) when the
+          ambient fault plan arms [worker-hang].  Default [true]; the
+          R5 experiment toggles it off to expose the raw damage. *)
+  fc_corrupt_retry : bool;
+      (** Re-execute responses the fault plan marks corrupt (counted
+          [corrupt_retry], bounded by [fc_max_retries]).  With it off
+          a corrupt response completes but can never be SLO-good. *)
+  fc_bw_wjsq : bool;
+      (** Brownout-aware balancing: weight the front-tier wjsq pick
+          by a leaky integrator of each machine's observed completions
+          per window instead of its nominal [workers x speed]. *)
+  fc_hedge_frac : float;
+      (** Hedge still-outstanding requests onto a second machine after
+          this fraction of [fc_deadline_us]; first response wins, the
+          loser is counted [hedge_cancel].  0 (default) disables. *)
+  fc_hedge_budget : float;
+      (** Global hedge budget as a fraction of arrivals so far. *)
+  fc_admit : bool;
+      (** SLO-aware admission control: shed an arrival (counted
+          [admission_shed], an SLO miss) when even the least-loaded
+          live machine's predicted wait — gossiped depth x EWMA
+          sojourn / workers — exceeds the deadline. *)
+  fc_deadline_us : float;
+      (** Per-request deadline driving hedging and admission; 0
+          disables both regardless of their own knobs. *)
+  fc_demand : Workload.demand;
+      (** Per-request service cost distribution, drawn from a
+          stateless hash of the front-tier request id so retries and
+          hedges of one request cost the same on every machine. *)
   fc_seed : int;
 }
 
@@ -102,8 +132,16 @@ type report = {
   fr_slo_good : int;
       (** Responses within [fc_slo_us] (0 when accounting is off). *)
   fr_slo_total : int;
-      (** SLO-eligible outcomes: responses plus exhausted-retry
-          failures.  good/total is the achieved success fraction. *)
+      (** SLO-eligible outcomes: responses, exhausted-retry failures,
+          and admission sheds.  good/total is the achieved success
+          fraction. *)
+  fr_hedges : int;  (** hedge copies sent *)
+  fr_hedge_wins : int;  (** requests whose hedge copy answered first *)
+  fr_hedge_cancels : int;  (** losing copies that came home late *)
+  fr_admission_shed : int;  (** arrivals shed at the door *)
+  fr_corrupt_retries : int;  (** corrupt responses re-executed *)
+  fr_steals : int;  (** requests watchdogs moved off hung workers *)
+  fr_brownouts : int;  (** brownout episodes injected *)
   fr_series : Iw_obs.Series.t option;
       (** Fleet timeline, sampled at conservative-window barriers on
           the coordinator every [fc_sample_us] of virtual time:

@@ -23,6 +23,7 @@ type config = {
   backend : backend;
   work_us : float;
   hi_frac : float;
+  demand : Workload.demand;
   seed : int;
 }
 
@@ -38,6 +39,7 @@ let default ~plat =
     backend = Fiber_exec;
     work_us = 150.0;
     hi_frac = 0.0;
+    demand = Workload.Dfixed;
     seed = 42;
   }
 
@@ -68,6 +70,10 @@ type report = {
   rep_queue : Hist.t;
   rep_service : Hist.t;
   rep_total : Hist.t;
+  rep_total_corrected : Hist.t;
+      (* sojourn measured from the intended (drawn) send time:
+         coordinated-omission-corrected open-loop latency *)
+  rep_steals : int;
   rep_series : Iw_obs.Series.t option;
 }
 
@@ -90,6 +96,7 @@ type loadgen = {
   l_fl : Sched.flat;
   mutable l_state : int;
   mutable l_bc : int;
+  mutable l_target : int;  (* intended (drawn) send cycle of this arrival *)
 }
 
 let run cfg =
@@ -137,6 +144,7 @@ let run cfg =
     Exec.create ~k ~workers:cfg.workers ~order:cfg.order
       ~queue_cap:cfg.queue_cap ~backend:cfg.backend ~work_us:cfg.work_us
       ~policy:cfg.policy ~dispatch_rng ~wasp_seed:(cfg.seed + 17)
+      ~demand:cfg.demand ~demand_seed:(cfg.seed + 23)
       ~mode:(Exec.Standalone replies) ()
   in
   let doorbells = Exec.doorbells ex in
@@ -215,7 +223,9 @@ let run cfg =
         Iw_obs.Counter.incr ctr Iw_obs.Counter.Service_arrivals;
         Api.overhead submit_cost;
         let hi = draw_hi () in
-        let qi = Exec.try_enqueue ex ~hi ~arrival:(Api.now ()) ~reply:c in
+        let qi =
+          Exec.try_enqueue ex ~intended:(-1) ~hi ~arrival:(Api.now ()) ~reply:c
+        in
         if qi >= 0 then begin
           Api.sem_post doorbells.(qi);
           true
@@ -226,6 +236,7 @@ let run cfg =
         if not !stopping then begin
           stopping := true;
           !stop_sampler ();
+          Exec.stop_watchdog ex;
           Array.iter (fun d -> Api.sem_post d) doorbells
         end
       in
@@ -284,6 +295,7 @@ let run cfg =
               ();
           l_state = 0;
           l_bc = 0;
+          l_target = 0;
         }
       in
       let rec lg_activation lg =
@@ -294,6 +306,7 @@ let run cfg =
             if !completed = !admitted && not !stopping then begin
               stopping := true;
               !stop_sampler ();
+              Exec.stop_watchdog ex;
               lg.l_bc <- 0;
               lg.l_state <- 3;
               lg_activation lg
@@ -301,6 +314,7 @@ let run cfg =
             else Sched.flat_exit k lg.l_fl
           end
           else begin
+            lg.l_target <- target;
             let now = Sched.now k in
             if target > now then begin
               lg.l_state <- 1;
@@ -330,7 +344,9 @@ let run cfg =
       and lg_push lg =
         let hi = draw_hi () in
         let now = Sched.now k in
-        let qi = Exec.try_enqueue ex ~hi ~arrival:now ~reply:(-1) in
+        let qi =
+          Exec.try_enqueue ex ~intended:lg.l_target ~hi ~arrival:now ~reply:(-1)
+        in
         if qi >= 0 then begin
           lg.l_state <- 0;
           Sched.flat_sem_post k lg.l_fl doorbells.(qi)
@@ -400,6 +416,8 @@ let run cfg =
     rep_queue = merge (Exec.h_queue ex);
     rep_service = merge (Exec.h_service ex);
     rep_total = merge (Exec.h_total ex);
+    rep_total_corrected = Exec.h_corrected ex;
+    rep_steals = Exec.steals ex;
     rep_series =
       (match series with
       | Some s ->

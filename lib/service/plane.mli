@@ -43,6 +43,9 @@ type config = {
   backend : backend;
   work_us : float;  (** Request body service demand. *)
   hi_frac : float;  (** Fraction of requests marked high priority. *)
+  demand : Workload.demand;
+      (** Per-request cost distribution; [Dfixed] = every body costs
+          [work_us]. *)
   seed : int;
 }
 
@@ -87,6 +90,14 @@ type report = {
   rep_queue : Hist.t;  (** Queue-wait cycles. *)
   rep_service : Hist.t;  (** Service cycles. *)
   rep_total : Hist.t;  (** Arrival-to-completion cycles. *)
+  rep_total_corrected : Hist.t;
+      (** Total latency measured from each request's *intended*
+          (drawn) send time instead of its actual submit time — the
+          coordinated-omission correction for open-loop load.  Empty
+          for closed loops. *)
+  rep_steals : int;
+      (** Requests the hang watchdog moved to live peers (0 unless a
+          fault plan arms [worker-hang]). *)
   rep_series : Iw_obs.Series.t option;
       (** Windowed telemetry sampled every ambient
           [Iw_obs.Series.period_us] of virtual time ([None] when the

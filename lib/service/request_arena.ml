@@ -22,6 +22,8 @@ type t = {
   mutable arrival : int array;  (* arrival cycle per live slot *)
   mutable hi : bool array;  (* priority bit *)
   mutable reply : int array;  (* reply slot (client index); -1 = none *)
+  mutable demand : int array;  (* per-request work cycles; -1 = default *)
+  mutable intended : int array;  (* intended send cycle; -1 = none *)
   mutable next : int array;  (* free-list link, or [live_mark] *)
   mutable free_head : int;  (* -1 = empty *)
   mutable cap : int;
@@ -46,6 +48,8 @@ let create ~cap =
       arrival = Array.make cap 0;
       hi = Array.make cap false;
       reply = Array.make cap (-1);
+      demand = Array.make cap (-1);
+      intended = Array.make cap (-1);
       next = Array.make cap (-1);
       free_head = -1;
       cap;
@@ -73,13 +77,15 @@ let grow t =
   t.arrival <- widen t.arrival 0;
   t.hi <- widen t.hi false;
   t.reply <- widen t.reply (-1);
+  t.demand <- widen t.demand (-1);
+  t.intended <- widen t.intended (-1);
   t.next <- widen t.next (-1);
   let old = t.cap in
   t.cap <- ncap;
   t.grows <- t.grows + 1;
   chain t old ncap
 
-let alloc t ~arrival ~hi ~reply =
+let alloc t ~demand ~intended ~arrival ~hi ~reply =
   if t.free_head < 0 then grow t;
   let i = t.free_head in
   t.free_head <- t.next.(i);
@@ -87,6 +93,9 @@ let alloc t ~arrival ~hi ~reply =
   t.arrival.(i) <- arrival;
   t.hi.(i) <- hi;
   t.reply.(i) <- reply;
+  (* Slots recycle, so defaulted fields must be reset, not inherited. *)
+  t.demand.(i) <- demand;
+  t.intended.(i) <- intended;
   t.live_n <- t.live_n + 1;
   t.allocs <- t.allocs + 1;
   i
@@ -108,6 +117,8 @@ let free t i =
 let arrival t i = t.arrival.(i)
 let is_hi t i = t.hi.(i)
 let reply t i = t.reply.(i)
+let demand t i = t.demand.(i)
+let intended t i = t.intended.(i)
 let is_live t i = i >= 0 && i < t.cap && t.next.(i) = live_mark
 
 let free_list_length t =

@@ -15,9 +15,13 @@ type t
 val create : cap:int -> t
 (** @raise Invalid_argument when [cap < 1]. *)
 
-val alloc : t -> arrival:int -> hi:bool -> reply:int -> int
-(** Claim a slot ([reply = -1] for no reply).  Grows (doubling) when
-    the arena is full. *)
+val alloc :
+  t -> demand:int -> intended:int -> arrival:int -> hi:bool -> reply:int -> int
+(** Claim a slot ([reply = -1] for no reply; [demand = -1] means the
+    executor's default work grant; [intended = -1] means no intended
+    send time was recorded).  The per-request fields are required
+    labeled ints, not optionals, so the hot path never boxes a
+    [Some].  Grows (doubling) when the arena is full. *)
 
 val free : t -> int -> unit
 (** Recycle a slot.  @raise Invalid_argument when it is not live. *)
@@ -25,6 +29,13 @@ val free : t -> int -> unit
 val arrival : t -> int -> int
 val is_hi : t -> int -> bool
 val reply : t -> int -> int
+
+val demand : t -> int -> int
+(** Per-request work grant in cycles, or -1 for the default. *)
+
+val intended : t -> int -> int
+(** Intended (open-loop) send cycle for coordinated-omission
+    correction, or -1 when not recorded. *)
 
 val is_live : t -> int -> bool
 val capacity : t -> int

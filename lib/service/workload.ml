@@ -28,6 +28,72 @@ let offered_rps = function
 
 let is_open = function Poisson _ | Bursty _ -> true | Closed _ -> false
 
+(* ------------------------------------------------------------------ *)
+(* Per-request service demand.
+
+   [Dfixed] is the historical behavior: every request costs the
+   executor's configured work grant.  The heavy-tailed specs draw a
+   per-request cost from a bounded Pareto or a lognormal — the shapes
+   real serving traces have — keyed by a *stateless hash* of
+   (stream seed, request id) rather than a shared mutable stream.
+   That gives the draw its own logical RNG stream for free: it is
+   independent of every arrival/dispatch/think draw, stable when
+   requests are retried or hedged (same id, same cost), and identical
+   whether machines run serially or on parallel domains. *)
+
+type demand =
+  | Dfixed
+  | Dpareto of { alpha : float; xmin_us : float; xmax_us : float }
+  | Dlognorm of { median_us : float; sigma : float }
+
+let validate_demand = function
+  | Dfixed -> ()
+  | Dpareto { alpha; xmin_us; xmax_us } ->
+      if alpha <= 0.0 then invalid_arg "Workload: Pareto alpha must be positive";
+      if xmin_us <= 0.0 || xmax_us <= xmin_us then
+        invalid_arg "Workload: Pareto needs 0 < xmin < xmax"
+  | Dlognorm { median_us; sigma } ->
+      if median_us <= 0.0 then
+        invalid_arg "Workload: lognormal median must be positive";
+      if sigma < 0.0 then invalid_arg "Workload: lognormal sigma must be >= 0"
+
+let describe_demand = function
+  | Dfixed -> "fixed"
+  | Dpareto { alpha; xmin_us; xmax_us } ->
+      Printf.sprintf "pareto a=%.2f [%.0f,%.0f]us" alpha xmin_us xmax_us
+  | Dlognorm { median_us; sigma } ->
+      Printf.sprintf "lognorm med=%.0fus s=%.2f" median_us sigma
+
+(* Two rounds of a 63-bit splitmix-style finalizer; native-int
+   multiplies wrap mod 2^63, deterministically, with no boxing.  The
+   constants fit OCaml's 63-bit literals. *)
+let[@inline] mix63 z =
+  let z = (z lxor (z lsr 33)) * 0x3C79AC492BA7B653 in
+  let z = (z lxor (z lsr 29)) * 0x1C69B3F74AC4AE35 in
+  (z lxor (z lsr 32)) land max_int
+
+(* Uniform in (0,1): the +0.5 offset keeps the draw away from both
+   endpoints, so log/pow below never see 0. *)
+let[@inline] u01 h =
+  (float_of_int (h land ((1 lsl 53) - 1)) +. 0.5) /. 9007199254740992.0
+
+let demand_us dspec ~seed ~id =
+  match dspec with
+  | Dfixed -> -1.0
+  | Dpareto { alpha; xmin_us; xmax_us } ->
+      let h = mix63 (seed lxor (id * 0x9E3779B9)) in
+      let u = u01 h in
+      (* Bounded-Pareto inverse CDF. *)
+      let r = (xmin_us /. xmax_us) ** alpha in
+      xmin_us /. ((1.0 -. (u *. (1.0 -. r))) ** (1.0 /. alpha))
+  | Dlognorm { median_us; sigma } ->
+      let h1 = mix63 (seed lxor (id * 0x9E3779B9)) in
+      let h2 = mix63 h1 in
+      let u1 = u01 h1 and u2 = u01 h2 in
+      (* Box-Muller. *)
+      let z = sqrt (-2.0 *. log u1) *. cos (6.283185307179586 *. u2) in
+      median_us *. exp (sigma *. z)
+
 let describe = function
   | Poisson { rps; _ } -> Printf.sprintf "poisson %.0f rps" rps
   | Bursty { rps_on; rps_off; _ } ->

@@ -32,6 +32,24 @@ val offered_rps : spec -> float
 val is_open : spec -> bool
 val describe : spec -> string
 
+type demand =
+  | Dfixed  (** Every request costs the executor's configured grant. *)
+  | Dpareto of { alpha : float; xmin_us : float; xmax_us : float }
+      (** Bounded Pareto per-request cost (heavy tail). *)
+  | Dlognorm of { median_us : float; sigma : float }
+      (** Lognormal per-request cost. *)
+
+val validate_demand : demand -> unit
+(** @raise Invalid_argument on non-sensical parameters. *)
+
+val describe_demand : demand -> string
+
+val demand_us : demand -> seed:int -> id:int -> float
+(** Per-request service demand in microseconds, or [-1.0] under
+    [Dfixed].  A pure stateless hash of [(seed, id)]: its own logical
+    RNG stream, independent of every arrival/dispatch draw, stable
+    across retries of the same request id, allocation-free. *)
+
 type gen
 
 val gen : spec -> rng:Iw_engine.Rng.t -> gen

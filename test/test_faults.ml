@@ -88,6 +88,36 @@ let test_plan_kind_names_roundtrip () =
   check_bool "unknown spelling rejected" true
     (Plan.kind_of_string "cosmic-ray" = None)
 
+let test_plan_brownout_draw_bounded () =
+  (* Severity draws are deterministic per seed and stay inside the
+     documented envelope: slowdown 2.0-4.0x (x1000), duration in
+     [brownout_cycles/2, brownout_cycles*3/2]. *)
+  let draw seed =
+    let plan = Plan.create ~rate:0.5 ~seed ~brownout_cycles:1_000_000 () in
+    List.init 200 (fun _ -> Plan.draw_brownout plan)
+  in
+  let a = draw 42 in
+  Alcotest.(check (list (pair int int))) "same seed, same severities" a (draw 42);
+  check_bool "different seed, different severities" true (a <> draw 43);
+  List.iter
+    (fun (slow_x1000, dur) ->
+      check_bool "slowdown in [2x,4x]" true
+        (slow_x1000 >= 2_000 && slow_x1000 <= 4_000);
+      check_bool "duration in [half, 1.5x]" true
+        (dur >= 500_000 && dur <= 1_500_000))
+    a
+
+let test_plan_hang_permanence_deterministic () =
+  let draw seed =
+    let plan = Plan.create ~rate:0.5 ~seed () in
+    List.init 400 (fun _ -> Plan.draw_hang_permanent plan)
+  in
+  let a = draw 42 in
+  Alcotest.(check (list bool)) "same seed, same permanence" a (draw 42);
+  (* roughly a quarter permanent: sanity, not statistics *)
+  let perm = List.length (List.filter Fun.id a) in
+  check_bool "some permanent, most clocked" true (perm > 25 && perm < 175)
+
 let test_plan_rejects_bad_rate () =
   List.iter
     (fun rate ->
@@ -169,6 +199,10 @@ let () =
           Alcotest.test_case "bulk count" `Quick test_plan_bulk_count;
           Alcotest.test_case "kind names roundtrip" `Quick
             test_plan_kind_names_roundtrip;
+          Alcotest.test_case "brownout draw bounded" `Quick
+            test_plan_brownout_draw_bounded;
+          Alcotest.test_case "hang permanence deterministic" `Quick
+            test_plan_hang_permanence_deterministic;
           Alcotest.test_case "bad rate rejected" `Quick
             test_plan_rejects_bad_rate;
           Alcotest.test_case "ambient scoping" `Quick test_plan_ambient_scoping;

@@ -166,7 +166,7 @@ let run_arena_script ?(check_every = 1) ops =
   let step opno v =
     if v mod 3 < 2 || !live_handles = [] then begin
       let arrival = v * 7 and hi = v mod 2 = 0 and reply = (v mod 5) - 1 in
-      let h = Arena.alloc a ~arrival ~hi ~reply in
+      let h = Arena.alloc a ~demand:(-1) ~intended:(-1) ~arrival ~hi ~reply in
       if Hashtbl.mem model h then
         QCheck.Test.fail_reportf
           "op %d: alloc returned handle %d still live in the model" opno h;
@@ -230,7 +230,10 @@ let test_arena_churn_100k () =
   let nlive = ref 0 in
   for op = 1 to 100_000 do
     if (!nlive < 64 && Rng.int rng 3 < 2) || !nlive = 0 then begin
-      let h = Arena.alloc a ~arrival:op ~hi:(op mod 2 = 0) ~reply:(-1) in
+      let h =
+        Arena.alloc a ~demand:(-1) ~intended:(-1) ~arrival:op
+          ~hi:(op mod 2 = 0) ~reply:(-1)
+      in
       live := h :: !live;
       incr nlive
     end
@@ -256,7 +259,9 @@ let test_arena_churn_100k () =
 
 let test_arena_free_dead_raises () =
   let a = Arena.create ~cap:2 in
-  let h = Arena.alloc a ~arrival:1 ~hi:false ~reply:(-1) in
+  let h =
+    Arena.alloc a ~demand:(-1) ~intended:(-1) ~arrival:1 ~hi:false ~reply:(-1)
+  in
   Arena.free a h;
   check_bool "double free rejected" true
     (match Arena.free a h with
@@ -353,6 +358,51 @@ let test_workload_offered_rps () =
             mean_off_us = 1_000.0;
             duration_us = 1.0;
           }))
+
+(* Heavy-tailed demand draws: a pure stateless hash of (seed, id), so
+   the same pair always costs the same and stays inside the spec's
+   support — the property retries and hedges rely on. *)
+let prop_demand_deterministic_bounded =
+  QCheck.Test.make ~name:"demand draw is pure and inside its support"
+    ~count:500
+    QCheck.(pair small_nat (int_bound 1_000_000))
+    (fun (seed, id) ->
+      let pareto =
+        Workload.Dpareto { alpha = 1.5; xmin_us = 10.0; xmax_us = 500.0 }
+      in
+      let lognorm = Workload.Dlognorm { median_us = 50.0; sigma = 1.2 } in
+      let p = Workload.demand_us pareto ~seed ~id in
+      let l = Workload.demand_us lognorm ~seed ~id in
+      p = Workload.demand_us pareto ~seed ~id
+      && l = Workload.demand_us lognorm ~seed ~id
+      && p >= 10.0 && p <= 500.0 && l > 0.0
+      && Workload.demand_us Workload.Dfixed ~seed ~id = -1.0)
+
+let prop_demand_streams_independent =
+  QCheck.Test.make ~name:"demand draws decorrelate across ids and seeds"
+    ~count:100 QCheck.small_nat (fun seed ->
+      let pareto =
+        Workload.Dpareto { alpha = 1.5; xmin_us = 10.0; xmax_us = 500.0 }
+      in
+      let draws s = List.init 64 (fun id -> Workload.demand_us pareto ~seed:s ~id) in
+      (* astronomically unlikely to collide unless the hash ignores
+         the seed *)
+      draws seed <> draws (seed + 1))
+
+let test_workload_demand_validation () =
+  List.iter
+    (fun d ->
+      match Workload.validate_demand d with
+      | () -> Alcotest.fail "nonsense demand accepted"
+      | exception Invalid_argument _ -> ())
+    [
+      Workload.Dpareto { alpha = 0.0; xmin_us = 10.0; xmax_us = 500.0 };
+      Workload.Dpareto { alpha = 1.5; xmin_us = -1.0; xmax_us = 500.0 };
+      Workload.Dpareto { alpha = 1.5; xmin_us = 500.0; xmax_us = 10.0 };
+      Workload.Dlognorm { median_us = 0.0; sigma = 1.0 };
+      Workload.Dlognorm { median_us = 50.0; sigma = -0.5 };
+    ];
+  Workload.validate_demand Workload.Dfixed
 
 (* ------------------------------------------------------------------ *)
 (* The plane end to end *)
@@ -454,7 +504,8 @@ let test_plane_zero_rate_faults_identical () =
   let run_with_plan rate =
     let plan =
       Iw_faults.Plan.create ~rate ~seed:42
-        ~kinds:Iw_faults.Plan.[ Cpu_stall; Virtine_fail; Pool_poison ]
+        ~kinds:
+          Iw_faults.Plan.[ Cpu_stall; Virtine_fail; Pool_poison; Worker_hang ]
         ()
     in
     Iw_faults.Plan.with_ambient plan (fun () -> Plane.run (small_cfg ()))
@@ -462,6 +513,57 @@ let test_plane_zero_rate_faults_identical () =
   let bare = Plane.run (small_cfg ()) in
   let zero = run_with_plan 0.0 in
   check_str "rate-0 plan is invisible" (fingerprint bare) (fingerprint zero)
+
+let test_plane_hang_watchdog_steals () =
+  (* Standalone plane under worker hangs (clocked only: permanent
+     hangs are fleet-mode): the watchdog keeps requests flowing and
+     the run still conserves and terminates. *)
+  let run () =
+    Iw_faults.Plan.with_ambient
+      (Iw_faults.Plan.create ~rate:0.05 ~seed:7
+         ~kinds:Iw_faults.Plan.[ Worker_hang ]
+         ())
+      (fun () -> Plane.run (small_cfg ()))
+  in
+  let r = run () in
+  check_bool "watchdog stole queued work" true (r.rep_steals > 0);
+  check_int "admitted all complete despite hangs" r.rep_admitted
+    r.rep_completed;
+  check_str "hung plane deterministic" (fingerprint r) (fingerprint (run ()))
+
+let test_plane_heavy_tail_demand () =
+  (* Pareto service demands: same arrival schedule, heavier service
+     tail, still conserving and deterministic. *)
+  let cfg demand = { (small_cfg ()) with Plane.demand } in
+  let heavy =
+    cfg (Workload.Dpareto { alpha = 1.5; xmin_us = 8.0; xmax_us = 400.0 })
+  in
+  let a = Plane.run heavy in
+  check_int "conserves under heavy tails" a.rep_admitted a.rep_completed;
+  check_str "heavy-tail run deterministic" (fingerprint a)
+    (fingerprint (Plane.run heavy));
+  let fixed = Plane.run (cfg Workload.Dfixed) in
+  check_int "same arrival schedule" fixed.rep_arrivals a.rep_arrivals;
+  check_bool "heavier service tail" true
+    (Hist.percentile a.rep_service 99.0 > Hist.percentile fixed.rep_service 99.0)
+
+let test_plane_corrected_latency () =
+  (* Open loop records an intended-send-time histogram; the corrected
+     view can only be slower than the raw one. *)
+  let r = Plane.run (small_cfg ()) in
+  check_int "every completion corrected" (Hist.count r.rep_total)
+    (Hist.count r.rep_total_corrected);
+  check_bool "corrected p99 >= raw p99" true
+    (Hist.percentile r.rep_total_corrected 99.0
+    >= Hist.percentile r.rep_total 99.0);
+  let closed =
+    Plane.run
+      { (small_cfg ()) with
+        workload =
+          Workload.Closed { clients = 6; think_us = 200.0; duration_us = 10_000.0 } }
+  in
+  check_int "closed loop records no intended times" 0
+    (Hist.count closed.rep_total_corrected)
 
 (* The arena-backed plane against pinned constants: any change to the
    hot path's event order, RNG draws, or arena recycling shows up here
@@ -647,12 +749,18 @@ let test_fleet_gossip_flows () =
     (r.fr_net_msgs > r.fr_arrivals + r.fr_completed)
 
 let test_fleet_zero_rate_faults_identical () =
-  (* A rate-0 network fault plan must not perturb the fleet by a
-     single byte. *)
+  (* A rate-0 plan must not perturb the fleet by a single byte, even
+     with the service-level kinds armed: arming alone must draw
+     nothing from any stream the simulation shares. *)
   let bare = Iw_service.Fleet.run (small_fleet ()) in
   let plan =
     Iw_faults.Plan.create ~rate:0.0 ~seed:42
-      ~kinds:Iw_faults.Plan.[ Link_drop; Link_delay; Machine_pause ]
+      ~kinds:
+        Iw_faults.Plan.
+          [
+            Link_drop; Link_delay; Machine_pause; Worker_hang; Req_corrupt;
+            Machine_brownout;
+          ]
       ()
   in
   let zero =
@@ -678,6 +786,136 @@ let test_fleet_faults_recovered () =
   check_bool "retries recovered them" true (r.fr_retries > 0);
   check_int "conservation still holds" r.fr_arrivals
     (r.fr_completed + r.fr_failed)
+
+let with_kinds ~rate ~seed kinds f =
+  Iw_faults.Plan.with_ambient
+    (Iw_faults.Plan.create ~rate ~seed ~kinds ())
+    f
+
+let test_fleet_hang_steal_conservation () =
+  (* Hung workers strand queued requests; the watchdog steals them
+     onto live peers.  Every request is still accounted for, and the
+     report's steal total matches the typed per-machine counters. *)
+  let r =
+    with_kinds ~rate:0.05 ~seed:7
+      Iw_faults.Plan.[ Worker_hang ]
+      (fun () -> Iw_service.Fleet.run (small_fleet ()))
+  in
+  check_bool "hangs injected" true (r.fr_steals > 0);
+  check_int "conservation under stealing" r.fr_arrivals
+    (r.fr_completed + r.fr_failed);
+  let counted =
+    Array.fold_left
+      (fun acc cs ->
+        acc
+        + List.fold_left
+            (fun a (n, v) -> if n = "peer_steal" then a + v else a)
+            0 cs)
+      0 r.fr_m_counters
+  in
+  check_int "report steals = typed counters" counted r.fr_steals;
+  (* watchdog off: same chaos, no recovery, requests still conserved *)
+  let off =
+    with_kinds ~rate:0.05 ~seed:7
+      Iw_faults.Plan.[ Worker_hang ]
+      (fun () ->
+        Iw_service.Fleet.run
+          { (small_fleet ()) with Iw_service.Fleet.fc_watchdog = false })
+  in
+  check_int "no steals without the watchdog" 0 off.fr_steals;
+  check_int "conservation without recovery" off.fr_arrivals
+    (off.fr_completed + off.fr_failed)
+
+let test_fleet_hedge_first_response_wins () =
+  (* Hedged requests: exactly one copy completes each request, wins
+     never exceed hedges sent, and the whole dance is deterministic
+     and identical across parallel and serial fleets. *)
+  let cfg () =
+    {
+      (small_fleet ~rps:250_000.0 ()) with
+      Iw_service.Fleet.fc_deadline_us = 150.0;
+      fc_hedge_frac = 0.3;
+      fc_hedge_budget = 0.2;
+    }
+  in
+  let a = Iw_service.Fleet.run ~parallel:false (cfg ()) in
+  check_bool "hedges were sent" true (a.fr_hedges > 0);
+  check_bool "wins bounded by hedges" true (a.fr_hedge_wins <= a.fr_hedges);
+  check_bool "cancels bounded by hedges" true
+    (a.fr_hedge_cancels <= a.fr_hedges);
+  check_int "first response wins exactly once" a.fr_arrivals
+    (a.fr_completed + a.fr_failed);
+  let b = Iw_service.Fleet.run ~parallel:true (cfg ()) in
+  check_str "hedged fleet parallel = serial" (fleet_fingerprint a)
+    (fleet_fingerprint b);
+  check_int "hedge count identical" a.fr_hedges b.fr_hedges;
+  check_int "hedge wins identical" a.fr_hedge_wins b.fr_hedge_wins
+
+let test_fleet_admission_sheds_and_conserves () =
+  (* Overload with admission control on: arrivals split three ways
+     (completed, failed, shed at the door), and sheds count against
+     the SLO. *)
+  let r =
+    Iw_service.Fleet.run
+      {
+        (small_fleet ~rps:500_000.0 ()) with
+        Iw_service.Fleet.fc_admit = true;
+        fc_deadline_us = 100.0;
+        fc_slo_us = 100.0;
+      }
+  in
+  check_bool "admission shed fired" true (r.fr_admission_shed > 0);
+  check_int "three-way conservation" r.fr_arrivals
+    (r.fr_completed + r.fr_failed + r.fr_admission_shed);
+  check_bool "sheds count against the SLO" true
+    (r.fr_slo_total >= r.fr_completed + r.fr_failed + r.fr_admission_shed)
+
+let test_fleet_corrupt_reexec () =
+  let run retry =
+    with_kinds ~rate:0.05 ~seed:7
+      Iw_faults.Plan.[ Req_corrupt ]
+      (fun () ->
+        Iw_service.Fleet.run
+          { (small_fleet ()) with Iw_service.Fleet.fc_corrupt_retry = retry })
+  in
+  let on = run true in
+  check_bool "corrupt responses re-executed" true (on.fr_corrupt_retries > 0);
+  check_int "conservation under re-execution" on.fr_arrivals
+    (on.fr_completed + on.fr_failed);
+  let off = run false in
+  check_int "no re-execution when disabled" 0 off.fr_corrupt_retries;
+  check_int "conservation when accepting garbage" off.fr_arrivals
+    (off.fr_completed + off.fr_failed)
+
+let test_fleet_brownout_recovers_par_serial () =
+  (* Brownouts draw at the coordinator's barrier, so a browned-out
+     fleet still runs parallel — and byte-identical to serial. *)
+  let run parallel =
+    with_kinds ~rate:0.02 ~seed:7
+      Iw_faults.Plan.[ Machine_brownout ]
+      (fun () -> Iw_service.Fleet.run ~parallel (small_fleet ()))
+  in
+  let a = run false in
+  check_bool "brownouts injected" true (a.fr_brownouts > 0);
+  check_int "conservation under brownouts" a.fr_arrivals
+    (a.fr_completed + a.fr_failed);
+  let b = run true in
+  check_str "browned-out fleet parallel = serial" (fleet_fingerprint a)
+    (fleet_fingerprint b);
+  check_int "brownout count identical" a.fr_brownouts b.fr_brownouts;
+  (* bw-wjsq under brownouts: still deterministic and conserving *)
+  let aware =
+    with_kinds ~rate:0.02 ~seed:7
+      Iw_faults.Plan.[ Machine_brownout ]
+      (fun () ->
+        Iw_service.Fleet.run
+          {
+            (small_fleet ~policy:Iw_service.Dispatch.Wjsq ()) with
+            Iw_service.Fleet.fc_bw_wjsq = true;
+          })
+  in
+  check_int "bw-wjsq conserves" aware.fr_arrivals
+    (aware.fr_completed + aware.fr_failed)
 
 let test_fleet_counter_table () =
   let r = Iw_service.Fleet.run (small_fleet ()) in
@@ -771,6 +1009,16 @@ let () =
             test_fleet_zero_rate_faults_identical;
           Alcotest.test_case "faults recovered" `Quick
             test_fleet_faults_recovered;
+          Alcotest.test_case "hang steals conserve" `Quick
+            test_fleet_hang_steal_conservation;
+          Alcotest.test_case "hedge first response wins" `Quick
+            test_fleet_hedge_first_response_wins;
+          Alcotest.test_case "admission sheds + conserves" `Quick
+            test_fleet_admission_sheds_and_conserves;
+          Alcotest.test_case "corrupt re-execution" `Quick
+            test_fleet_corrupt_reexec;
+          Alcotest.test_case "brownout par = serial" `Quick
+            test_fleet_brownout_recovers_par_serial;
           Alcotest.test_case "fleet counter table" `Quick
             test_fleet_counter_table;
         ] );
@@ -782,6 +1030,10 @@ let () =
           Alcotest.test_case "bursty modulates" `Quick
             test_workload_bursty_modulates;
           Alcotest.test_case "offered rps" `Quick test_workload_offered_rps;
+          QCheck_alcotest.to_alcotest prop_demand_deterministic_bounded;
+          QCheck_alcotest.to_alcotest prop_demand_streams_independent;
+          Alcotest.test_case "demand validation" `Quick
+            test_workload_demand_validation;
         ] );
       ( "plane",
         [
@@ -796,6 +1048,12 @@ let () =
             test_plane_personality_gap;
           Alcotest.test_case "rate-0 faults identical" `Quick
             test_plane_zero_rate_faults_identical;
+          Alcotest.test_case "hang watchdog steals" `Quick
+            test_plane_hang_watchdog_steals;
+          Alcotest.test_case "heavy-tail demand" `Quick
+            test_plane_heavy_tail_demand;
+          Alcotest.test_case "corrected latency" `Quick
+            test_plane_corrected_latency;
           Alcotest.test_case "pinned fingerprint" `Quick
             test_plane_pinned_fingerprint;
           Alcotest.test_case "S tables byte-identical" `Quick

@@ -1,8 +1,8 @@
-.PHONY: all build test bench bench-json perf-budget alloc-smoke check \
-        trace-smoke sweep-smoke \
+.PHONY: all build test bench bench-json bench-baseline perf-budget \
+        alloc-smoke check trace-smoke sweep-smoke \
         profile-smoke profile-diff-smoke faults-smoke faults-csv-smoke \
         serve-smoke fleet-smoke series-smoke series-update degrade-smoke \
-        golden-check golden-update examples csv clean
+        nic-smoke golden-check golden-update examples csv clean
 
 all: build
 
@@ -15,16 +15,26 @@ test:
 bench:
 	dune exec bench/main.exe
 
+# The perf baseline this PR gates against; each PR commits its own.
+BENCH_BASELINE = BENCH_10.json
+
 # Machine-readable perf report, tracked across PRs.
 bench-json:
-	dune exec bench/main.exe -- --json BENCH_9.json
+	dune exec bench/main.exe -- --json $(BENCH_BASELINE)
+
+# Every PR must ship its baseline: fail fast when the file the budget
+# gates against never got committed (PR 8's went missing for a while).
+bench-baseline:
+	@test -f $(BENCH_BASELINE) || { \
+	  echo "error: $(BENCH_BASELINE) missing; run 'make bench-json' and commit it"; \
+	  exit 1; }
 
 # Re-run the benchmark and gate wall time against the committed
 # baseline: any experiment more than 15% AND 0.3s slower fails.
 # After an intentional perf change, re-baseline with `make bench-json`
-# and commit the new BENCH_9.json alongside the change.
-perf-budget:
-	dune exec bench/main.exe -- --json /tmp/bench.json --against BENCH_9.json
+# and commit the new $(BENCH_BASELINE) alongside the change.
+perf-budget: bench-baseline
+	dune exec bench/main.exe -- --json /tmp/bench.json --against $(BENCH_BASELINE)
 
 # A short serve run that fails if the hot path allocates more than the
 # committed budget of minor-heap words per completed request.  The
@@ -143,6 +153,32 @@ degrade-smoke:
 	  --csv /tmp/degrade_inert.csv > /dev/null
 	cmp /tmp/degrade_base.csv /tmp/degrade_inert.csv
 
+# The NIC gate, four claims end to end:
+#  1. the N1/N2 device studies match their goldens (counters + spans);
+#  2. `faults --list-kinds` names every NIC fault kind;
+#  3. NIC knobs without --nic are inert (fleet CSV byte-identical);
+#  4. arming the NIC fault kinds at rate 0 changes nothing (the
+#     recovery slack scan prices at zero until a fault actually fires).
+nic-smoke:
+	dune exec bin/main.exe -- golden --check --spans N1 N2
+	dune exec bin/main.exe -- faults --list-kinds > /tmp/nic_kinds.txt
+	grep -q '^nic-rx-drop$$' /tmp/nic_kinds.txt
+	grep -q '^nic-irq-lost$$' /tmp/nic_kinds.txt
+	grep -q '^nic-ring-overrun$$' /tmp/nic_kinds.txt
+	dune exec bin/main.exe -- serve --machines 2 --rps 100000 \
+	  --duration 10 --work-us 20 --csv /tmp/nic_base.csv > /dev/null
+	dune exec bin/main.exe -- serve --machines 2 --rps 100000 \
+	  --duration 10 --work-us 20 --itr 20 --rx-mode poll \
+	  --csv /tmp/nic_inert.csv > /dev/null
+	cmp /tmp/nic_base.csv /tmp/nic_inert.csv
+	dune exec bin/main.exe -- serve --machines 2 --nic --rps 100000 \
+	  --duration 10 --work-us 20 --csv /tmp/nic_on.csv > /dev/null
+	dune exec bin/main.exe -- serve --machines 2 --nic --rps 100000 \
+	  --duration 10 --work-us 20 \
+	  --fault-kinds nic-rx-drop,nic-irq-lost,nic-ring-overrun \
+	  --csv /tmp/nic_armed.csv > /dev/null
+	cmp /tmp/nic_on.csv /tmp/nic_armed.csv
+
 # Everything CI needs: full build, tests, the wall-time perf budget,
 # the hot-path allocation budget, smoke runs of the harness (trace
 # exporter, profiler), and the golden-counter regression gate.
@@ -161,6 +197,7 @@ check:
 	$(MAKE) fleet-smoke
 	$(MAKE) series-smoke
 	$(MAKE) degrade-smoke
+	$(MAKE) nic-smoke
 	$(MAKE) golden-check
 
 examples:

@@ -580,10 +580,18 @@ let sweep_cmd =
 let faults_cmd =
   let id =
     Arg.(
-      required
+      value
       & pos 0 (some string) None
       & info [] ~docv:"ID"
           ~doc:"Experiment id to run under fault injection (e.g. E3, R1)")
+  in
+  let list_kinds =
+    Arg.(
+      value & flag
+      & info [ "list-kinds" ]
+          ~doc:
+            "Print every fault kind the plan can arm, one per line, and exit \
+             (the source of truth for --kinds)")
   in
   let rate =
     Arg.(
@@ -631,7 +639,18 @@ let faults_cmd =
             "Write the rate sweep as CSV to $(docv) (implies a sweep; \
              without --rates a default rate range is used)")
   in
-  let run id rate seed kinds check rates csv =
+  let run id rate seed kinds check rates csv list_kinds =
+    if list_kinds then begin
+      List.iter
+        (fun k -> print_endline (Iw_faults.Plan.kind_name k))
+        Iw_faults.Plan.all_kinds;
+      exit 0
+    end;
+    let id =
+      match id with
+      | Some id -> id
+      | None -> die "faults: experiment ID required (or use --list-kinds)"
+    in
     let e = find_experiment id in
     let kinds =
       match kinds with
@@ -683,6 +702,8 @@ let faults_cmd =
             ("hedge_sent", Iw_obs.Counter.Hedge_sent);
             ("admission_shed", Iw_obs.Counter.Admission_shed);
             ("corrupt_retry", Iw_obs.Counter.Corrupt_retry);
+            ("nic_drop", Iw_obs.Counter.Nic_rx_drops);
+            ("nic_irq_recover", Iw_obs.Counter.Nic_irq_recover);
           ]
         in
         let rows =
@@ -751,7 +772,8 @@ let faults_cmd =
       \  injected %d | ipi-retries %d | watchdog %d | relaunches %d | \
        pool-evicts %d | rollbacks %d\n\
       \  dir-ack-retries %d | dir-stale-refetches %d | barrier-recoveries %d\n\
-      \  peer-steals %d | hedges %d | admission-sheds %d | corrupt-retries %d\n"
+      \  peer-steals %d | hedges %d | admission-sheds %d | corrupt-retries %d\n\
+      \  nic-drops %d | nic-irq-recoveries %d\n"
       rate seed
       (String.concat "," (List.map Iw_faults.Plan.kind_name kinds))
       (g Iw_obs.Counter.Fault_injected)
@@ -766,7 +788,9 @@ let faults_cmd =
       (g Iw_obs.Counter.Peer_steal)
       (g Iw_obs.Counter.Hedge_sent)
       (g Iw_obs.Counter.Admission_shed)
-      (g Iw_obs.Counter.Corrupt_retry);
+      (g Iw_obs.Counter.Corrupt_retry)
+      (g Iw_obs.Counter.Nic_rx_drops)
+      (g Iw_obs.Counter.Nic_irq_recover);
     if check && rate > 0.0 && g Iw_obs.Counter.Fault_injected = 0 then
       die
         "faults --check: no faults injected at rate %g (injection points not \
@@ -781,7 +805,8 @@ let faults_cmd =
           fault/recovery counters; the R experiments additionally scope \
           their own per-row plans.  --rates/--csv sweep a rate range into \
           one counter row per rate")
-    Term.(const run $ id $ rate $ seed $ kinds $ check $ rates $ csv)
+    Term.(
+      const run $ id $ rate $ seed $ kinds $ check $ rates $ csv $ list_kinds)
 
 let serve_cmd =
   let os_a =
@@ -1026,11 +1051,36 @@ let serve_cmd =
              or lognorm:MEDIAN:SIGMA (microseconds); default every request \
              costs --work-us")
   in
+  let nic_a =
+    Arg.(
+      value & flag
+      & info [ "nic" ]
+          ~doc:
+            "Fleet: deliver front->machine traffic through each machine's \
+             simulated NIC (RX descriptor ring + driver) and responses \
+             through its TX ring; adds nic_* columns")
+  in
+  let itr_a =
+    Arg.(
+      value & opt float 0.0
+      & info [ "itr" ] ~docv:"US"
+          ~doc:
+            "NIC interrupt-moderation gap in microseconds (minimum spacing \
+             between RX interrupts); 0 = unmoderated. Inert without --nic")
+  in
+  let rx_mode_a =
+    Arg.(
+      value & opt string "hybrid"
+      & info [ "rx-mode" ] ~docv:"M"
+          ~doc:
+            "NIC receive mode: irq, poll or hybrid (NAPI-style switching). \
+             Inert without --nic")
+  in
   let run os backend policy order workers rpss duration_ms work_us cap pool
       hi_frac bursty closed think_us csv alloc_budget seed machines hetero
       net_lat net_bw gossip_us fleet_serial sample_us series_csv slo_us
       slo_target faults_rate fault_kinds hedge_frac hedge_budget admit
-      deadline_us wjsq_aware tail jobs global_seed =
+      deadline_us wjsq_aware tail nic itr_us rx_mode jobs global_seed =
     Iw_engine.Rng.set_global_seed global_seed;
     (* The single-machine plane samples off the ambient period; the
        fleet takes it explicitly through its config. *)
@@ -1096,6 +1146,17 @@ let serve_cmd =
      with Invalid_argument m -> die "serve: %s" m);
     if faults_rate < 0.0 || faults_rate > 1.0 then
       die "serve: --faults must be in [0,1]";
+    if itr_us < 0.0 then die "serve: --itr must be >= 0";
+    let rx_mode =
+      match Iw_kernel.Nic_driver.mode_of_string rx_mode with
+      | Some m -> m
+      | None -> die "serve: unknown --rx-mode %s (irq, poll or hybrid)" rx_mode
+    in
+    (* An explicit --fault-kinds arms the plan even at rate 0: kinds
+       with recovery machinery that exists only when armed (the NIC's
+       lost-IRQ slack scan) can then be exercised — and shown inert —
+       without any injection. *)
+    let fault_kinds_given = fault_kinds <> None in
     let fault_kinds =
       match fault_kinds with
       | None ->
@@ -1110,7 +1171,7 @@ let serve_cmd =
                  | None -> die "serve: unknown fault kind %s" k)
     in
     let with_plan f =
-      if faults_rate > 0.0 then
+      if faults_rate > 0.0 || fault_kinds_given then
         Iw_faults.Plan.with_ambient
           (Iw_faults.Plan.create ~rate:faults_rate ~seed ~kinds:fault_kinds ())
           f
@@ -1214,6 +1275,9 @@ let serve_cmd =
                       fc_deadline_us = deadline_us;
                       fc_bw_wjsq = wjsq_aware;
                       fc_demand = demand;
+                      fc_nic = nic;
+                      fc_nic_mode = rx_mode;
+                      fc_itr_us = itr_us;
                       fc_seed = seed;
                     })
                 rpss)
@@ -1234,6 +1298,13 @@ let serve_cmd =
           @ (if hedge_frac > 0.0 then [ "hedges"; "hedge_wins"; "hedge_late" ]
              else [])
           @ (if admit then [ "adm_shed" ] else [])
+          @
+          (if nic then
+             [
+               "nic_rx"; "nic_drops"; "nic_irqs"; "nic_polls"; "nic_wasted_kc";
+               "nic_switches"; "nic_recovers";
+             ]
+           else [])
         in
         let cols (r : Iw_service.Fleet.report) =
           let p pct = Iw_service.Fleet.percentile_us r r.fr_total pct in
@@ -1288,8 +1359,20 @@ let serve_cmd =
                  string_of_int r.fr_hedge_cancels;
                ]
              else [])
+          @ (if admit then
+               [ string_of_int r.Iw_service.Fleet.fr_admission_shed ]
+             else [])
           @
-          if admit then [ string_of_int r.Iw_service.Fleet.fr_admission_shed ]
+          if nic then
+            [
+              string_of_int r.Iw_service.Fleet.fr_nic_rx;
+              string_of_int r.fr_nic_drops;
+              string_of_int r.fr_nic_irqs;
+              string_of_int r.fr_nic_polls;
+              string_of_int (r.fr_nic_wasted_cycles / 1000);
+              string_of_int r.fr_nic_switches;
+              string_of_int r.fr_nic_recovers;
+            ]
           else []
         in
         let rows = header :: List.map cols reports in
@@ -1342,6 +1425,7 @@ let serve_cmd =
                 die "serve: --series-csv needs --sample-us > 0"
             | _ -> die "serve: --series-csv needs a single --rps"))
     | None ->
+    if nic then die "serve: --nic needs a fleet (--machines or --hetero)";
     let plat = Iw_hw.Platform.knl in
     (* The ambient fault plan is domain-local, so a faulted sweep runs
        its rows on the coordinator. *)
@@ -1481,7 +1565,7 @@ let serve_cmd =
       $ net_lat_a $ net_bw_a $ gossip_us_a $ fleet_serial_a $ sample_us_a
       $ series_csv_a $ slo_us_a $ slo_target_a $ faults_a $ fault_kinds_a
       $ hedge_frac_a $ hedge_budget_a $ admit_a $ deadline_us_a $ wjsq_aware_a
-      $ tail_a $ jobs_arg $ seed_arg)
+      $ tail_a $ nic_a $ itr_a $ rx_mode_a $ jobs_arg $ seed_arg)
 
 let () =
   let doc =

@@ -45,8 +45,11 @@ type kind =
   | Worker_hang  (* a worker silently stops draining its queue *)
   | Req_corrupt  (* a completed response is garbage; re-execute *)
   | Machine_brownout  (* a machine slows by a drawn factor for a while *)
+  | Nic_rx_drop  (* the NIC loses a frame before it reaches the ring *)
+  | Nic_irq_lost  (* an asserted RX interrupt never reaches the CPU *)
+  | Nic_ring_overrun  (* the RX ring spuriously reports full; frame lost *)
 
-let kind_count = 20
+let kind_count = 23
 
 let kind_index = function
   | Ipi_drop -> 0
@@ -69,6 +72,9 @@ let kind_index = function
   | Worker_hang -> 17
   | Req_corrupt -> 18
   | Machine_brownout -> 19
+  | Nic_rx_drop -> 20
+  | Nic_irq_lost -> 21
+  | Nic_ring_overrun -> 22
 
 (* CLI spelling, `--kinds ipi-drop,timer-late`. *)
 let kind_name = function
@@ -92,6 +98,9 @@ let kind_name = function
   | Worker_hang -> "worker-hang"
   | Req_corrupt -> "req-corrupt"
   | Machine_brownout -> "machine-brownout"
+  | Nic_rx_drop -> "nic-rx-drop"
+  | Nic_irq_lost -> "nic-irq-lost"
+  | Nic_ring_overrun -> "nic-ring-overrun"
 
 let all_kinds =
   [
@@ -115,6 +124,9 @@ let all_kinds =
     Worker_hang;
     Req_corrupt;
     Machine_brownout;
+    Nic_rx_drop;
+    Nic_irq_lost;
+    Nic_ring_overrun;
   ]
 
 let kind_of_string s = List.find_opt (fun k -> kind_name k = s) all_kinds

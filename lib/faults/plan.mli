@@ -32,6 +32,9 @@ type kind =
   | Worker_hang  (* a worker silently stops draining its queue *)
   | Req_corrupt  (* a completed response is garbage; re-execute *)
   | Machine_brownout  (* a machine slows by a drawn factor for a while *)
+  | Nic_rx_drop  (* the NIC loses a frame before it reaches the ring *)
+  | Nic_irq_lost  (* an asserted RX interrupt never reaches the CPU *)
+  | Nic_ring_overrun  (* the RX ring spuriously reports full; frame lost *)
 
 val kind_count : int
 val kind_index : kind -> int

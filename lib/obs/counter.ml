@@ -69,8 +69,16 @@ type id =
   | Hedge_cancel
   | Admission_shed
   | Corrupt_retry
+  (* NIC device + driver *)
+  | Nic_rx_pkts
+  | Nic_rx_drops
+  | Nic_irqs
+  | Nic_polls
+  | Nic_poll_empty
+  | Nic_tx_pkts
+  | Nic_irq_recover
 
-let count = 52
+let count = 59
 
 let index = function
   | Context_switches -> 0
@@ -125,6 +133,13 @@ let index = function
   | Hedge_cancel -> 49
   | Admission_shed -> 50
   | Corrupt_retry -> 51
+  | Nic_rx_pkts -> 52
+  | Nic_rx_drops -> 53
+  | Nic_irqs -> 54
+  | Nic_polls -> 55
+  | Nic_poll_empty -> 56
+  | Nic_tx_pkts -> 57
+  | Nic_irq_recover -> 58
 
 (* Names match the strings the old hashtable counters used, so table
    rendering is unchanged. *)
@@ -181,6 +196,13 @@ let name = function
   | Hedge_cancel -> "hedge_cancel"
   | Admission_shed -> "admission_shed"
   | Corrupt_retry -> "corrupt_retry"
+  | Nic_rx_pkts -> "nic_rx_pkts"
+  | Nic_rx_drops -> "nic_rx_drops"
+  | Nic_irqs -> "nic_irqs"
+  | Nic_polls -> "nic_polls"
+  | Nic_poll_empty -> "nic_poll_empty"
+  | Nic_tx_pkts -> "nic_tx_pkts"
+  | Nic_irq_recover -> "nic_irq_recover"
 
 let all =
   [
@@ -236,6 +258,13 @@ let all =
     Hedge_cancel;
     Admission_shed;
     Corrupt_retry;
+    Nic_rx_pkts;
+    Nic_rx_drops;
+    Nic_irqs;
+    Nic_polls;
+    Nic_poll_empty;
+    Nic_tx_pkts;
+    Nic_irq_recover;
   ]
 
 type set = int array

@@ -58,6 +58,13 @@ type id =
   | Hedge_cancel
   | Admission_shed
   | Corrupt_retry
+  | Nic_rx_pkts
+  | Nic_rx_drops
+  | Nic_irqs
+  | Nic_polls
+  | Nic_poll_empty
+  | Nic_tx_pkts
+  | Nic_irq_recover
 
 val count : int
 (** Number of distinct counter ids. *)

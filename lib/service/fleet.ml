@@ -61,6 +61,14 @@ type config = {
   fc_admit : bool;  (* SLO-aware admission control at the front tier *)
   fc_deadline_us : float;  (* per-request deadline (hedging/admission) *)
   fc_demand : Workload.demand;  (* per-request service cost distribution *)
+  (* Simulated NIC (ISSUE 10).  Off by default: front->machine frames
+     bypass the device and delivery is exactly the PR 7 path. *)
+  fc_nic : bool;  (* deliver front->machine traffic through the NIC *)
+  fc_nic_mode : Nic_driver.mode;
+  fc_itr_us : float;  (* ITR moderation gap in us; 0 = unmoderated *)
+  fc_nic_ring : int;  (* RX/TX descriptor count *)
+  fc_nic_budget : int;  (* frames per IRQ burst / poll check *)
+  fc_nic_poll_us : float;  (* poll-engine period *)
   fc_seed : int;
 }
 
@@ -92,6 +100,12 @@ let default () =
     fc_admit = false;
     fc_deadline_us = 0.0;
     fc_demand = Workload.Dfixed;
+    fc_nic = false;
+    fc_nic_mode = Nic_driver.Hybrid;
+    fc_itr_us = 0.0;
+    fc_nic_ring = 256;
+    fc_nic_budget = 16;
+    fc_nic_poll_us = 1.0;
     fc_seed = 42;
   }
 
@@ -134,6 +148,16 @@ type report = {
   fr_corrupt_retries : int;
   fr_steals : int;
   fr_brownouts : int;
+  (* NIC rollup across machines; all zero when fc_nic is off. *)
+  fr_nic_rx : int;
+  fr_nic_drops : int;
+  fr_nic_irqs : int;
+  fr_nic_polls : int;
+  fr_nic_empty_polls : int;
+  fr_nic_wasted_cycles : int;
+  fr_nic_switches : int;
+  fr_nic_recovers : int;
+  fr_nic_tx : int;
   fr_series : Iw_obs.Series.t option;
 }
 
@@ -265,6 +289,13 @@ let run ?parallel cfg =
   for m = 1 to n - 1 do
     cpu_base.(m) <- cpu_base.(m - 1) + cfg.fc_machines.(m - 1).ms_workers
   done;
+  (* NIC slots are filled after the machines exist (the driver handler
+     needs the delivery function below); the respond closures capture
+     the refs now so completions route through the TX ring when the
+     device appears. *)
+  let nic_slots : Iw_hw.Nic.t option ref array =
+    Array.init n (fun _ -> ref None)
+  in
   let machines =
     Array.init n (fun m ->
         let spec = cfg.fc_machines.(m) in
@@ -289,9 +320,18 @@ let run ?parallel cfg =
         in
         let outbox = Net.mb_create () in
         let sim = Sched.sim k in
+        let nic_slot = nic_slots.(m) in
         let respond ~reply =
-          Net.mb_push outbox ~kind:Net.k_resp ~dst:(-1) ~a:reply ~b:m
-            ~t:(Iw_engine.Sim.now sim)
+          match !nic_slot with
+          | None ->
+              Net.mb_push outbox ~kind:Net.k_resp ~dst:(-1) ~a:reply ~b:m
+                ~t:(Iw_engine.Sim.now sim)
+          | Some nic ->
+              (* Through the TX ring: the frame reaches the outbox when
+                 its descriptor finishes serializing (on_tx below).  A
+                 full ring loses the response; the front tier's RTO
+                 retry is the recovery, one layer up. *)
+              ignore (Iw_hw.Nic.tx_push nic ~a:reply ~b:m)
         in
         let dispatch_rng =
           Rng.create ~seed:((cfg.fc_seed + (7919 * (m + 1))) lxor rng_salt)
@@ -652,6 +692,45 @@ let run ?parallel cfg =
       Net.mb_push mc.m_outbox ~kind:Net.k_nack ~dst:(-1) ~a:id ~b:attempt ~t:now
     end
   in
+  (* Opt-in NIC path: each machine gets a device on its own simulator
+     and a driver whose handler is exactly the direct delivery above.
+     Frames carry (a = request id, b = packed attempt/hi) — the same
+     words the wire message carried. *)
+  let nics =
+    if not cfg.fc_nic then [||]
+    else begin
+      let itr_c = if cfg.fc_itr_us > 0.0 then cyc cfg.fc_itr_us else 0 in
+      let poll_c = max 1 (cyc cfg.fc_nic_poll_us) in
+      let slack_c = cyc 50.0 in
+      Array.init n (fun m ->
+          let mc = machines.(m) in
+          let nic =
+            Iw_hw.Nic.create ~obs:(Sched.obs mc.m_k) ~sim:mc.m_sim
+              {
+                Iw_hw.Nic.nic_ring = cfg.fc_nic_ring;
+                nic_itr_cycles = itr_c;
+                nic_tx_cycles = Iw_hw.Nic.default.Iw_hw.Nic.nic_tx_cycles;
+              }
+          in
+          Iw_hw.Nic.set_on_tx nic (fun ~a ~b ->
+              Net.mb_push mc.m_outbox ~kind:Net.k_resp ~dst:(-1) ~a ~b
+                ~t:(Iw_engine.Sim.now mc.m_sim));
+          let drv =
+            Nic_driver.create ~k:mc.m_k ~nic
+              {
+                Nic_driver.default with
+                Nic_driver.nd_mode = cfg.fc_nic_mode;
+                nd_budget = cfg.fc_nic_budget;
+                nd_poll_cycles = poll_c;
+                nd_slack_cycles = slack_c;
+                nd_switch_gap = cyc 4.0;
+              }
+              ~handler:(fun ~a ~b -> rx m a (b land 1 = 1) (b asr 1))
+          in
+          nic_slots.(m) := Some nic;
+          (nic, drv))
+    end
+  in
   let route_one src buf i h =
     let kind = buf.Net.mb_kind.(i) in
     let dst = buf.Net.mb_dst.(i) in
@@ -680,10 +759,17 @@ let run ?parallel cfg =
       incr net_msgs;
       Counter.incr fctr Counter.Net_msgs;
       if kind = Net.k_req then begin
-        let hi = b land 1 = 1 in
-        let attempt = b asr 1 in
-        Iw_engine.Sim.schedule_unit machines.(dst).m_sim ~at (fun () ->
-            rx dst a hi attempt)
+        if cfg.fc_nic then begin
+          let nic, _ = nics.(dst) in
+          Iw_engine.Sim.schedule_unit machines.(dst).m_sim ~at (fun () ->
+              ignore (Iw_hw.Nic.rx_push nic ~a ~b))
+        end
+        else begin
+          let hi = b land 1 = 1 in
+          let attempt = b asr 1 in
+          Iw_engine.Sim.schedule_unit machines.(dst).m_sim ~at (fun () ->
+              rx dst a hi attempt)
+        end
       end
       else if kind = Net.k_resp then
         Iw_engine.Sim.schedule_unit fsim ~at (fun () -> on_resp a b)
@@ -941,6 +1027,12 @@ let run ?parallel cfg =
 
   (* -------------------------------------------------------------- *)
   (* Readout *)
+  Array.iter
+    (fun (nic, drv) ->
+      Nic_driver.stop drv;
+      Iw_hw.Nic.stop nic)
+    nics;
+  let nsum f = Array.fold_left (fun acc nd -> acc + f nd) 0 nics in
   let merge hs =
     let dst = Hist.create () in
     Array.iter (fun h -> Hist.merge_into ~dst h) hs;
@@ -1008,6 +1100,15 @@ let run ?parallel cfg =
     fr_corrupt_retries = !corrupt_retries;
     fr_steals = Array.fold_left (fun acc mc -> acc + Exec.steals mc.m_ex) 0 machines;
     fr_brownouts = !brownouts;
+    fr_nic_rx = nsum (fun (nic, _) -> Iw_hw.Nic.rx_pkts nic);
+    fr_nic_drops = nsum (fun (nic, _) -> Iw_hw.Nic.rx_drops nic);
+    fr_nic_irqs = nsum (fun (nic, _) -> Iw_hw.Nic.irqs nic);
+    fr_nic_polls = nsum (fun (_, drv) -> Nic_driver.polls drv);
+    fr_nic_empty_polls = nsum (fun (_, drv) -> Nic_driver.empty_polls drv);
+    fr_nic_wasted_cycles = nsum (fun (_, drv) -> Nic_driver.wasted_cycles drv);
+    fr_nic_switches = nsum (fun (_, drv) -> Nic_driver.switches drv);
+    fr_nic_recovers = nsum (fun (_, drv) -> Nic_driver.slack_recovers drv);
+    fr_nic_tx = nsum (fun (nic, _) -> Iw_hw.Nic.tx_pkts nic);
     fr_series =
       (match series with
       | Some s ->

@@ -89,6 +89,19 @@ type config = {
       (** Per-request service cost distribution, drawn from a
           stateless hash of the front-tier request id so retries and
           hedges of one request cost the same on every machine. *)
+  fc_nic : bool;
+      (** Deliver front->machine traffic through each machine's
+          simulated {!Iw_hw.Nic} (RX descriptor ring + driver in
+          [fc_nic_mode]) and responses through its TX ring, instead of
+          the direct PR 7 path.  Default [false]: the device does not
+          exist and every schedule is byte-identical to before. *)
+  fc_nic_mode : Iw_kernel.Nic_driver.mode;
+      (** irq, poll, or hybrid (default) *)
+  fc_itr_us : float;
+      (** ITR interrupt-moderation gap in virtual us; 0 = unmoderated. *)
+  fc_nic_ring : int;  (** RX/TX descriptor count (power of two) *)
+  fc_nic_budget : int;  (** frames per IRQ burst / poll check *)
+  fc_nic_poll_us : float;  (** poll-engine period in virtual us *)
   fc_seed : int;
 }
 
@@ -142,6 +155,15 @@ type report = {
   fr_corrupt_retries : int;  (** corrupt responses re-executed *)
   fr_steals : int;  (** requests watchdogs moved off hung workers *)
   fr_brownouts : int;  (** brownout episodes injected *)
+  fr_nic_rx : int;  (** frames landed in RX rings (fleet total) *)
+  fr_nic_drops : int;  (** frames lost at the device: faults + overruns *)
+  fr_nic_irqs : int;  (** RX interrupts delivered *)
+  fr_nic_polls : int;  (** poll-engine checks *)
+  fr_nic_empty_polls : int;  (** checks that found no frames *)
+  fr_nic_wasted_cycles : int;  (** power proxy: cycles burned by empty checks *)
+  fr_nic_switches : int;  (** hybrid IRQ->poll transitions *)
+  fr_nic_recovers : int;  (** lost interrupts re-injected by the driver *)
+  fr_nic_tx : int;  (** responses drained through TX rings *)
   fr_series : Iw_obs.Series.t option;
       (** Fleet timeline, sampled at conservative-window barriers on
           the coordinator every [fc_sample_us] of virtual time:

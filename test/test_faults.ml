@@ -88,6 +88,28 @@ let test_plan_kind_names_roundtrip () =
   check_bool "unknown spelling rejected" true
     (Plan.kind_of_string "cosmic-ray" = None)
 
+let test_plan_kind_listing_complete () =
+  (* [all_kinds] is what `faults --list-kinds` prints, so it must cover
+     every constructor: one entry per index in [0, kind_count), no
+     repeats, and a distinct name for each. *)
+  check_int "one entry per constructor" Plan.kind_count
+    (List.length Plan.all_kinds);
+  let seen = Array.make Plan.kind_count false in
+  List.iter
+    (fun k ->
+      let i = Plan.kind_index k in
+      check_bool "index in range" true (i >= 0 && i < Plan.kind_count);
+      check_bool "no repeated constructor" false seen.(i);
+      seen.(i) <- true)
+    Plan.all_kinds;
+  let names = List.map Plan.kind_name Plan.all_kinds in
+  check_int "names are distinct" (List.length names)
+    (List.length (List.sort_uniq compare names));
+  (* The NIC kinds this PR appended are listed. *)
+  List.iter
+    (fun n -> check_bool (n ^ " listed") true (List.mem n names))
+    [ "nic-rx-drop"; "nic-irq-lost"; "nic-ring-overrun" ]
+
 let test_plan_brownout_draw_bounded () =
   (* Severity draws are deterministic per seed and stay inside the
      documented envelope: slowdown 2.0-4.0x (x1000), duration in
@@ -199,6 +221,8 @@ let () =
           Alcotest.test_case "bulk count" `Quick test_plan_bulk_count;
           Alcotest.test_case "kind names roundtrip" `Quick
             test_plan_kind_names_roundtrip;
+          Alcotest.test_case "kind listing complete" `Quick
+            test_plan_kind_listing_complete;
           Alcotest.test_case "brownout draw bounded" `Quick
             test_plan_brownout_draw_bounded;
           Alcotest.test_case "hang permanence deterministic" `Quick
